@@ -1,0 +1,325 @@
+package graphbench_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus ablations for the design choices DESIGN.md calls out. Each
+// benchmark regenerates its artifact from fresh simulated runs and
+// prints it once, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphbench/internal/blogel"
+	"graphbench/internal/core"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/graphx"
+	"graphbench/internal/haloop"
+	"graphbench/internal/harness"
+	"graphbench/internal/partition"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+// benchScale keeps full-grid artifacts fast; resource accounting is
+// scale-invariant, so results match the default-scale harness.
+const benchScale = 400_000
+
+var printed sync.Map
+
+// emit prints an artifact once per process, so bench output carries the
+// regenerated tables without repeating them per b.N iteration.
+func emit(name, out string) {
+	if _, done := printed.LoadOrStore(name, true); !done {
+		fmt.Printf("\n%s\n", out)
+	}
+}
+
+func runner() *core.Runner { return core.NewRunner(benchScale, 1) }
+
+func BenchmarkTable1Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("t1", harness.Table1Systems())
+	}
+}
+
+func BenchmarkTable2Dimensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("t2", harness.Table2Dimensions())
+	}
+}
+
+func BenchmarkTable3Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("t3", harness.Table3Datasets(benchScale, 1))
+	}
+}
+
+func BenchmarkTable4Replication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("t4", harness.Table4Replication(benchScale, 1))
+	}
+}
+
+func BenchmarkTable5Partitions(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("t5", harness.Table5Partitions(r))
+	}
+}
+
+func BenchmarkTable6IterTime(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("t6", harness.Table6IterTime(r))
+	}
+}
+
+func BenchmarkTable7ClueWeb(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("t7", harness.Table7ClueWeb(r))
+	}
+}
+
+func BenchmarkTable8GiraphMemory(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("t8", harness.Table8GiraphMemory(r))
+	}
+}
+
+func BenchmarkTable9COST(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("t9", harness.Table9COST(r))
+	}
+}
+
+func BenchmarkFigure1Cores(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f1", harness.Figure1Cores(r))
+	}
+}
+
+func BenchmarkFigure2PartitionSweep(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f2", harness.Figure2PartitionSweep(r))
+	}
+}
+
+func BenchmarkFigure3BlogelNoHDFS(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f3", harness.Figure3BlogelNoHDFS(r))
+	}
+}
+
+func BenchmarkFigure4ApproxPR(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f4", harness.Figure4ApproxPR(r))
+	}
+}
+
+func BenchmarkFigure5Twitter(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f5", harness.Figure5Twitter(r))
+	}
+}
+
+func BenchmarkFigure6PageRank(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f6", harness.Figure6PageRank(r))
+	}
+}
+
+func BenchmarkFigure7KHop(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f7", harness.Figure7KHop(r))
+	}
+}
+
+func BenchmarkFigure8SSSP(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f8", harness.Figure8SSSP(r))
+	}
+}
+
+func BenchmarkFigure9WCC(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f9", harness.Figure9WCC(r))
+	}
+}
+
+func BenchmarkFigure10AsyncMemory(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f10", harness.Figure10AsyncMemory(r))
+	}
+}
+
+func BenchmarkFigure11Imbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit("f11", harness.Figure11Imbalance(1))
+	}
+}
+
+func BenchmarkFigure12Vertica(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f12", harness.Figure12Vertica(r))
+	}
+}
+
+func BenchmarkFigure13VerticaResources(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("f13", harness.Figure13VerticaResources(r))
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationCombiner quantifies Giraph's message combiner.
+func BenchmarkAblationCombiner(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.Dataset(datasets.Twitter)
+		w := engine.NewPageRankIters(10)
+		with := pregel.New().Run(sim.NewSize(16), d, w, engine.Options{})
+		without := pregel.New().Run(sim.NewSize(16), d, w, engine.Options{DisableCombiner: true})
+		emit("ab1", fmt.Sprintf(
+			"Ablation: Giraph combiner (PageRank x10, Twitter, 16 machines)\n"+
+				"  with combiner:    exec %.0fs, network %d GB\n"+
+				"  without combiner: exec %.0fs, network %d GB\n",
+			with.Exec, with.NetBytes>>30, without.Exec, without.NetBytes>>30))
+	}
+}
+
+// BenchmarkAblationVoronoiSampling sweeps Blogel-B's GVD sampling rate
+// on the road network, where block structure matters most.
+func BenchmarkAblationVoronoiSampling(b *testing.B) {
+	g := datasets.Generate(datasets.WRN, datasets.Options{Scale: benchScale, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := "Ablation: Blogel-B GVD sampling rate (WRN analogue)\n"
+		for _, rate := range []float64{0.0005, 0.001, 0.01, 0.05} {
+			v := partition.BuildVoronoi(g, 16, 11, partition.VoronoiOptions{InitialRate: rate})
+			out += fmt.Sprintf("  rate %.4f: %5d blocks, %6d cross-block edges, %d rounds\n",
+				rate, v.NumBlocks, v.CrossBlockEdges(), v.Rounds)
+		}
+		emit("ab2", out)
+	}
+}
+
+// BenchmarkAblationLineageCheckpoint sweeps GraphX checkpoint intervals.
+func BenchmarkAblationLineageCheckpoint(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.Dataset(datasets.Twitter)
+		w := engine.NewPageRankIters(12)
+		out := "Ablation: GraphX checkpoint interval (PageRank x12, Twitter, 32 machines)\n"
+		for _, every := range []int{0, 2, 5} {
+			res := graphx.New().Run(sim.NewSize(32), d, w,
+				engine.Options{NumPartitions: 256, CheckpointEvery: every})
+			out += fmt.Sprintf("  every %d: exec %.0fs, peak mem/machine %.1f GB (%s)\n",
+				every, res.Exec, float64(res.MemMax)/float64(sim.GB), res.Status)
+		}
+		emit("ab3", out)
+	}
+}
+
+// BenchmarkAblationHaLoopCache isolates HaLoop's invariant-data cache.
+func BenchmarkAblationHaLoopCache(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.Dataset(datasets.Twitter)
+		w := engine.NewPageRankIters(10)
+		with := haloop.New()
+		without := haloop.New()
+		without.InvariantCache = false
+		rw := with.Run(sim.NewSize(16), d, w, engine.Options{})
+		ro := without.Run(sim.NewSize(16), d, w, engine.Options{})
+		emit("ab4", fmt.Sprintf(
+			"Ablation: HaLoop invariant-data cache (PageRank x10, Twitter, 16 machines)\n"+
+				"  cache on:  total %.0fs, disk wait %.0fs\n"+
+				"  cache off: total %.0fs, disk wait %.0fs\n",
+			rw.TotalTime(), rw.CPUIO, ro.TotalTime(), ro.CPUIO))
+	}
+}
+
+// BenchmarkAblationBlogelBVsV compares the two Blogel modes end-to-end
+// (§5.1's headline finding).
+func BenchmarkAblationBlogelBVsV(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.Dataset(datasets.UK)
+		w := r.Workload(engine.WCC, datasets.UK)
+		bv := blogel.NewV().Run(sim.NewSize(32), d, w, engine.Options{})
+		bb := blogel.NewB().Run(sim.NewSize(32), d, w, engine.Options{})
+		emit("ab5", fmt.Sprintf(
+			"Ablation: Blogel-B vs Blogel-V (WCC, UK, 32 machines)\n"+
+				"  BV: exec %.0fs, total %.0fs\n"+
+				"  BB: exec %.0fs, total %.0fs  (faster execute, slower end-to-end)\n",
+			bv.Exec, bv.TotalTime(), bb.Exec, bb.TotalTime()))
+	}
+}
+
+// BenchmarkScalability reports strong-scaling behaviour (§5.12): the
+// native BSP systems improve steadily with cluster size; GraphX does
+// not scale as well.
+func BenchmarkScalability(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := "Strong scalability, Twitter PageRank (total seconds by cluster size)\n"
+		for _, key := range []string{"blogel-v", "giraph", "gl-s-r-i", "gelly", "graphx"} {
+			s, err := core.SystemByKey(key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			line := fmt.Sprintf("  %-9s", s.Label)
+			for _, m := range core.ClusterSizes {
+				res := r.Run(s, datasets.Twitter, engine.PageRank, m)
+				if res.Status != sim.OK {
+					line += fmt.Sprintf(" %8s", res.Status)
+				} else {
+					line += fmt.Sprintf(" %7.0fs", res.TotalTime())
+				}
+			}
+			out += line + "\n"
+		}
+		emit("ab6", out)
+	}
+}

@@ -1,0 +1,190 @@
+// Command graphbench regenerates the paper's tables and figures, runs
+// individual experiments, or executes the full grid and writes a run
+// log for cmd/logviz.
+//
+// Usage:
+//
+//	graphbench -artifact table9                # one artifact
+//	graphbench -artifact all                   # everything
+//	graphbench -run giraph -dataset twitter -workload pagerank -machines 32
+//	graphbench -grid -log runs.jsonl           # full grid to a log file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphbench/internal/core"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/harness"
+	"graphbench/internal/metrics"
+	"graphbench/internal/sim"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "", "table1..table9, fig1..fig13, or 'all'")
+		scale    = flag.Float64("scale", datasets.DefaultScale, "dataset reduction factor")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		runSys   = flag.String("run", "", "system key to run (see -list)")
+		dataset  = flag.String("dataset", "twitter", "dataset: twitter, wrn, uk200705, clueweb")
+		workload = flag.String("workload", "pagerank", "workload: pagerank, wcc, sssp, khop")
+		machines = flag.Int("machines", 16, "cluster size")
+		grid     = flag.Bool("grid", false, "run the full main grid")
+		logPath  = flag.String("log", "", "write run records (JSON lines) to this file")
+		list     = flag.Bool("list", false, "list system keys")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(core.SortedKeys(), "\n"))
+		return
+	}
+
+	r := core.NewRunner(*scale, *seed)
+	switch {
+	case *artifact != "":
+		printArtifacts(r, *artifact, *scale, *seed)
+	case *runSys != "":
+		runOne(r, *runSys, *dataset, *workload, *machines, *logPath)
+	case *grid:
+		runGrid(r, *logPath)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printArtifacts(r *core.Runner, which string, scale float64, seed int64) {
+	artifacts := map[string]func() string{
+		"table1": harness.Table1Systems,
+		"table2": harness.Table2Dimensions,
+		"table3": func() string { return harness.Table3Datasets(scale, seed) },
+		"table4": func() string { return harness.Table4Replication(scale, seed) },
+		"table5": func() string { return harness.Table5Partitions(r) },
+		"table6": func() string { return harness.Table6IterTime(r) },
+		"table7": func() string { return harness.Table7ClueWeb(r) },
+		"table8": func() string { return harness.Table8GiraphMemory(r) },
+		"table9": func() string { return harness.Table9COST(r) },
+		"fig1":   func() string { return harness.Figure1Cores(r) },
+		"fig2":   func() string { return harness.Figure2PartitionSweep(r) },
+		"fig3":   func() string { return harness.Figure3BlogelNoHDFS(r) },
+		"fig4":   func() string { return harness.Figure4ApproxPR(r) },
+		"fig5":   func() string { return harness.Figure5Twitter(r) },
+		"fig6":   func() string { return harness.Figure6PageRank(r) },
+		"fig7":   func() string { return harness.Figure7KHop(r) },
+		"fig8":   func() string { return harness.Figure8SSSP(r) },
+		"fig9":   func() string { return harness.Figure9WCC(r) },
+		"fig10":  func() string { return harness.Figure10AsyncMemory(r) },
+		"fig11":  func() string { return harness.Figure11Imbalance(seed) },
+		"fig12":  func() string { return harness.Figure12Vertica(r) },
+		"fig13":  func() string { return harness.Figure13VerticaResources(r) },
+	}
+	if which == "all" {
+		order := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+			"table8", "table9", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "fig13"}
+		for _, k := range order {
+			fmt.Println(artifacts[k]())
+		}
+		return
+	}
+	fn, ok := artifacts[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "graphbench: unknown artifact %q\n", which)
+		os.Exit(2)
+	}
+	fmt.Println(fn())
+}
+
+func parseKind(s string) (engine.Kind, error) {
+	for _, k := range engine.AllKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workload %q", s)
+}
+
+func runOne(r *core.Runner, sysKey, dataset, workload string, machines int, logPath string) {
+	var sys core.System
+	if sysKey == "vertica" {
+		sys = core.Vertica()
+	} else {
+		var err error
+		sys, err = core.SystemByKey(sysKey)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(2)
+		}
+	}
+	kind, err := parseKind(workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbench:", err)
+		os.Exit(2)
+	}
+	res := r.Run(sys, datasets.Name(dataset), kind, machines)
+	fmt.Printf("%s %s on %s, %d machines: %s\n", sys.Label, workload, dataset, machines, res.Status)
+	if res.Status == sim.OK {
+		fmt.Printf("  load %s  execute %s  save %s  overhead %s  total %s\n",
+			metrics.FmtSeconds(res.Load), metrics.FmtSeconds(res.Exec),
+			metrics.FmtSeconds(res.Save), metrics.FmtSeconds(res.Overhead),
+			metrics.FmtSeconds(res.TotalTime()))
+		fmt.Printf("  iterations %d  network %s  memory total %s (max/machine %s)\n",
+			res.Iterations, metrics.FmtBytes(res.NetBytes),
+			metrics.FmtBytes(res.MemTotal), metrics.FmtBytes(res.MemMax))
+	} else if res.Err != nil {
+		fmt.Printf("  %v\n", res.Err)
+	}
+	writeLog(logPath, []*engine.Result{res})
+}
+
+func runGrid(r *core.Runner, logPath string) {
+	var cells []core.Cell
+	for _, name := range []datasets.Name{datasets.Twitter, datasets.UK, datasets.WRN} {
+		for _, kind := range engine.AllKinds() {
+			systems := core.MainGridSystems()
+			if kind == engine.PageRank {
+				systems = core.Systems()
+			}
+			for _, m := range core.ClusterSizes {
+				for _, s := range systems {
+					cells = append(cells, core.Cell{System: s, Dataset: name, Kind: kind, Machines: m})
+				}
+			}
+		}
+	}
+	results := r.RunGrid(cells)
+	okCount := 0
+	for _, res := range results {
+		if res.Status == sim.OK {
+			okCount++
+		}
+	}
+	fmt.Printf("grid complete: %d runs, %d finished, %d failed\n", len(results), okCount, len(results)-okCount)
+	writeLog(logPath, results)
+}
+
+func writeLog(path string, results []*engine.Result) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var recs []metrics.Record
+	for _, res := range results {
+		recs = append(recs, metrics.FromResult(res))
+	}
+	if err := metrics.WriteLog(f, recs); err != nil {
+		fmt.Fprintln(os.Stderr, "graphbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d run records to %s\n", len(recs), path)
+}

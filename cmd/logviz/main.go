@@ -1,0 +1,114 @@
+// Command logviz is the reproduction of the paper's log visualization
+// tool: it parses run logs (JSON lines produced by graphbench -log),
+// filters them, and renders comparison charts in the terminal.
+//
+// Usage:
+//
+//	graphbench -grid -log runs.jsonl
+//	logviz -log runs.jsonl -dataset twitter -workload pagerank
+//	logviz -log runs.jsonl -system BV -chart phases
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"graphbench/internal/metrics"
+)
+
+func main() {
+	var (
+		logPath  = flag.String("log", "", "run log file (JSON lines); default stdin")
+		system   = flag.String("system", "", "filter: system label")
+		dataset  = flag.String("dataset", "", "filter: dataset")
+		workload = flag.String("workload", "", "filter: workload")
+		machines = flag.Int("machines", 0, "filter: cluster size")
+		chart    = flag.String("chart", "total", "chart: total, phases, memory, network")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *logPath != "" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logviz:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := metrics.ReadLog(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logviz:", err)
+		os.Exit(1)
+	}
+	recs = metrics.Filter(recs, *system, *dataset, *workload, *machines)
+	if len(recs) == 0 {
+		fmt.Println("no matching records")
+		return
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Dataset != recs[j].Dataset {
+			return recs[i].Dataset < recs[j].Dataset
+		}
+		if recs[i].Workload != recs[j].Workload {
+			return recs[i].Workload < recs[j].Workload
+		}
+		if recs[i].Machines != recs[j].Machines {
+			return recs[i].Machines < recs[j].Machines
+		}
+		return recs[i].System < recs[j].System
+	})
+
+	switch *chart {
+	case "total":
+		render(recs, func(r metrics.Record) (float64, string) {
+			return r.Total, metrics.FmtSeconds(r.Total)
+		})
+	case "phases":
+		render(recs, func(r metrics.Record) (float64, string) {
+			return r.Total, fmt.Sprintf("L%s E%s S%s O%s",
+				metrics.FmtSeconds(r.Load), metrics.FmtSeconds(r.Exec),
+				metrics.FmtSeconds(r.Save), metrics.FmtSeconds(r.Overhead))
+		})
+	case "memory":
+		render(recs, func(r metrics.Record) (float64, string) {
+			return float64(r.MemTotal), metrics.FmtBytes(r.MemTotal)
+		})
+	case "network":
+		render(recs, func(r metrics.Record) (float64, string) {
+			return float64(r.NetBytes), metrics.FmtBytes(r.NetBytes)
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "logviz: unknown chart %q\n", *chart)
+		os.Exit(2)
+	}
+}
+
+func render(recs []metrics.Record, metric func(metrics.Record) (float64, string)) {
+	max := 0.0
+	for _, r := range recs {
+		if r.Status != "OK" {
+			continue
+		}
+		if v, _ := metric(r); v > max {
+			max = v
+		}
+	}
+	group := ""
+	for _, r := range recs {
+		g := fmt.Sprintf("%s / %s / %d machines", r.Dataset, r.Workload, r.Machines)
+		if g != group {
+			group = g
+			fmt.Printf("\n%s\n", group)
+		}
+		if r.Status != "OK" {
+			fmt.Printf("  %-10s %s\n", r.System, r.Status)
+			continue
+		}
+		v, label := metric(r)
+		fmt.Printf("  %-10s %-40s %s\n", r.System, metrics.Bar(v, max, 40), label)
+	}
+}

@@ -1,0 +1,14 @@
+// Package graphbench is a from-scratch Go reproduction of "Experimental
+// Analysis of Distributed Graph Systems" (Ammar & Özsu, VLDB 2018): the
+// eight systems under study reimplemented as engines over a simulated
+// shared-nothing cluster, the four workloads, synthetic analogues of
+// the four datasets, and a harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the architecture and
+// substitution rationale, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each artifact:
+//
+//	go test -bench=Table9 -benchtime=1x .
+//	go test -bench=Figure6 -benchtime=1x .
+package graphbench

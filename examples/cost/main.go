@@ -1,0 +1,61 @@
+// Cost: the paper's COST analysis (§5.13) as a runnable example —
+// "Configuration that Outperforms a Single Thread". For each workload
+// it compares the best 16-machine parallel system against the GAP-style
+// single-thread implementation, showing that parallel systems can be
+// slower than one well-written thread on reachability workloads.
+package main
+
+import (
+	"fmt"
+
+	"graphbench/internal/core"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/metrics"
+	"graphbench/internal/singlethread"
+)
+
+func main() {
+	r := core.NewRunner(400_000, 1)
+	fmt.Println("COST: best parallel system at 16 machines vs a single thread")
+
+	for _, name := range []datasets.Name{datasets.Twitter, datasets.WRN} {
+		g := datasets.Generate(name, datasets.Options{Scale: r.Scale, Seed: r.Seed})
+		d := r.Dataset(name)
+		fmt.Printf("\n%s:\n", name)
+
+		for _, kind := range []engine.Kind{engine.PageRank, engine.SSSP, engine.WCC} {
+			var single float64
+			switch kind {
+			case engine.PageRank:
+				_, _, c := singlethread.PageRank(g, 0.15, 0.01, 0)
+				single = singlethread.ModeledSeconds(c, r.Scale)
+			case engine.SSSP:
+				_, c := singlethread.SSSP(g, d.Source)
+				single = singlethread.ModeledSeconds(c, r.Scale)
+			case engine.WCC:
+				_, c := singlethread.WCC(g)
+				single = singlethread.ModeledSeconds(c, r.Scale)
+			}
+
+			var cells []core.Cell
+			for _, s := range core.MainGridSystems() {
+				cells = append(cells, core.Cell{System: s, Dataset: name, Kind: kind, Machines: 16})
+			}
+			best := core.BestParallel(r.RunGrid(cells))
+			if best == nil {
+				fmt.Printf("  %-9s no parallel system finished; single thread %s\n",
+					kind, metrics.FmtSeconds(single))
+				continue
+			}
+			cost := single / best.TotalTime()
+			verdict := "the cluster wins"
+			if cost < 1 {
+				verdict = "ONE THREAD WINS — scalability, but at what cost?"
+			}
+			fmt.Printf("  %-9s best parallel %s=%s, single thread %s, COST %.2f (%s)\n",
+				kind, best.System, metrics.FmtSeconds(best.TotalTime()),
+				metrics.FmtSeconds(single), cost, verdict)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Partitioning: a tour of the partitioning substrate — the quality and
+// cost trade-offs among GraphLab's vertex-cut strategies (§4.4.1,
+// Table 4) and Blogel's Graph Voronoi Diagram blocks (§2.3).
+package main
+
+import (
+	"fmt"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/graph"
+	"graphbench/internal/partition"
+)
+
+func main() {
+	tw := datasets.Generate(datasets.Twitter, datasets.Options{Scale: 400_000, Seed: 1}).WithoutSelfEdges()
+	fmt.Println("Vertex-cut replication factors on the Twitter analogue (Table 4):")
+	fmt.Printf("%-10s %8s %8s %12s %8s\n", "machines", "random", "grid", "oblivious", "auto")
+	for _, m := range []int{16, 32, 64, 128} {
+		row := fmt.Sprintf("%-10d", m)
+		for _, kind := range []partition.VertexCutKind{partition.VCRandom, partition.VCGrid, partition.VCOblivious} {
+			if kind == partition.VCGrid {
+				if k := partition.AutoKind(m); k != partition.VCGrid && m != 16 && m != 64 {
+					row += fmt.Sprintf("%9s", "n/a")
+					continue
+				}
+			}
+			vc := partition.BuildVertexCut(tw, m, kind, 7)
+			row += fmt.Sprintf("%9.1f", vc.ReplicationFactor())
+		}
+		auto := partition.AutoKind(m)
+		vc := partition.BuildVertexCut(tw, m, auto, 7)
+		row += fmt.Sprintf("%9.1f (%s)", vc.ReplicationFactor(), auto)
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nGraph Voronoi Diagram blocks on the road network (Blogel-B):")
+	rn := datasets.Generate(datasets.WRN, datasets.Options{Scale: 400_000, Seed: 1})
+	vor := partition.BuildVoronoi(rn, 16, 11, partition.VoronoiOptions{})
+	fmt.Printf("  %d vertices -> %d connected blocks in %d sampling rounds\n",
+		rn.NumVertices(), vor.NumBlocks, vor.Rounds)
+	fmt.Printf("  cross-block edges: %d of %d (%.1f%%)\n",
+		vor.CrossBlockEdges(), rn.NumEdges(),
+		float64(vor.CrossBlockEdges())/float64(rn.NumEdges())*100)
+	fmt.Printf("  graph diameter %d vs block-graph communication rounds: traversals\n",
+		graph.EstimateDiameter(rn, 2, 1))
+	fmt.Println("  collapse to block hops — Blogel-B's reachability win (§5.1).")
+}

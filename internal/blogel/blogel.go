@@ -1,0 +1,215 @@
+// Package blogel implements Blogel (§2.1.3, §2.3): the paper's overall
+// winner. Blogel-V is vertex-centric BSP over MPI — no Hadoop/Spark
+// infrastructure, C++ speeds, a small memory footprint (the only system
+// that processes ClueWeb, Table 7), and active-vertex-only supersteps.
+// Blogel-B is block-centric: Graph Voronoi Diagram partitioning groups
+// vertices into connected blocks, serial algorithms run inside blocks,
+// and BSP synchronizes at block granularity — collapsing the iteration
+// count on high-diameter graphs, at the price of a partitioning phase
+// whose HDFS round-trip dominates end-to-end time (§5.1, Figure 3) and
+// whose MPI aggregation overflows on billion-vertex datasets (WRN,
+// ClueWeb).
+package blogel
+
+import (
+	"graphbench/internal/bsp"
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/hdfs"
+	"graphbench/internal/partition"
+	"graphbench/internal/sim"
+)
+
+// Profile is Blogel's cost profile (both modes): C++ and MPI, lean
+// memory, minimal per-superstep coordination.
+var Profile = sim.Profile{
+	Name: "blogel", Lang: "C++",
+	EdgeOpsPerSec:   120e6,
+	VertexScanNs:    100,
+	MsgCPUNs:        120,
+	MsgBytes:        12,
+	VertexBytes:     100,
+	EdgeBytes:       40,
+	MsgMemBytes:     12,
+	PerMachineBase:  1 * sim.GB,
+	Imbalance:       1.2,
+	SuperstepFixed:  0.08,
+	JobStartup:      1.5,
+	JobStartupPerM:  0.02,
+	PressurePenalty: 2,
+}
+
+// maxInt32 is the MPI buffer-offset limit behind Blogel-B's GVD
+// aggregation crash (§5.1): offsets into the gather buffer are C ints.
+const maxInt32 = 1<<31 - 1
+
+// VEngine is Blogel-V.
+type VEngine struct {
+	Profile sim.Profile
+}
+
+// NewV returns Blogel-V with the default profile.
+func NewV() *VEngine { return &VEngine{Profile: Profile} }
+
+// Name implements engine.Engine.
+func (e *VEngine) Name() string { return "blogel-v" }
+
+// Run implements engine.Engine.
+func (e *VEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt engine.Options) *engine.Result {
+	res := &engine.Result{System: e.Name(), Dataset: d.Name, Workload: w, Machines: c.Size()}
+	if opt.SampleMemory {
+		c.EnableSampling()
+	}
+	prof := e.Profile
+	m := c.Size()
+
+	mark := c.Clock()
+	if err := c.Advance(prof.StartupSeconds(m)); err != nil {
+		res.Overhead = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Overhead = c.Clock() - mark
+
+	// Load the adj-long format (§4.3: Blogel needs every vertex to have
+	// a line so in-edge-only vertices exist).
+	mark = c.Clock()
+	gr, err := d.LoadGraph(graph.FormatAdjLong)
+	if err != nil {
+		return res.Finish(c, err)
+	}
+	loaded, err := chargeLoad(c, &prof, d, gr, w, graph.FormatAdjLong)
+	if err != nil {
+		res.Load = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Load = c.Clock() - mark
+
+	mark = c.Clock()
+	cut := partition.EdgeCut{M: m, Seed: 7}
+	cfg := bsp.Config{
+		Graph:           gr,
+		Scale:           d.Scale,
+		M:               m,
+		MachineOf:       cut.MachineOf,
+		Profile:         &prof,
+		ScanAll:         false, // Blogel touches only active vertices
+		RecordIterStats: true,
+	}
+	configureWorkload(&cfg, w, d, opt)
+	out, err := bsp.Run(c, cfg)
+	res.Exec = c.Clock() - mark
+	res.Iterations = dilated(out.Supersteps, cfg.TimeDilation)
+	res.PerIteration = out.IterStats
+	fillOutputs(res, w, out)
+	if err != nil {
+		return res.Finish(c, err)
+	}
+
+	mark = c.Clock()
+	resultBytes := int64(float64(gr.NumVertices()) * d.Scale * 16)
+	if err := c.Advance(hdfs.WriteSeconds(resultBytes, m, c.Config().DiskBW, c.Config().NetBW)); err != nil {
+		res.Save = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Save = c.Clock() - mark
+	c.FreeAll(loaded)
+	return res.Finish(c, nil)
+}
+
+// chargeLoad models the chunk-parallel C++ HDFS read (§4.3), the hash
+// shuffle, and the resident graph memory. Shared by both modes.
+func chargeLoad(c *sim.Cluster, prof *sim.Profile, d *engine.Dataset, gr *graph.Graph, w engine.Workload, format graph.Format) (int64, error) {
+	m := c.Size()
+	file, err := d.Open(format)
+	if err != nil {
+		return 0, err
+	}
+	perMachine := float64(file.PaperBytes) / float64(m)
+	parse := prof.EdgeSeconds(float64(gr.NumEdges())*d.Scale/float64(m), c.Config().Cores)
+	costs := make([]sim.StepCost, m)
+	for i := range costs {
+		costs[i] = sim.StepCost{
+			ComputeSeconds: parse,
+			DiskReadBytes:  perMachine,
+			NetSendBytes:   perMachine * float64(m-1) / float64(m),
+			NetRecvBytes:   perMachine * float64(m-1) / float64(m),
+		}
+	}
+	if err := c.RunStep(costs); err != nil {
+		return 0, err
+	}
+	// Single-chunk files serialize the read on one machine (§4.3).
+	if file.Chunks < m {
+		extra := hdfs.ParallelReadSeconds(file.PaperBytes, m, file.Chunks, c.Config().DiskBW) -
+			perMachine/c.Config().DiskBW
+		if extra > 0 {
+			if err := c.Advance(extra); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	vf, ef := 1.0, 1.0
+	if w.Kind == engine.WCC {
+		// Reverse-edge discovery grows edge storage (§5.8) — but lean
+		// enough that ClueWeb WCC still fits at 128 machines alongside
+		// the first superstep's message buffers (Table 7).
+		vf, ef = 1.5, 1.45
+	}
+	memBytes := float64(gr.NumVertices())*d.Scale*prof.VertexBytes*vf +
+		float64(gr.NumEdges())*d.Scale*prof.EdgeBytes*ef
+	per := int64(memBytes/float64(m)*prof.Imbalance) + prof.PerMachineBase
+	for i := 0; i < m; i++ {
+		if err := c.Alloc(i, per); err != nil {
+			return per, err
+		}
+	}
+	return per, nil
+}
+
+func configureWorkload(cfg *bsp.Config, w engine.Workload, d *engine.Dataset, opt engine.Options) {
+	switch w.Kind {
+	case engine.PageRank:
+		cfg.Program = &bsp.PageRankProgram{Damping: w.Damping}
+		cfg.Combine = bsp.SumCombine
+		cfg.StopDeltaBelow = w.Tolerance
+		cfg.FixedSupersteps = w.MaxIterations
+	case engine.WCC:
+		cfg.Program = bsp.WCCProgram{}
+		cfg.Combine = bsp.MinCombine
+		cfg.CombineFrom = 1
+		cfg.UseInNeighbors = true
+		cfg.TimeDilation = d.DilationFor(engine.WCC)
+	case engine.SSSP:
+		cfg.Program = &bsp.SSSPProgram{Source: d.Source}
+		cfg.Combine = bsp.MinCombine
+		cfg.TimeDilation = d.DilationFor(engine.SSSP)
+	case engine.KHop:
+		cfg.Program = &bsp.KHopProgram{Source: d.Source, K: w.K}
+		cfg.Combine = bsp.MinCombine
+	}
+	if opt.DisableCombiner {
+		cfg.Combine = nil
+	}
+	if w.MaxIterations > 0 && w.Kind != engine.PageRank {
+		cfg.MaxSupersteps = w.MaxIterations
+	}
+}
+
+func dilated(supersteps int, dilation float64) int {
+	if dilation < 1 {
+		dilation = 1
+	}
+	return int(float64(supersteps)*dilation + 0.5)
+}
+
+func fillOutputs(res *engine.Result, w engine.Workload, out *bsp.Output) {
+	switch w.Kind {
+	case engine.PageRank:
+		res.Ranks = out.Values
+	case engine.WCC:
+		res.Labels = bsp.LabelsFromValues(out.Values)
+	case engine.SSSP, engine.KHop:
+		res.Dist = bsp.DistancesFromValues(out.Values)
+	}
+}

@@ -1,0 +1,141 @@
+package blogel
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/enginetest"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+func TestVAllWorkloadsCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	enginetest.VerifyAllWorkloads(t, NewV(), f, 16, 1e-9, engine.Options{})
+}
+
+func TestVRoadNetworkAllSizes(t *testing.T) {
+	// §5.1: Blogel-V is the only system finishing SSSP/WCC on WRN
+	// across all cluster sizes, including 16 machines.
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	for _, m := range []int{16, 128} {
+		res := enginetest.RunOK(t, NewV(), f, m, engine.NewWCC(), engine.Options{})
+		enginetest.VerifyWCC(t, f, res)
+		res = enginetest.RunOK(t, NewV(), f, m, engine.NewSSSP(f.Dataset.Source), engine.Options{})
+		enginetest.VerifySSSP(t, f, res)
+	}
+}
+
+func TestVClueWebOnly128(t *testing.T) {
+	// §5.9: ClueWeb fits only in the 128-machine cluster, and only for
+	// Blogel-V; Giraph cannot even load it there.
+	f := enginetest.Prepare(t, datasets.ClueWeb, 10_000_000)
+	res := enginetest.RunOK(t, NewV(), f, 128, engine.NewPageRank(), engine.Options{})
+	if res.Status != sim.OK {
+		t.Fatalf("Blogel-V ClueWeb at 128: %v", res.Status)
+	}
+	small := NewV().Run(sim.NewSize(64), f.Dataset, engine.NewPageRank(), engine.Options{})
+	if small.Status != sim.OOM {
+		t.Errorf("Blogel-V ClueWeb at 64: status %v, want OOM", small.Status)
+	}
+	gir := pregel.New().Run(sim.NewSize(128), f.Dataset, engine.NewPageRank(), engine.Options{})
+	if gir.Status != sim.OOM {
+		t.Errorf("Giraph ClueWeb at 128: status %v, want OOM", gir.Status)
+	}
+}
+
+func TestBAllWorkloadsCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	b := NewB()
+	enginetest.VerifyWCC(t, f, enginetest.RunOK(t, b, f, 16, engine.NewWCC(), engine.Options{}))
+	enginetest.VerifySSSP(t, f, enginetest.RunOK(t, b, f, 16, engine.NewSSSP(f.Dataset.Source), engine.Options{}))
+	enginetest.VerifyKHop(t, f, enginetest.RunOK(t, b, f, 16, engine.NewKHop(f.Dataset.Source), engine.Options{}), 3)
+	// Two-step PageRank converges to the same fixpoint within
+	// tolerance, though through a worse path (§3.1.2).
+	w := engine.NewPageRank()
+	enginetest.VerifyPageRankRelative(t, f, enginetest.RunOK(t, b, f, 16, w, engine.Options{}), w, 0.1)
+}
+
+func TestBMPIOverflowOnWRNAndClueWeb(t *testing.T) {
+	// §5.1: GVD partitioning crashes with an MPI integer overflow on
+	// the billion-vertex datasets (WRN, ClueWeb), not on Twitter/UK.
+	wrn := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	res := NewB().Run(sim.NewSize(16), wrn.Dataset, engine.NewWCC(), engine.Options{})
+	if res.Status != sim.MPI {
+		t.Errorf("Blogel-B on WRN: status %v, want MPI", res.Status)
+	}
+	cw := enginetest.Prepare(t, datasets.ClueWeb, 10_000_000)
+	res = NewB().Run(sim.NewSize(128), cw.Dataset, engine.NewWCC(), engine.Options{})
+	if res.Status != sim.MPI {
+		t.Errorf("Blogel-B on ClueWeb: status %v, want MPI", res.Status)
+	}
+	uk := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	res = NewB().Run(sim.NewSize(32), uk.Dataset, engine.NewWCC(), engine.Options{})
+	if res.Status != sim.OK {
+		t.Errorf("Blogel-B on UK: status %v, want OK (%v)", res.Status, res.Err)
+	}
+}
+
+func TestBFasterExecutionThanVOnTraversals(t *testing.T) {
+	// §5.1: Blogel-B has the shortest execution time for reachability
+	// workloads (WCC/SSSP) thanks to Voronoi blocks.
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	bv := enginetest.RunOK(t, NewV(), f, 32, engine.NewWCC(), engine.Options{})
+	bb := enginetest.RunOK(t, NewB(), f, 32, engine.NewWCC(), engine.Options{})
+	if bb.Exec >= bv.Exec {
+		t.Errorf("Blogel-B exec %v not below Blogel-V %v", bb.Exec, bv.Exec)
+	}
+	// But end-to-end, the partitioning phase makes B slower (§5.1).
+	if bb.TotalTime() <= bv.TotalTime() {
+		t.Errorf("Blogel-B total %v should exceed Blogel-V %v (partitioning overhead)",
+			bb.TotalTime(), bv.TotalTime())
+	}
+}
+
+func TestFigure3SkipHDFSRoundTrip(t *testing.T) {
+	// Figure 3: piping partitions straight into execution cuts the
+	// load phase substantially (the paper reports ~50% of end-to-end).
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	std := enginetest.RunOK(t, NewB(), f, 16, engine.NewWCC(), engine.Options{})
+	mod := enginetest.RunOK(t, NewB(), f, 16, engine.NewWCC(), engine.Options{SkipHDFSRoundTrip: true})
+	if mod.Load >= std.Load {
+		t.Fatalf("modified Blogel load %v not below standard %v", mod.Load, std.Load)
+	}
+	reduction := (std.TotalTime() - mod.TotalTime()) / std.TotalTime()
+	if reduction < 0.15 {
+		t.Errorf("end-to-end reduction = %.0f%%, want a substantial cut (paper: ~50%%)", reduction*100)
+	}
+}
+
+func TestBPageRankSlowerThanV(t *testing.T) {
+	// §5.1: the two-step PageRank takes more iterations and more
+	// execution time than plain vertex-centric PageRank.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	bv := enginetest.RunOK(t, NewV(), f, 16, engine.NewPageRank(), engine.Options{})
+	bb := enginetest.RunOK(t, NewB(), f, 16, engine.NewPageRank(), engine.Options{})
+	if bb.Exec <= bv.Exec {
+		t.Errorf("Blogel-B PageRank exec %v should exceed Blogel-V %v", bb.Exec, bv.Exec)
+	}
+}
+
+func TestVBeatsGiraphEndToEnd(t *testing.T) {
+	// §5.1: Blogel-V has the best end-to-end performance — no Hadoop
+	// infrastructure, C++ libraries, small footprint.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	bv := enginetest.RunOK(t, NewV(), f, 16, engine.NewPageRank(), engine.Options{})
+	g := enginetest.RunOK(t, pregel.New(), f, 16, engine.NewPageRank(), engine.Options{})
+	if bv.TotalTime() >= g.TotalTime() {
+		t.Errorf("Blogel-V total %v not below Giraph %v", bv.TotalTime(), g.TotalTime())
+	}
+}
+
+func TestTable7ClueWebPhases(t *testing.T) {
+	// Table 7 reports Blogel-V phase times on ClueWeb at 128 machines;
+	// K-hop's execution is negligible next to its load time.
+	f := enginetest.Prepare(t, datasets.ClueWeb, 10_000_000)
+	khop := enginetest.RunOK(t, NewV(), f, 128, engine.NewKHop(f.Dataset.Source), engine.Options{})
+	if khop.Exec >= khop.Load {
+		t.Errorf("ClueWeb K-hop exec %v should be dwarfed by load %v (Table 7)", khop.Exec, khop.Load)
+	}
+}

@@ -1,0 +1,467 @@
+package blogel
+
+import (
+	"math"
+
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/hdfs"
+	"graphbench/internal/partition"
+	"graphbench/internal/sim"
+)
+
+// BEngine is Blogel-B, the block-centric mode.
+type BEngine struct {
+	Profile sim.Profile
+}
+
+// NewB returns Blogel-B with the default profile.
+func NewB() *BEngine { return &BEngine{Profile: Profile} }
+
+// Name implements engine.Engine.
+func (e *BEngine) Name() string { return "blogel-b" }
+
+// Run implements engine.Engine.
+func (e *BEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt engine.Options) *engine.Result {
+	res := &engine.Result{System: e.Name(), Dataset: d.Name, Workload: w, Machines: c.Size()}
+	if opt.SampleMemory {
+		c.EnableSampling()
+	}
+	prof := e.Profile
+	m := c.Size()
+
+	mark := c.Clock()
+	if err := c.Advance(prof.StartupSeconds(m)); err != nil {
+		res.Overhead = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Overhead = c.Clock() - mark
+
+	// Load + GVD partition phase (all part of load time, §5.1).
+	mark = c.Clock()
+	gr, err := d.LoadGraph(graph.FormatAdjLong)
+	if err != nil {
+		return res.Finish(c, err)
+	}
+	loaded, err := chargeLoad(c, &prof, d, gr, w, graph.FormatAdjLong)
+	if err != nil {
+		res.Load = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+
+	// GVD sampling aggregates per-vertex block assignments on the
+	// master through MPI, whose int buffer offsets overflow for
+	// billion-vertex graphs (§5.1: WRN and ClueWeb).
+	if float64(d.NumVertices)*d.Scale*4 > maxInt32 {
+		res.Load = c.Clock() - mark
+		return res.Finish(c, &sim.Failure{Status: sim.MPI,
+			Detail: "integer overflow aggregating GVD block assignments at the master"})
+	}
+	vor := partition.BuildVoronoi(gr, m, 11, partition.VoronoiOptions{})
+	if err := e.chargeVoronoi(c, d, gr, vor, opt); err != nil {
+		res.Load = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Load = c.Clock() - mark
+
+	// Execute block-centric computation.
+	mark = c.Clock()
+	bx := &bExec{cluster: c, prof: &prof, d: d, g: gr, vor: vor, w: w, res: res}
+	execErr := bx.run()
+	res.Exec = c.Clock() - mark
+	if execErr != nil {
+		return res.Finish(c, execErr)
+	}
+
+	mark = c.Clock()
+	resultBytes := int64(float64(gr.NumVertices()) * d.Scale * 16)
+	if err := c.Advance(hdfs.WriteSeconds(resultBytes, m, c.Config().DiskBW, c.Config().NetBW)); err != nil {
+		res.Save = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Save = c.Clock() - mark
+	c.FreeAll(loaded)
+	return res.Finish(c, nil)
+}
+
+// chargeVoronoi charges the GVD sampling rounds and — unless the
+// modified pipeline of Figure 3 is enabled — the write of partitioned
+// data back to HDFS and its re-read before execution, which the paper
+// found responsible for ~50% of end-to-end time.
+func (e *BEngine) chargeVoronoi(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph,
+	vor *partition.Voronoi, opt engine.Options) error {
+
+	m := c.Size()
+	prof := &e.Profile
+	edges := float64(gr.NumEdges()) * d.Scale
+	verts := float64(gr.NumVertices()) * d.Scale
+
+	// Each sampling round is a multi-source BFS sweep plus a master
+	// aggregation of block assignments.
+	for r := 0; r < vor.Rounds; r++ {
+		bfs := prof.EdgeSeconds(edges/float64(m)*prof.Imbalance, c.Config().Cores)
+		aggBytes := verts * 4 / float64(m)
+		costs := make([]sim.StepCost, m)
+		for i := range costs {
+			costs[i] = sim.StepCost{ComputeSeconds: bfs, NetSendBytes: aggBytes, NetRecvBytes: aggBytes}
+		}
+		if err := c.RunStep(costs); err != nil {
+			return err
+		}
+	}
+
+	if !opt.SkipHDFSRoundTrip {
+		// Partition output is many small per-block files: the write
+		// and re-read pay NameNode and seek overhead well beyond raw
+		// streaming bandwidth.
+		const partitionIOPenalty = 5
+		bytes := d.FileBytes(graph.FormatAdjLong)
+		write := hdfs.WriteSeconds(bytes, m, c.Config().DiskBW, c.Config().NetBW)
+		read := hdfs.ParallelReadSeconds(bytes, m, m, c.Config().DiskBW)
+		if err := c.Advance((write + read) * partitionIOPenalty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bExec runs the block-centric programs.
+type bExec struct {
+	cluster *sim.Cluster
+	prof    *sim.Profile
+	d       *engine.Dataset
+	g       *graph.Graph
+	vor     *partition.Voronoi
+	w       engine.Workload
+	res     *engine.Result
+}
+
+func (bx *bExec) run() error {
+	switch bx.w.Kind {
+	case engine.PageRank:
+		return bx.pageRank()
+	case engine.WCC:
+		return bx.wcc()
+	default:
+		return bx.traverse()
+	}
+}
+
+// chargeRound charges one block-level superstep: serial in-block edge
+// work, per-message CPU and network for cross-block traffic.
+func (bx *bExec) chargeRound(edgeOps, msgs float64, dilated bool) error {
+	c := bx.cluster
+	m := float64(c.Size())
+	p := bx.prof
+	dil := 1.0
+	if dilated {
+		dil = bx.d.DilationFor(bx.w.Kind)
+	}
+	compute := p.EdgeSeconds(edgeOps/m*p.Imbalance*bx.d.Scale, c.Config().Cores) +
+		p.MsgSeconds(2*msgs/m*p.Imbalance*bx.d.Scale, c.Config().Cores)
+	net := msgs / m * p.Imbalance * p.MsgBytes * bx.d.Scale
+	costs := make([]sim.StepCost, c.Size())
+	for i := range costs {
+		costs[i] = sim.StepCost{ComputeSeconds: compute, NetSendBytes: net, NetRecvBytes: net}
+	}
+	if err := c.RunStep(costs); err != nil {
+		return err
+	}
+	return c.Advance(p.SuperstepFixed * dil)
+}
+
+// undirectedBlockAdj returns the undirected block adjacency.
+func (bx *bExec) undirectedBlockAdj() [][]int32 {
+	nb := bx.vor.NumBlocks
+	adj := make([][]int32, nb)
+	seen := make([]map[int32]bool, nb)
+	add := func(a, b int32) {
+		if seen[a] == nil {
+			seen[a] = make(map[int32]bool)
+		}
+		if !seen[a][b] {
+			seen[a][b] = true
+			adj[a] = append(adj[a], b)
+		}
+	}
+	for b, es := range bx.vor.BlockEdges {
+		for nb2 := range es {
+			add(int32(b), nb2)
+			add(nb2, int32(b))
+		}
+	}
+	return adj
+}
+
+// wcc runs block-centric HashMin: one serial pass establishes each
+// block's minimum vertex id, then HashMin runs over the block graph —
+// O(block-graph diameter) supersteps instead of O(graph diameter),
+// Blogel-B's reachability win (§5.1).
+func (bx *bExec) wcc() error {
+	nb := bx.vor.NumBlocks
+	labels := make([]float64, nb)
+	for b := range labels {
+		labels[b] = math.Inf(1)
+	}
+	for v := 0; v < bx.g.NumVertices(); v++ {
+		b := bx.vor.BlockOf[v]
+		if float64(v) < labels[b] {
+			labels[b] = float64(v)
+		}
+	}
+	// In-block serial pass: every edge touched once.
+	if err := bx.chargeRound(float64(bx.g.NumEdges()), 0, false); err != nil {
+		return err
+	}
+
+	adj := bx.undirectedBlockAdj()
+	active := make([]bool, nb)
+	for b := range active {
+		active[b] = true
+	}
+	rounds := 0
+	for {
+		rounds++
+		var msgs, edgeOps float64
+		next := make([]bool, nb)
+		newLabels := make([]float64, nb)
+		copy(newLabels, labels)
+		changedAny := false
+		for b := 0; b < nb; b++ {
+			if !active[b] {
+				continue
+			}
+			edgeOps += float64(len(adj[b]))
+			msgs += float64(len(adj[b]))
+			for _, o := range adj[b] {
+				if labels[b] < newLabels[o] {
+					newLabels[o] = labels[b]
+					next[o] = true
+					changedAny = true
+				}
+			}
+		}
+		labels = newLabels
+		active = next
+		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: rounds, Active: nb})
+		if err := bx.chargeRound(edgeOps, msgs, true); err != nil {
+			return err
+		}
+		if !changedAny {
+			break
+		}
+	}
+	bx.res.Iterations = dilated(rounds, bx.d.DilationFor(engine.WCC))
+
+	out := make([]graph.VertexID, bx.g.NumVertices())
+	for v := range out {
+		out[v] = graph.VertexID(labels[bx.vor.BlockOf[v]])
+	}
+	bx.res.Labels = out
+	return nil
+}
+
+// traverse runs SSSP/K-hop: each round, blocks with pending distance
+// updates run a serial multi-source BFS internally, then ship boundary
+// improvements to neighboring blocks.
+func (bx *bExec) traverse() error {
+	n := bx.g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	bound := int32(math.MaxInt32)
+	if bx.w.Kind == engine.KHop {
+		bound = int32(bx.w.K)
+	}
+
+	dist[bx.d.Source] = 0
+	pending := map[int32][]graph.VertexID{bx.vor.BlockOf[bx.d.Source]: {bx.d.Source}}
+	rounds := 0
+	for len(pending) > 0 {
+		rounds++
+		var edgeOps, msgs float64
+		nextPending := make(map[int32][]graph.VertexID)
+		for block, seeds := range pending {
+			// Serial BFS within the block from the updated vertices.
+			frontier := seeds
+			for len(frontier) > 0 {
+				var next []graph.VertexID
+				for _, v := range frontier {
+					if dist[v] >= bound {
+						continue
+					}
+					for _, w := range bx.g.OutNeighbors(v) {
+						edgeOps++
+						nd := dist[v] + 1
+						if dist[w] != -1 && dist[w] <= nd {
+							continue
+						}
+						if bx.vor.BlockOf[w] == block {
+							dist[w] = nd
+							next = append(next, w)
+						} else {
+							// Boundary improvement shipped to the
+							// neighboring block for the next round.
+							msgs++
+							if dist[w] == -1 || nd < dist[w] {
+								dist[w] = nd
+								nextPending[bx.vor.BlockOf[w]] = append(nextPending[bx.vor.BlockOf[w]], w)
+							}
+						}
+					}
+				}
+				frontier = next
+			}
+		}
+		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: rounds, Active: len(pending)})
+		if err := bx.chargeRound(edgeOps, msgs, true); err != nil {
+			return err
+		}
+		pending = nextPending
+	}
+	bx.res.Iterations = dilated(rounds, bx.d.DilationFor(bx.w.Kind))
+	bx.res.Dist = dist
+	return nil
+}
+
+// pageRank runs the paper's two-step block PageRank (§3.1.2): local
+// PageRank inside each block, a vertex-centric PageRank over the block
+// graph with edge-count weights, then a full vertex-centric phase
+// seeded with pr(v)·pr(b). The initialization is poor, so the vertex
+// phase needs more iterations than plain PageRank — the reason Blogel-B
+// loses this workload (§5.1).
+func (bx *bExec) pageRank() error {
+	n := bx.g.NumVertices()
+	nb := bx.vor.NumBlocks
+	tol := bx.w.Tolerance
+	if tol <= 0 {
+		tol = 0.01
+	}
+
+	// Step 1a: local PageRank within blocks (internal edges only).
+	local := make([]float64, n)
+	for i := range local {
+		local[i] = 1
+	}
+	contrib := make([]float64, n)
+	localIters := 0
+	for ; localIters < 30; localIters++ {
+		maxDelta := 0.0
+		for v := 0; v < n; v++ {
+			internal := 0
+			for _, w := range bx.g.OutNeighbors(graph.VertexID(v)) {
+				if bx.vor.BlockOf[w] == bx.vor.BlockOf[v] {
+					internal++
+				}
+			}
+			if internal > 0 {
+				contrib[v] = local[v] / float64(internal)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
+				if bx.vor.BlockOf[u] == bx.vor.BlockOf[v] {
+					sum += contrib[u]
+				}
+			}
+			nv := bx.w.Damping + (1-bx.w.Damping)*sum
+			if d := math.Abs(nv - local[v]); d > maxDelta {
+				maxDelta = d
+			}
+			local[v] = nv
+		}
+		if err := bx.chargeRound(float64(bx.g.NumEdges()), 0, false); err != nil {
+			return err
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	// Step 1b: PageRank over the block graph, weighted by edge counts.
+	blockRank := make([]float64, nb)
+	for b := range blockRank {
+		blockRank[b] = 1
+	}
+	outW := make([]float64, nb)
+	for b, es := range bx.vor.BlockEdges {
+		for _, cnt := range es {
+			outW[b] += float64(cnt)
+		}
+	}
+	for it := 0; it < 30; it++ {
+		next := make([]float64, nb)
+		for b := range next {
+			next[b] = bx.w.Damping
+		}
+		for b, es := range bx.vor.BlockEdges {
+			if outW[b] == 0 {
+				continue
+			}
+			for o, cnt := range es {
+				next[o] += (1 - bx.w.Damping) * blockRank[b] * float64(cnt) / outW[b]
+			}
+		}
+		maxDelta := 0.0
+		for b := range next {
+			if d := math.Abs(next[b] - blockRank[b]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		blockRank = next
+		if err := bx.chargeRound(float64(bx.vor.CrossBlockEdges()), float64(bx.vor.CrossBlockEdges()), false); err != nil {
+			return err
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	// Step 2: vertex-centric PageRank seeded with pr(v)·pr(b).
+	ranks := make([]float64, n)
+	for v := 0; v < n; v++ {
+		ranks[v] = local[v] * blockRank[bx.vor.BlockOf[v]]
+	}
+	iters := 0
+	for {
+		iters++
+		for v := 0; v < n; v++ {
+			if d := bx.g.OutDegree(graph.VertexID(v)); d > 0 {
+				contrib[v] = ranks[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		maxDelta := 0.0
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
+				sum += contrib[u]
+			}
+			nv := bx.w.Damping + (1-bx.w.Damping)*sum
+			if d := math.Abs(nv - ranks[v]); d > maxDelta {
+				maxDelta = d
+			}
+			ranks[v] = nv
+		}
+		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: iters, Active: n})
+		// Step 2 is plain vertex-centric PageRank: every edge carries a
+		// rank message, so it pays the full per-message cost.
+		if err := bx.chargeRound(float64(bx.g.NumEdges()), float64(bx.g.NumEdges()), false); err != nil {
+			return err
+		}
+		if bx.w.MaxIterations > 0 && iters >= bx.w.MaxIterations {
+			break
+		}
+		if bx.w.MaxIterations <= 0 && maxDelta < tol {
+			break
+		}
+	}
+	bx.res.Iterations = localIters + iters
+	bx.res.Ranks = ranks
+	return nil
+}

@@ -1,0 +1,380 @@
+// Package bsp is the vertex-centric Bulk Synchronous Parallel runtime
+// shared by the Pregel-style engines (Giraph in internal/pregel,
+// Blogel-V in internal/blogel): per-machine vertex partitions, message
+// passing with optional sender-side combiners, vote-to-halt semantics,
+// aggregator-based stopping, and per-superstep resource charging
+// against the simulated cluster.
+//
+// The runtime performs the real computation (values and messages are
+// genuine) while charging modeled costs: CPU from vertex scans and
+// message handling; network from combined cross-machine message volume;
+// memory from receive buffers. Superstep wall time is the slowest
+// machine plus barrier cost — BSP's straggler behaviour.
+package bsp
+
+import (
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/sim"
+)
+
+// Program is a vertex program in the compute() style of Giraph and
+// Blogel-V (§2.1): one function invoked per active vertex per superstep.
+type Program interface {
+	// Init returns the vertex's initial value.
+	Init(v graph.VertexID) float64
+	// Compute processes the messages delivered to v this superstep.
+	Compute(ctx *Context, msgs []float64)
+}
+
+// Config describes one BSP execution.
+type Config struct {
+	Graph *graph.Graph
+	Scale float64 // paper-scale multiplier; defaults to the graph's
+
+	M           int                        // machines
+	MachineOf   func(v graph.VertexID) int // vertex placement
+	Profile     *sim.Profile               // cost profile
+	Program     Program
+	Combine     func(a, b float64) float64 // nil disables combining
+	CombineFrom int                        // first superstep combining applies (WCC: 1)
+
+	// ScanAll makes every superstep touch all owned vertices (Giraph's
+	// behaviour — the source of Table 6's per-iteration floor on WRN);
+	// when false only active vertices are touched (Blogel).
+	ScanAll bool
+
+	// UseInNeighbors exposes reverse edges to the program from
+	// superstep 1 on (the WCC reverse-edge discovery of §5.8).
+	UseInNeighbors bool
+
+	MaxSupersteps int // safety bound; <=0 means DefaultMaxSupersteps
+
+	// TimeDilation multiplies every superstep's charged time and
+	// network volume: one synthetic superstep stands for TimeDilation
+	// paper-scale supersteps (see engine.Dataset.IterDilation). Values
+	// below 1 are treated as 1. IterStat.Seconds is reported per
+	// paper-scale superstep (i.e. divided back by the dilation).
+	TimeDilation float64
+
+	// StopDeltaBelow stops after a superstep whose aggregated max
+	// delta is below the threshold (PageRank tolerance criterion).
+	StopDeltaBelow float64
+	// FixedSupersteps stops after exactly this many supersteps past
+	// superstep 0 (PageRank fixed-iteration criterion).
+	FixedSupersteps int
+
+	RecordIterStats bool
+}
+
+// DefaultMaxSupersteps bounds runaway executions; real runs end earlier
+// by quiescence, tolerance, fixed iteration count, or simulated timeout.
+const DefaultMaxSupersteps = 1 << 20
+
+// Output is the result of a BSP execution.
+type Output struct {
+	Values     []float64
+	Supersteps int // supersteps past the initial one (= iterations)
+	IterStats  []engine.IterStat
+	Messages   float64 // total messages produced (synthetic scale)
+}
+
+// Context is the per-vertex view handed to Program.Compute.
+type Context struct {
+	rt *runtime
+	v  graph.VertexID
+}
+
+// Superstep returns the current superstep, starting at 0.
+func (c *Context) Superstep() int { return c.rt.superstep }
+
+// Vertex returns the vertex id.
+func (c *Context) Vertex() graph.VertexID { return c.v }
+
+// Value returns the vertex's current value.
+func (c *Context) Value() float64 { return c.rt.values[c.v] }
+
+// SetValue updates the vertex's value.
+func (c *Context) SetValue(x float64) {
+	if c.rt.values[c.v] != x {
+		c.rt.updates++
+	}
+	c.rt.values[c.v] = x
+}
+
+// OutDegree returns the vertex's out-degree.
+func (c *Context) OutDegree() int { return c.rt.cfg.Graph.OutDegree(c.v) }
+
+// NumVertices returns the graph's vertex count.
+func (c *Context) NumVertices() int { return c.rt.cfg.Graph.NumVertices() }
+
+// Send delivers a message to dst for the next superstep.
+func (c *Context) Send(dst graph.VertexID, val float64) { c.rt.send(c.v, dst, val) }
+
+// SendToOut sends val to every out-neighbor.
+func (c *Context) SendToOut(val float64) {
+	for _, w := range c.rt.cfg.Graph.OutNeighbors(c.v) {
+		c.rt.send(c.v, w, val)
+	}
+}
+
+// SendToAllNeighbors sends val to out-neighbors and, when the run was
+// configured with reverse-edge discovery, to in-neighbors as well.
+func (c *Context) SendToAllNeighbors(val float64) {
+	c.SendToOut(val)
+	if c.rt.cfg.UseInNeighbors && c.rt.superstep >= 1 {
+		for _, w := range c.rt.cfg.Graph.InNeighbors(c.v) {
+			c.rt.send(c.v, w, val)
+		}
+	}
+}
+
+// VoteToHalt deactivates the vertex until a message arrives.
+func (c *Context) VoteToHalt() { c.rt.halted[c.v] = true }
+
+// AggregateMaxDelta feeds the superstep's max-delta aggregator, used by
+// the PageRank tolerance stopping criterion.
+func (c *Context) AggregateMaxDelta(d float64) {
+	if d > c.rt.maxDelta {
+		c.rt.maxDelta = d
+	}
+}
+
+type runtime struct {
+	cfg     Config
+	cluster *sim.Cluster
+
+	values []float64
+	halted []bool
+	owner  []int32 // vertex -> machine
+
+	inbox     [][]float64
+	nextInbox [][]float64
+
+	superstep int
+	updates   int
+	maxDelta  float64
+
+	// Per-superstep accounting. Totals are charged as cluster averages
+	// times the profile's imbalance factor: at paper scale, hash
+	// placement distributes load near-uniformly, and charging the tiny
+	// synthetic per-machine counts directly would make the straggler a
+	// granularity artifact rather than a property of the system.
+	sentTotal      float64 // raw messages produced (CPU at senders)
+	activeTotal    float64
+	deliveredTotal float64 // post-combine messages delivered
+	crossTotal     float64 // post-combine messages crossing machines
+
+	// Sender-side combiner state per (machine, dst): the superstep the
+	// slot was last written and the index of the slot in nextInbox[dst].
+	stamp   [][]int32
+	slotIdx [][]int32
+
+	totalMsgs       float64
+	lastStepSeconds float64
+}
+
+// Run executes the configured program on the cluster, charging costs as
+// it goes. It returns the output and the first failure encountered
+// (OOM while buffering messages, or TO), with the output reflecting
+// progress up to the failure.
+func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = DefaultMaxSupersteps
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = cfg.Graph.ScaleFactor()
+	}
+	if cfg.TimeDilation < 1 {
+		cfg.TimeDilation = 1
+	}
+	n := cfg.Graph.NumVertices()
+	rt := &runtime{
+		cfg:       cfg,
+		cluster:   cluster,
+		values:    make([]float64, n),
+		halted:    make([]bool, n),
+		inbox:     make([][]float64, n),
+		nextInbox: make([][]float64, n),
+		owner:     make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		rt.values[v] = cfg.Program.Init(graph.VertexID(v))
+		rt.owner[v] = int32(cfg.MachineOf(graph.VertexID(v)))
+	}
+	if cfg.Combine != nil {
+		rt.stamp = make([][]int32, cfg.M)
+		rt.slotIdx = make([][]int32, cfg.M)
+		for m := 0; m < cfg.M; m++ {
+			rt.stamp[m] = make([]int32, n)
+			for i := range rt.stamp[m] {
+				rt.stamp[m][i] = -1
+			}
+			rt.slotIdx[m] = make([]int32, n)
+		}
+	}
+
+	out := &Output{}
+	for rt.superstep = 0; rt.superstep < cfg.MaxSupersteps; rt.superstep++ {
+		active := rt.computePhase()
+		err := rt.chargeSuperstep()
+		if cfg.RecordIterStats {
+			out.IterStats = append(out.IterStats, engine.IterStat{
+				Iteration: rt.superstep,
+				Active:    active,
+				Updates:   rt.updates,
+				Seconds:   rt.lastStepSeconds,
+			})
+		}
+		if err != nil {
+			rt.fill(out)
+			return out, err
+		}
+		if rt.shouldStop(active) {
+			break
+		}
+		rt.deliver()
+	}
+	rt.fill(out)
+	return out, nil
+}
+
+func (rt *runtime) fill(out *Output) {
+	out.Values = rt.values
+	out.Supersteps = rt.superstep
+	out.Messages = rt.totalMsgs
+}
+
+// computePhase executes Compute for the active vertices and returns how
+// many ran.
+func (rt *runtime) computePhase() int {
+	n := rt.cfg.Graph.NumVertices()
+	rt.updates = 0
+	rt.maxDelta = 0
+	rt.sentTotal = 0
+	rt.activeTotal = 0
+	rt.deliveredTotal = 0
+	rt.crossTotal = 0
+	active := 0
+	ctx := Context{rt: rt}
+	for v := 0; v < n; v++ {
+		msgs := rt.inbox[v]
+		if rt.halted[v] && len(msgs) == 0 {
+			continue
+		}
+		rt.halted[v] = false
+		active++
+		ctx.v = graph.VertexID(v)
+		rt.cfg.Program.Compute(&ctx, msgs)
+		rt.inbox[v] = nil
+	}
+	rt.activeTotal = float64(active)
+	return active
+}
+
+func (rt *runtime) send(src, dst graph.VertexID, val float64) {
+	srcM := rt.owner[src]
+	dstM := rt.owner[dst]
+	rt.sentTotal++
+	rt.totalMsgs++
+
+	if rt.cfg.Combine != nil && rt.superstep >= rt.cfg.CombineFrom {
+		tag := int32(rt.superstep)
+		if rt.stamp[srcM][dst] == tag {
+			i := rt.slotIdx[srcM][dst]
+			rt.nextInbox[dst][i] = rt.cfg.Combine(rt.nextInbox[dst][i], val)
+			return // merged: no new wire message
+		}
+		rt.stamp[srcM][dst] = tag
+		rt.slotIdx[srcM][dst] = int32(len(rt.nextInbox[dst]))
+	}
+	rt.nextInbox[dst] = append(rt.nextInbox[dst], val)
+	rt.deliveredTotal++
+	if srcM != dstM {
+		rt.crossTotal++
+	}
+}
+
+// chargeSuperstep charges this superstep's modeled costs: per-machine
+// CPU for scans and message handling (inflated under memory pressure),
+// network for cross-machine traffic, memory for receive buffers, plus
+// the system's fixed coordination cost. Per-machine shares are the
+// cluster average times the profile's imbalance factor.
+func (rt *runtime) chargeSuperstep() error {
+	p := rt.cfg.Profile
+	cores := rt.cluster.Config().Cores
+	capacity := rt.cluster.Config().MemoryBytes
+	mf := float64(rt.cfg.M)
+	imb := p.Imbalance
+	if imb < 1 {
+		imb = 1
+	}
+
+	// Receive buffers live for the duration of the superstep.
+	bufPer := int64(rt.deliveredTotal / mf * imb * p.MsgMemBytes * rt.cfg.Scale)
+	var bufErr error
+	for m := 0; m < rt.cfg.M; m++ {
+		if err := rt.cluster.Alloc(m, bufPer); err != nil && bufErr == nil {
+			bufErr = err
+		}
+	}
+
+	scanned := rt.activeTotal
+	if rt.cfg.ScanAll {
+		scanned = float64(rt.cfg.Graph.NumVertices())
+	}
+	// Dilation stretches only the per-iteration fixed work (vertex
+	// scans, coordination): one synthetic superstep stands for dil
+	// paper supersteps of overhead. Message volume is not dilated —
+	// across a whole traversal it is O(|E|·updates), independent of
+	// the diameter, so the synthetic totals already reflect paper
+	// scale. This is Table 6's model: high-diameter runs are dominated
+	// by the per-iteration floor, not by message traffic.
+	dil := rt.cfg.TimeDilation
+	costs := make([]sim.StepCost, rt.cfg.M)
+	for m := 0; m < rt.cfg.M; m++ {
+		compute := p.ScanSeconds(scanned/mf*imb*rt.cfg.Scale, cores)*dil +
+			p.MsgSeconds((rt.sentTotal+rt.deliveredTotal)/mf*imb*rt.cfg.Scale, cores)
+		compute *= p.PressureFactor(rt.cluster.Machine(m).MemUsed(), capacity)
+		netBytes := rt.crossTotal / mf * imb * p.MsgBytes * rt.cfg.Scale
+		costs[m] = sim.StepCost{
+			ComputeSeconds: compute,
+			NetSendBytes:   netBytes,
+			NetRecvBytes:   netBytes,
+		}
+	}
+	before := rt.cluster.Clock()
+	err := rt.cluster.RunStep(costs)
+	if err == nil && p.SuperstepFixed > 0 {
+		err = rt.cluster.Advance(p.SuperstepFixed * dil)
+	}
+	rt.lastStepSeconds = (rt.cluster.Clock() - before) / dil
+	rt.cluster.FreeAll(bufPer)
+	if bufErr != nil {
+		return bufErr
+	}
+	return err
+}
+
+func (rt *runtime) deliver() {
+	rt.inbox, rt.nextInbox = rt.nextInbox, rt.inbox
+	for i := range rt.nextInbox {
+		rt.nextInbox[i] = nil
+	}
+}
+
+func (rt *runtime) shouldStop(active int) bool {
+	if active == 0 && rt.deliveredTotal == 0 {
+		return true // global quiescence
+	}
+	if rt.superstep == 0 {
+		return false
+	}
+	if rt.cfg.FixedSupersteps > 0 && rt.superstep >= rt.cfg.FixedSupersteps {
+		return true
+	}
+	if rt.cfg.StopDeltaBelow > 0 && rt.maxDelta < rt.cfg.StopDeltaBelow {
+		return true
+	}
+	return false
+}

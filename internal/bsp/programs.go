@@ -1,0 +1,180 @@
+package bsp
+
+import (
+	"math"
+
+	"graphbench/internal/graph"
+)
+
+// The four vertex programs of §3, written once against the BSP API and
+// shared by Giraph and Blogel-V — mirroring the paper's methodology of
+// keeping the algorithm uniform across systems.
+
+// SumCombine is the PageRank message combiner.
+func SumCombine(a, b float64) float64 { return a + b }
+
+// MinCombine is the WCC/SSSP/K-hop message combiner.
+func MinCombine(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PageRankProgram implements §3.1: pr(v) = δ + (1−δ)·Σ pr(u)/outdeg(u),
+// all vertices participating every iteration (the exact variant).
+type PageRankProgram struct {
+	Damping float64
+}
+
+// Init starts every vertex at rank 1.
+func (p *PageRankProgram) Init(graph.VertexID) float64 { return 1 }
+
+// Compute implements one PageRank superstep.
+func (p *PageRankProgram) Compute(ctx *Context, msgs []float64) {
+	if ctx.Superstep() == 0 {
+		if d := ctx.OutDegree(); d > 0 {
+			ctx.SendToOut(ctx.Value() / float64(d))
+		}
+		return
+	}
+	sum := 0.0
+	for _, m := range msgs {
+		sum += m
+	}
+	next := p.Damping + (1-p.Damping)*sum
+	d := next - ctx.Value()
+	if d < 0 {
+		d = -d
+	}
+	ctx.AggregateMaxDelta(d)
+	ctx.SetValue(next)
+	if deg := ctx.OutDegree(); deg > 0 {
+		ctx.SendToOut(next / float64(deg))
+	}
+}
+
+// WCCProgram implements HashMin (§3.2) with the paper's corrected
+// first-superstep behaviour: superstep 0 sends each vertex id along
+// out-edges, which both seeds label propagation and discovers reverse
+// edges; later supersteps propagate minima along edges in both
+// directions. Runs must set Config.UseInNeighbors and CombineFrom=1
+// (messages in the first superstep must not be combined, §5.8).
+type WCCProgram struct{}
+
+// Init labels each vertex with its own id.
+func (WCCProgram) Init(v graph.VertexID) float64 { return float64(v) }
+
+// Compute implements one HashMin superstep.
+func (WCCProgram) Compute(ctx *Context, msgs []float64) {
+	if ctx.Superstep() == 0 {
+		ctx.SendToOut(ctx.Value())
+		return // stay active so every vertex runs in superstep 1
+	}
+	min := ctx.Value()
+	for _, m := range msgs {
+		if m < min {
+			min = m
+		}
+	}
+	switch {
+	case min < ctx.Value():
+		ctx.SetValue(min)
+		ctx.SendToAllNeighbors(min)
+	case ctx.Superstep() == 1:
+		// Unchanged, but neighbors still need this vertex's label once.
+		ctx.SendToAllNeighbors(ctx.Value())
+	}
+	ctx.VoteToHalt()
+}
+
+// SSSPProgram implements §3.3's BFS-style SSSP: hop distances from
+// Source, one frontier level per superstep.
+type SSSPProgram struct {
+	Source graph.VertexID
+}
+
+// Init sets every distance to +Inf.
+func (p *SSSPProgram) Init(graph.VertexID) float64 { return math.Inf(1) }
+
+// Compute implements one SSSP superstep.
+func (p *SSSPProgram) Compute(ctx *Context, msgs []float64) {
+	if ctx.Superstep() == 0 {
+		if ctx.Vertex() == p.Source {
+			ctx.SetValue(0)
+			ctx.SendToOut(1)
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	min := ctx.Value()
+	for _, m := range msgs {
+		if m < min {
+			min = m
+		}
+	}
+	if min < ctx.Value() {
+		ctx.SetValue(min)
+		ctx.SendToOut(min + 1)
+	}
+	ctx.VoteToHalt()
+}
+
+// KHopProgram is SSSP truncated at K hops (§3.3; the paper uses K=3).
+type KHopProgram struct {
+	Source graph.VertexID
+	K      int
+}
+
+// Init sets every distance to +Inf.
+func (p *KHopProgram) Init(graph.VertexID) float64 { return math.Inf(1) }
+
+// Compute implements one bounded-BFS superstep.
+func (p *KHopProgram) Compute(ctx *Context, msgs []float64) {
+	if ctx.Superstep() == 0 {
+		if ctx.Vertex() == p.Source {
+			ctx.SetValue(0)
+			if p.K > 0 {
+				ctx.SendToOut(1)
+			}
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	min := ctx.Value()
+	for _, m := range msgs {
+		if m < min {
+			min = m
+		}
+	}
+	if min < ctx.Value() {
+		ctx.SetValue(min)
+		if int(min)+1 <= p.K {
+			ctx.SendToOut(min + 1)
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// DistancesFromValues converts float vertex values to the int32 hop
+// distances used by the oracles (-1 for unreached).
+func DistancesFromValues(values []float64) []int32 {
+	out := make([]int32, len(values))
+	for i, v := range values {
+		if math.IsInf(v, 1) {
+			out[i] = -1
+		} else {
+			out[i] = int32(v)
+		}
+	}
+	return out
+}
+
+// LabelsFromValues converts float vertex values to WCC labels.
+func LabelsFromValues(values []float64) []graph.VertexID {
+	out := make([]graph.VertexID, len(values))
+	for i, v := range values {
+		out[i] = graph.VertexID(v)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+// Package core is the experiment framework that ties the repository
+// together: the registry of the systems under study (with the paper's
+// run-label variants), cached dataset fixtures, and a runner that
+// executes (system × workload × dataset × cluster size) grids on fresh
+// simulated clusters.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"graphbench/internal/blogel"
+	"graphbench/internal/dataflow"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/gas"
+	"graphbench/internal/graphx"
+	"graphbench/internal/haloop"
+	"graphbench/internal/hdfs"
+	"graphbench/internal/mapreduce"
+	"graphbench/internal/pregel"
+	"graphbench/internal/relational"
+	"graphbench/internal/sim"
+)
+
+// ClusterSizes are the paper's scale-out points (Table 2).
+var ClusterSizes = []int{16, 32, 64, 128}
+
+// System is one entry of the study: an engine constructor plus the
+// option variant it runs under, labeled as in the paper's figures.
+type System struct {
+	Key   string // stable identifier, e.g. "gl-s-r-t"
+	Label string // figure abbreviation, e.g. "GL-S-R-T"
+	New   func() engine.Engine
+	Opt   engine.Options
+
+	// Tweak adjusts the workload (e.g. the fixed-iteration PageRank
+	// variants). May be nil.
+	Tweak func(w engine.Workload) engine.Workload
+
+	// PageRankOnly marks variants the paper only evaluates on PageRank
+	// (the asynchronous and tolerance/iteration GraphLab variants).
+	PageRankOnly bool
+}
+
+func fixedIters(n int) func(engine.Workload) engine.Workload {
+	return func(w engine.Workload) engine.Workload {
+		if w.Kind == engine.PageRank {
+			w.Tolerance = 0
+			w.MaxIterations = n
+		}
+		return w
+	}
+}
+
+// Systems returns the full registry in the paper's figure order. The
+// GraphLab entries mirror the six variants of §5: (A/S)ync × (A/R)
+// partitioning × (T/I) stopping.
+func Systems() []System {
+	newGelly := func() engine.Engine { return dataflow.New() }
+	return []System{
+		{Key: "blogel-b", Label: "BB", New: func() engine.Engine { return blogel.NewB() }},
+		{Key: "blogel-v", Label: "BV", New: func() engine.Engine { return blogel.NewV() }},
+		{Key: "giraph", Label: "G", New: func() engine.Engine { return pregel.New() }},
+		{Key: "gl-a-a-t", Label: "GL-A-A-T", New: func() engine.Engine { return gas.New() },
+			Opt: engine.Options{Async: true, Partitioning: "auto"}, PageRankOnly: true},
+		{Key: "gl-a-r-t", Label: "GL-A-R-T", New: func() engine.Engine { return gas.New() },
+			Opt: engine.Options{Async: true}, PageRankOnly: true},
+		{Key: "gl-s-a-i", Label: "GL-S-A-I", New: func() engine.Engine { return gas.New() },
+			Opt: engine.Options{Partitioning: "auto"}, Tweak: fixedIters(30)},
+		{Key: "gl-s-a-t", Label: "GL-S-A-T", New: func() engine.Engine { return gas.New() },
+			Opt: engine.Options{Partitioning: "auto"}, PageRankOnly: true},
+		{Key: "gl-s-r-i", Label: "GL-S-R-I", New: func() engine.Engine { return gas.New() },
+			Tweak: fixedIters(30)},
+		{Key: "gl-s-r-t", Label: "GL-S-R-T", New: func() engine.Engine { return gas.New() },
+			PageRankOnly: true},
+		{Key: "hadoop", Label: "HD", New: func() engine.Engine { return mapreduce.New() }},
+		{Key: "haloop", Label: "HL", New: func() engine.Engine { return haloop.New() }},
+		{Key: "graphx", Label: "S", New: func() engine.Engine { return graphx.New() }},
+		{Key: "gelly", Label: "FG", New: newGelly},
+	}
+}
+
+// MainGridSystems returns the systems of Figures 5 and 7–9 (non-
+// PageRank workloads): the GraphLab iteration variants only.
+func MainGridSystems() []System {
+	var out []System
+	for _, s := range Systems() {
+		if !s.PageRankOnly {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SystemByKey returns the registered system with the given key.
+func SystemByKey(key string) (System, error) {
+	for _, s := range Systems() {
+		if s.Key == key {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("core: unknown system %q", key)
+}
+
+// Vertica returns the relational system entry. It is kept out of the
+// main grid, as in the paper (§5.11: trial license, Figures 12–13 only).
+func Vertica() System {
+	return System{Key: "vertica", Label: "V", New: func() engine.Engine { return relational.New() }}
+}
+
+// Runner executes experiments at a fixed dataset scale, caching
+// prepared fixtures.
+type Runner struct {
+	Scale float64
+	Seed  int64
+
+	mu       sync.Mutex
+	fixtures map[datasets.Name]*engine.Dataset
+}
+
+// NewRunner returns a Runner at the given reduction scale (0 means
+// datasets.DefaultScale).
+func NewRunner(scale float64, seed int64) *Runner {
+	if scale <= 0 {
+		scale = datasets.DefaultScale
+	}
+	return &Runner{Scale: scale, Seed: seed, fixtures: make(map[datasets.Name]*engine.Dataset)}
+}
+
+// Dataset returns the prepared fixture for name, generating it on
+// first use.
+func (r *Runner) Dataset(name datasets.Name) *engine.Dataset {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.fixtures[name]; ok {
+		return d
+	}
+	g := datasets.Generate(name, datasets.Options{Scale: r.Scale, Seed: r.Seed})
+	fs := hdfs.New()
+	src := datasets.SourceVertex(g, 42)
+	d, err := engine.Prepare(fs, g, "data/"+string(name), 64, src)
+	if err != nil {
+		panic(fmt.Sprintf("core: preparing %s: %v", name, err))
+	}
+	d.DilationSSSP = datasets.TraversalDilation(name, g, src)
+	d.DilationWCC = datasets.WCCDilation(name, g)
+	r.fixtures[name] = d
+	return d
+}
+
+// Workload builds the workload instance for a dataset (the source
+// vertex is per dataset, §3.3).
+func (r *Runner) Workload(kind engine.Kind, name datasets.Name) engine.Workload {
+	d := r.Dataset(name)
+	switch kind {
+	case engine.PageRank:
+		return engine.NewPageRank()
+	case engine.WCC:
+		return engine.NewWCC()
+	case engine.SSSP:
+		return engine.NewSSSP(d.Source)
+	default:
+		return engine.NewKHop(d.Source)
+	}
+}
+
+// Run executes one experiment on a fresh cluster.
+func (r *Runner) Run(s System, name datasets.Name, kind engine.Kind, machines int) *engine.Result {
+	d := r.Dataset(name)
+	w := r.Workload(kind, name)
+	if s.Tweak != nil {
+		w = s.Tweak(w)
+	}
+	opt := s.Opt
+	// GraphX runs with the paper's tuned partition counts (Table 5)
+	// unless the experiment overrides them.
+	if s.Key == "graphx" && opt.NumPartitions == 0 {
+		opt.NumPartitions = graphx.TunedPartitions(d, machines)
+	}
+	res := s.New().Run(sim.NewSize(machines), d, w, opt)
+	res.System = s.Label
+	return res
+}
+
+// Cell identifies one grid entry.
+type Cell struct {
+	System   System
+	Dataset  datasets.Name
+	Kind     engine.Kind
+	Machines int
+}
+
+// RunGrid executes the cells concurrently (each on its own simulated
+// cluster) and returns results in the input order.
+func (r *Runner) RunGrid(cells []Cell) []*engine.Result {
+	out := make([]*engine.Result, len(cells))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		// Warm the fixture cache serially to keep generation single.
+		r.Dataset(c.Dataset)
+		wg.Add(1)
+		go func(i int, c Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = r.Run(c.System, c.Dataset, c.Kind, c.Machines)
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}
+
+// BestParallel returns the completed result with the smallest total
+// time among the given results, or nil if none completed.
+func BestParallel(results []*engine.Result) *engine.Result {
+	var best *engine.Result
+	for _, res := range results {
+		if res == nil || res.Status != sim.OK {
+			continue
+		}
+		if best == nil || res.TotalTime() < best.TotalTime() {
+			best = res
+		}
+	}
+	return best
+}
+
+// SortedKeys returns the registry keys, sorted — a convenience for CLIs.
+func SortedKeys() []string {
+	var keys []string
+	for _, s := range Systems() {
+		keys = append(keys, s.Key)
+	}
+	keys = append(keys, Vertica().Key)
+	sort.Strings(keys)
+	return keys
+}

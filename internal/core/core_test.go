@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/sim"
+)
+
+func TestRegistryLabels(t *testing.T) {
+	systems := Systems()
+	if len(systems) != 13 {
+		t.Fatalf("registry has %d systems, want 13 (8 systems, GL in 6 variants)", len(systems))
+	}
+	seen := map[string]bool{}
+	for _, s := range systems {
+		if seen[s.Key] {
+			t.Errorf("duplicate key %q", s.Key)
+		}
+		seen[s.Key] = true
+		if s.New == nil {
+			t.Errorf("%s has no constructor", s.Key)
+		}
+	}
+	// The paper's non-PageRank grids use only the GL iteration variants.
+	main := MainGridSystems()
+	for _, s := range main {
+		if s.PageRankOnly {
+			t.Errorf("%s leaked into the main grid", s.Key)
+		}
+	}
+	if len(main) != 9 {
+		t.Errorf("main grid has %d systems, want 9", len(main))
+	}
+}
+
+func TestSystemByKey(t *testing.T) {
+	if _, err := SystemByKey("giraph"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SystemByKey("nope"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if Vertica().Label != "V" {
+		t.Fatal("vertica label")
+	}
+}
+
+func TestRunnerFixtureCache(t *testing.T) {
+	r := NewRunner(2_000_000, 1)
+	a := r.Dataset(datasets.Twitter)
+	b := r.Dataset(datasets.Twitter)
+	if a != b {
+		t.Fatal("fixture not cached")
+	}
+	if a.DilationSSSP < 1 || a.DilationWCC < 1 {
+		t.Fatalf("dilations not set: %+v", a)
+	}
+}
+
+func TestRunnerDefaultScale(t *testing.T) {
+	if r := NewRunner(0, 1); r.Scale != datasets.DefaultScale {
+		t.Fatalf("Scale = %v", r.Scale)
+	}
+}
+
+func TestWorkloadPerDataset(t *testing.T) {
+	r := NewRunner(2_000_000, 1)
+	w := r.Workload(engine.SSSP, datasets.Twitter)
+	if w.Source != r.Dataset(datasets.Twitter).Source {
+		t.Fatal("SSSP source not wired to the dataset")
+	}
+	if k := r.Workload(engine.KHop, datasets.Twitter); k.K != 3 {
+		t.Fatal("K != 3")
+	}
+}
+
+func TestRunAndGrid(t *testing.T) {
+	r := NewRunner(2_000_000, 1)
+	s, _ := SystemByKey("blogel-v")
+	res := r.Run(s, datasets.Twitter, engine.KHop, 16)
+	if res.Status != sim.OK {
+		t.Fatalf("run failed: %v", res.Status)
+	}
+	if res.System != "BV" {
+		t.Fatalf("result label = %q", res.System)
+	}
+
+	cells := []Cell{
+		{System: s, Dataset: datasets.Twitter, Kind: engine.KHop, Machines: 16},
+		{System: s, Dataset: datasets.Twitter, Kind: engine.KHop, Machines: 32},
+	}
+	results := r.RunGrid(cells)
+	if len(results) != 2 || results[0] == nil || results[1] == nil {
+		t.Fatal("grid lost results")
+	}
+	if results[0].Machines != 16 || results[1].Machines != 32 {
+		t.Fatal("grid order not preserved")
+	}
+}
+
+func TestGLVariantTweaks(t *testing.T) {
+	s, _ := SystemByKey("gl-s-r-i")
+	w := s.Tweak(engine.NewPageRank())
+	if w.MaxIterations != 30 || w.Tolerance != 0 {
+		t.Fatalf("iteration variant tweak = %+v", w)
+	}
+	// Non-PageRank workloads pass through unchanged.
+	if w := s.Tweak(engine.NewWCC()); w.MaxIterations != 0 {
+		t.Fatalf("WCC tweaked: %+v", w)
+	}
+}
+
+func TestBestParallel(t *testing.T) {
+	ok1 := &engine.Result{Status: sim.OK, Exec: 50}
+	ok2 := &engine.Result{Status: sim.OK, Exec: 20}
+	bad := &engine.Result{Status: sim.OOM, Exec: 1}
+	if best := BestParallel([]*engine.Result{ok1, ok2, bad, nil}); best != ok2 {
+		t.Fatalf("BestParallel picked %+v", best)
+	}
+	if best := BestParallel([]*engine.Result{bad}); best != nil {
+		t.Fatal("failed run selected")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys()
+	if len(keys) != 14 {
+		t.Fatalf("%d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys not sorted")
+		}
+	}
+}

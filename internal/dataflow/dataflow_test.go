@@ -1,0 +1,99 @@
+package dataflow
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/enginetest"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+func TestAllWorkloadsCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	g := New()
+	w := engine.NewPageRank()
+	enginetest.VerifyPageRank(t, f, enginetest.RunOK(t, g, f, 16, w, engine.Options{}), w, 1e-9)
+	g.Restart()
+	enginetest.VerifyWCC(t, f, enginetest.RunOK(t, g, f, 16, engine.NewWCC(), engine.Options{}))
+	g.Restart()
+	enginetest.VerifySSSP(t, f, enginetest.RunOK(t, g, f, 16, engine.NewSSSP(f.Dataset.Source), engine.Options{}))
+	g.Restart()
+	enginetest.VerifyKHop(t, f, enginetest.RunOK(t, g, f, 16, engine.NewKHop(f.Dataset.Source), engine.Options{}), 3)
+}
+
+func TestMemoryLeakAcrossJobs(t *testing.T) {
+	// §5.7: Flink does not reclaim memory between workloads and
+	// eventually fails; the paper restarted it after each workload.
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	g := New()
+	w := engine.NewKHop(f.Dataset.Source)
+	sawFailure := false
+	for i := 0; i < 6; i++ {
+		res := g.Run(sim.NewSize(32), f.Dataset, w, engine.Options{})
+		if res.Status == sim.OOM {
+			sawFailure = true
+			break
+		}
+	}
+	if !sawFailure {
+		t.Fatal("six consecutive jobs without restart never hit the leak OOM")
+	}
+	// After a restart everything works again.
+	g.Restart()
+	res := g.Run(sim.NewSize(32), f.Dataset, w, engine.Options{})
+	if res.Status != sim.OK {
+		t.Fatalf("after restart: %v", res.Status)
+	}
+}
+
+func TestLowFrameworkOverhead(t *testing.T) {
+	// §5.7: Gelly's job overhead is small next to Giraph's
+	// Hadoop-based startup.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	fg := enginetest.RunOK(t, New(), f, 64, engine.NewKHop(f.Dataset.Source), engine.Options{})
+	gir := enginetest.RunOK(t, pregel.New(), f, 64, engine.NewKHop(f.Dataset.Source), engine.Options{})
+	if fg.Overhead >= gir.Overhead {
+		t.Errorf("Gelly overhead %v not below Giraph %v", fg.Overhead, gir.Overhead)
+	}
+}
+
+func TestWRNWCCTimeoutMatrix(t *testing.T) {
+	// §5.8: Gelly WCC on WRN times out at 16/32/64 machines and
+	// finishes in slightly less than 24 hours at 128.
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	for _, m := range []int{16, 64} {
+		res := New().Run(sim.NewSize(m), f.Dataset, engine.NewWCC(), engine.Options{})
+		if res.Status != sim.TO {
+			t.Errorf("Gelly WRN WCC at %d: status %v, want TO", m, res.Status)
+		}
+	}
+	res := New().Run(sim.NewSize(128), f.Dataset, engine.NewWCC(), engine.Options{})
+	if res.Status != sim.OK {
+		t.Fatalf("Gelly WRN WCC at 128: status %v, want OK (%v)", res.Status, res.Err)
+	}
+	if res.Exec < 10*3600 {
+		t.Errorf("Gelly WRN WCC at 128 took %.0fs; paper reports slightly under 24 hours", res.Exec)
+	}
+}
+
+func TestUKWCCAllSizes(t *testing.T) {
+	// §5.8: Gelly finished WCC for Twitter and UK in all clusters.
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	for _, m := range []int{16, 128} {
+		res := New().Run(sim.NewSize(m), f.Dataset, engine.NewWCC(), engine.Options{})
+		if res.Status != sim.OK {
+			t.Errorf("Gelly UK WCC at %d: status %v, want OK (%v)", m, res.Status, res.Err)
+		}
+	}
+}
+
+func TestClueWebFails(t *testing.T) {
+	// §5.9: Gelly could not finish ClueWeb even at 128 machines.
+	f := enginetest.Prepare(t, datasets.ClueWeb, 10_000_000)
+	res := New().Run(sim.NewSize(128), f.Dataset, engine.NewPageRank(), engine.Options{})
+	if res.Status == sim.OK {
+		t.Fatal("Gelly ClueWeb PageRank at 128 should not complete")
+	}
+}

@@ -1,0 +1,188 @@
+package datasets
+
+import (
+	"testing"
+
+	"graphbench/internal/graph"
+)
+
+const testScale = 200_000 // small graphs keep the test suite fast
+
+func TestDeterministic(t *testing.T) {
+	for _, name := range AllNames() {
+		a := Generate(name, Options{Scale: testScale, Seed: 7})
+		b := Generate(name, Options{Scale: testScale, Seed: 7})
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: generation not deterministic", name)
+		}
+		for v := 0; v < a.NumVertices(); v++ {
+			an, bn := a.OutNeighbors(graph.VertexID(v)), b.OutNeighbors(graph.VertexID(v))
+			if len(an) != len(bn) {
+				t.Fatalf("%s: vertex %d degree differs across runs", name, v)
+			}
+			for i := range an {
+				if an[i] != bn[i] {
+					t.Fatalf("%s: vertex %d adjacency differs across runs", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesGraph(t *testing.T) {
+	a := Generate(Twitter, Options{Scale: testScale, Seed: 1})
+	b := Generate(Twitter, Options{Scale: testScale, Seed: 2})
+	same := a.NumEdges() == b.NumEdges()
+	if same {
+		diff := false
+		for v := 0; v < a.NumVertices() && !diff; v++ {
+			an, bn := a.OutNeighbors(graph.VertexID(v)), b.OutNeighbors(graph.VertexID(v))
+			if len(an) != len(bn) {
+				diff = true
+				break
+			}
+			for i := range an {
+				if an[i] != bn[i] {
+					diff = true
+					break
+				}
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical Twitter graphs")
+		}
+	}
+}
+
+func TestRelativeSizes(t *testing.T) {
+	cat := Catalog(testScale, 1)
+	tw, uk, cw, rn := cat[Twitter], cat[UK], cat[ClueWeb], cat[WRN]
+
+	if !(cw.NumEdges() > uk.NumEdges() && uk.NumEdges() > tw.NumEdges()) {
+		t.Errorf("edge ordering violated: clueweb=%d uk=%d twitter=%d",
+			cw.NumEdges(), uk.NumEdges(), tw.NumEdges())
+	}
+	// WRN and ClueWeb are the vertex-heavy datasets (drives Blogel-B's
+	// MPI overflow and WCC memory pressure).
+	if !(rn.NumVertices() > uk.NumVertices() && rn.NumVertices() > tw.NumVertices()) {
+		t.Errorf("WRN should have the most vertices after ClueWeb: wrn=%d uk=%d tw=%d",
+			rn.NumVertices(), uk.NumVertices(), tw.NumVertices())
+	}
+	if cw.NumVertices() < rn.NumVertices() {
+		t.Errorf("ClueWeb should have at least as many vertices as WRN: %d < %d",
+			cw.NumVertices(), rn.NumVertices())
+	}
+}
+
+func TestDegreeShape(t *testing.T) {
+	cat := Catalog(testScale, 1)
+
+	twStats := cat[Twitter].Stats()
+	rnStats := cat[WRN].Stats()
+
+	if twStats.AvgOutDegree < 10 {
+		t.Errorf("twitter avg degree = %.1f, want >= 10 (paper: 35)", twStats.AvgOutDegree)
+	}
+	if rnStats.AvgOutDegree > 2.0 {
+		t.Errorf("wrn avg degree = %.2f, want <= 2 (paper: 1.05)", rnStats.AvgOutDegree)
+	}
+	if rnStats.MaxOutDegree > 16 {
+		t.Errorf("wrn max degree = %d, want bounded (paper: 9)", rnStats.MaxOutDegree)
+	}
+	// Power-law skew: Twitter's hub dwarfs the average.
+	if float64(twStats.MaxOutDegree) < 20*twStats.AvgOutDegree {
+		t.Errorf("twitter max degree %d not skewed vs avg %.1f", twStats.MaxOutDegree, twStats.AvgOutDegree)
+	}
+}
+
+func TestDiameterShape(t *testing.T) {
+	cat := Catalog(testScale, 1)
+	dTw := graph.EstimateDiameter(cat[Twitter], 2, 1)
+	dRn := graph.EstimateDiameter(cat[WRN], 2, 1)
+	if dRn < 20*dTw {
+		t.Errorf("WRN diameter (%d) should dwarf Twitter's (%d)", dRn, dTw)
+	}
+	if dRn < 50 {
+		t.Errorf("WRN diameter = %d, want a long-diameter road analogue", dRn)
+	}
+}
+
+func TestTwitterGiantComponent(t *testing.T) {
+	g := Generate(Twitter, Options{Scale: testScale, Seed: 1})
+	if f := graph.LargestComponentFraction(g); f < 0.999 {
+		t.Errorf("twitter largest component fraction = %.4f, want ~1.0 (single giant component)", f)
+	}
+}
+
+func TestSelfEdgesPresence(t *testing.T) {
+	if g := Generate(Twitter, Options{Scale: testScale, Seed: 1}); g.SelfEdges() == 0 {
+		t.Error("twitter analogue should contain self-edges (GraphLab limitation, paper §3.1.1)")
+	}
+	if g := Generate(WRN, Options{Scale: testScale, Seed: 1}); g.SelfEdges() != 0 {
+		t.Error("road network should not contain self-edges")
+	}
+}
+
+func TestScaleFactorRecorded(t *testing.T) {
+	g := Generate(UK, Options{Scale: 50_000, Seed: 1})
+	if g.ScaleFactor() != 50_000 {
+		t.Fatalf("ScaleFactor = %v, want 50000", g.ScaleFactor())
+	}
+	if g.Name() != string(UK) {
+		t.Fatalf("Name = %q, want %q", g.Name(), UK)
+	}
+}
+
+func TestSpecForPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SpecFor(unknown) should panic")
+		}
+	}()
+	SpecFor(Name("nope"))
+}
+
+func TestSourceVertexDeterministicAndUseful(t *testing.T) {
+	g := Generate(WRN, Options{Scale: testScale, Seed: 1})
+	s1 := SourceVertex(g, 42)
+	s2 := SourceVertex(g, 42)
+	if s1 != s2 {
+		t.Fatalf("SourceVertex not deterministic: %d vs %d", s1, s2)
+	}
+	reach := 0
+	for _, d := range graph.BFSDistances(g, s1) {
+		if d >= 0 {
+			reach++
+		}
+	}
+	if reach < g.NumVertices()/100 {
+		t.Errorf("source vertex reaches only %d of %d vertices", reach, g.NumVertices())
+	}
+}
+
+func TestGenerateTinyScaleStillValid(t *testing.T) {
+	// Extremely aggressive scales must still produce a usable graph.
+	for _, name := range AllNames() {
+		g := Generate(name, Options{Scale: 1e12, Seed: 1})
+		if g.NumVertices() < 16 {
+			t.Errorf("%s: tiny-scale graph has %d vertices, want >= 16", name, g.NumVertices())
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: tiny-scale graph has no edges", name)
+		}
+	}
+}
+
+func TestPaperSpecValues(t *testing.T) {
+	// Guard the transcription of Table 3.
+	tw := SpecFor(Twitter)
+	if tw.PaperEdges != 1_460_000_000 || tw.PaperDiameter != 5.29 {
+		t.Errorf("twitter spec drifted: %+v", tw)
+	}
+	if SpecFor(ClueWeb).PaperEdges != 42_500_000_000 {
+		t.Errorf("clueweb spec drifted")
+	}
+	if SpecFor(WRN).PaperDiameter != 48_000 {
+		t.Errorf("wrn spec drifted")
+	}
+}

@@ -1,0 +1,103 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"graphbench/internal/graph"
+)
+
+// generatePowerLaw builds a social/web graph analogue with an R-MAT style
+// recursive generator. The skew parameter controls how extreme the
+// degree distribution is (Twitter's max degree is ~7% of |V|, UK's is
+// ~1%). For the web graphs a locality fraction of edges is redirected to
+// nearby vertex ids, modelling host-local hyperlinks (the structure that
+// URL-prefix and Voronoi partitioners exploit), which also leaves the
+// web graphs with more than one component.
+func generatePowerLaw(spec Spec, n, e int, scale float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	b.SetName(string(spec.Name)).SetScaleFactor(scale).Dedupe(false)
+
+	// Round n up to a power of two for the quadrant recursion; samples
+	// that land outside [0,n) are rejected.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	a := spec.skew
+	bq := (1 - a) / 3
+	cq := bq
+	// Remaining mass on the d quadrant.
+
+	selfLoops := int(float64(e) * spec.selfLoop)
+	local := int(float64(e) * spec.locality)
+	plain := e - selfLoops - local
+
+	for i := 0; i < plain; i++ {
+		src, dst := rmatEdge(pow, a, bq, cq, rng)
+		for src >= n || dst >= n {
+			src, dst = rmatEdge(pow, a, bq, cq, rng)
+		}
+		b.AddEdge(graph.VertexID(src), graph.VertexID(dst))
+	}
+
+	// Host-local edges: destination within a small window of the
+	// source. Window size ~ sqrt(n) mimics host-sized clusters of
+	// pages. Sources follow the same skewed distribution as the global
+	// links — hub pages carry most of the out-links — so locality does
+	// not flatten the degree distribution (vertex-cut replication
+	// factors depend on it; Table 4).
+	window := 2
+	for window*window < n {
+		window++
+	}
+	for i := 0; i < local; i++ {
+		src, _ := rmatEdge(pow, a, bq, cq, rng)
+		for src >= n {
+			src, _ = rmatEdge(pow, a, bq, cq, rng)
+		}
+		off := rng.Intn(2*window+1) - window
+		dst := src + off
+		if dst < 0 || dst >= n || dst == src {
+			dst = (src + 1) % n
+		}
+		b.AddEdge(graph.VertexID(src), graph.VertexID(dst))
+	}
+
+	for i := 0; i < selfLoops; i++ {
+		v := rng.Intn(n)
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v))
+	}
+
+	if spec.connected {
+		// A random cycle through all vertices guarantees a single giant
+		// component (Twitter's structure, §4.4.1) at the cost of |V|
+		// extra edges — negligible next to |E| at avg degree 35.
+		perm := rng.Perm(n)
+		for i := range perm {
+			b.AddEdge(graph.VertexID(perm[i]), graph.VertexID(perm[(i+1)%n]))
+		}
+	}
+	return b.Build()
+}
+
+// rmatEdge samples one edge by recursive quadrant selection over a
+// pow×pow adjacency matrix (R-MAT). Small per-level noise keeps the
+// generated graph from having the exact fractal artifacts of pure R-MAT.
+func rmatEdge(pow int, a, b, c float64, rng *rand.Rand) (src, dst int) {
+	for half := pow / 2; half >= 1; half /= 2 {
+		an := a + a*0.1*(rng.Float64()-0.5)
+		r := rng.Float64()
+		switch {
+		case r < an:
+			// top-left: no change
+		case r < an+b:
+			dst += half
+		case r < an+b+c:
+			src += half
+		default:
+			src += half
+			dst += half
+		}
+	}
+	return src, dst
+}

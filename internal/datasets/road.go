@@ -1,0 +1,75 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"graphbench/internal/graph"
+)
+
+// generateRoad builds the World Road Network analogue: a long, thin
+// lattice of height roadHeight whose length grows with the vertex
+// count, so the diameter is Θ(n) — orders of magnitude beyond the
+// social/web analogues, exactly the property that makes traversal
+// workloads on WRN pathological in the paper (§5.3, §5.6, §5.8).
+//
+// Every lattice vertex gets a forward edge along its row (the "highway"
+// direction); a small fraction of backward and cross-row edges brings
+// the average out-degree to WRN's ≈1.05 while keeping the max degree
+// bounded by a handful, as in Table 3 (max 9).
+const roadHeight = 4
+
+func generateRoad(n, e int, scale float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	b.SetName(string(WRN)).SetScaleFactor(scale).Dedupe(true)
+
+	width := n / roadHeight
+	if width < 2 {
+		width = 2
+	}
+	// Vertex ids are a random permutation of lattice positions: real
+	// road-network ids carry no geometric order, and id order matters
+	// to HashMin WCC — with monotone ids every vertex would relabel
+	// every round (a pathological cascade real datasets don't exhibit).
+	perm := rng.Perm(n)
+	at := func(row, col int) graph.VertexID {
+		id := row*width + col
+		if id >= n {
+			id = n - 1
+		}
+		return graph.VertexID(perm[id])
+	}
+
+	// Forward highway edges: (r,c) -> (r,c+1).
+	for r := 0; r < roadHeight; r++ {
+		for c := 0; c+1 < width; c++ {
+			if int(at(r, c)) >= n-1 {
+				break
+			}
+			b.AddEdge(at(r, c), at(r, c+1))
+		}
+	}
+	// Leftover positions beyond the lattice tail extend the last row.
+	for id := roadHeight * width; id < n; id++ {
+		b.AddEdge(graph.VertexID(perm[id-1]), graph.VertexID(perm[id]))
+	}
+
+	// Extra edges up to the target count: mostly backward lanes and
+	// vertical connectors between adjacent rows.
+	for b.NumEdges() < e {
+		r := rng.Intn(roadHeight)
+		c := rng.Intn(width - 1)
+		switch rng.Intn(3) {
+		case 0: // backward lane
+			b.AddEdge(at(r, c+1), at(r, c))
+		case 1: // connector down
+			if r+1 < roadHeight {
+				b.AddEdge(at(r, c), at(r+1, c))
+			}
+		default: // connector up
+			if r > 0 {
+				b.AddEdge(at(r, c), at(r-1, c))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,297 @@
+// Package engine defines the contract shared by the eight system
+// implementations: the workload specifications of §3 of the paper, the
+// dataset handle engines load from simulated HDFS, per-run options, and
+// the Result record with the paper's time decomposition
+// (load / execute / save / overhead) and failure status.
+package engine
+
+import (
+	"fmt"
+
+	"graphbench/internal/graph"
+	"graphbench/internal/hdfs"
+	"graphbench/internal/sim"
+)
+
+// Kind identifies one of the paper's four workloads.
+type Kind int
+
+// The four workloads of §3.
+const (
+	PageRank Kind = iota
+	WCC
+	SSSP
+	KHop
+)
+
+// String returns the workload name as used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case PageRank:
+		return "pagerank"
+	case WCC:
+		return "wcc"
+	case SSSP:
+		return "sssp"
+	case KHop:
+		return "khop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AllKinds lists the workloads in the paper's order.
+func AllKinds() []Kind { return []Kind{PageRank, WCC, SSSP, KHop} }
+
+// Workload is a fully specified workload instance.
+type Workload struct {
+	Kind Kind
+
+	// Source is the start vertex for SSSP and K-hop (§3.3: one random
+	// vertex per dataset, used consistently).
+	Source graph.VertexID
+
+	// K bounds K-hop; the paper fixes K=3.
+	K int
+
+	// Damping is PageRank's δ (0.15 in the paper).
+	Damping float64
+
+	// Tolerance stops PageRank when the maximum rank change falls
+	// below it (the paper's "T" stopping criterion).
+	Tolerance float64
+
+	// MaxIterations, when positive, stops PageRank after a fixed
+	// number of iterations (the paper's "I" criterion) regardless of
+	// Tolerance. For other workloads it is a safety bound only.
+	MaxIterations int
+}
+
+// NewPageRank returns the paper's standard PageRank workload with the
+// tolerance stopping criterion.
+func NewPageRank() Workload {
+	return Workload{Kind: PageRank, Damping: 0.15, Tolerance: 0.01}
+}
+
+// NewPageRankIters returns PageRank with the fixed-iteration criterion.
+func NewPageRankIters(n int) Workload {
+	return Workload{Kind: PageRank, Damping: 0.15, MaxIterations: n}
+}
+
+// NewWCC returns the WCC (HashMin) workload.
+func NewWCC() Workload { return Workload{Kind: WCC} }
+
+// NewSSSP returns SSSP from the given source.
+func NewSSSP(source graph.VertexID) Workload {
+	return Workload{Kind: SSSP, Source: source}
+}
+
+// NewKHop returns the paper's K-hop workload (K=3).
+func NewKHop(source graph.VertexID) Workload {
+	return Workload{Kind: KHop, Source: source, K: 3}
+}
+
+// Options carries per-run tuning that the paper varies per system.
+type Options struct {
+	// Partitioning selects GraphLab's strategy: "random" or "auto"
+	// (§4.4.1). Empty means the engine default.
+	Partitioning string
+
+	// Async selects GraphLab's asynchronous engine (§2.2).
+	Async bool
+
+	// UseAllCores overrides GraphLab's default of reserving two cores
+	// for communication (Figure 1).
+	UseAllCores bool
+
+	// NumPartitions overrides GraphX's partition count (Table 5,
+	// Figure 2). Zero means the system default (#HDFS blocks).
+	NumPartitions int
+
+	// SkipHDFSRoundTrip makes Blogel-B pipe partitions directly into
+	// execution instead of writing them back to HDFS first (the
+	// modified Blogel of Figure 3).
+	SkipHDFSRoundTrip bool
+
+	// DisableCombiner turns off Giraph's message combiner (ablation).
+	DisableCombiner bool
+
+	// Approximate lets converged PageRank vertices drop out of the
+	// computation (GraphLab-only behaviour, §5.2).
+	Approximate bool
+
+	// CheckpointEvery checkpoints GraphX's lineage every n iterations;
+	// zero uses the system default.
+	CheckpointEvery int
+
+	// SampleMemory enables the per-step memory timelines of Figure 10.
+	SampleMemory bool
+}
+
+// IterStat records one iteration for the per-iteration analyses
+// (Figure 4, Table 6).
+type IterStat struct {
+	Iteration int
+	Active    int     // vertices participating
+	Updates   int     // vertex values changed
+	Seconds   float64 // modeled wall time of the iteration
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	System   string
+	Dataset  string
+	Workload Workload
+	Machines int
+
+	Status sim.Status
+	Err    error // non-nil iff Status != OK
+
+	// The paper's time decomposition (§4.2): Total is end-to-end and
+	// includes overhead that the phases don't capture.
+	Load, Exec, Save, Overhead float64
+
+	Iterations int
+	NetBytes   int64
+	MemTotal   int64 // sum of per-machine peaks (Table 8)
+	MemMax     int64 // largest per-machine peak
+
+	// CPU seconds summed over machines, by class (Figure 13).
+	CPUUser, CPUIO, CPUNet, CPUIdle float64
+
+	ReplicationFactor float64 // vertex-cut systems (Table 4)
+
+	PerIteration []IterStat
+
+	// Outputs for verification against the single-thread oracles.
+	Ranks  []float64        // PageRank
+	Labels []graph.VertexID // WCC component ids
+	Dist   []int32          // SSSP / K-hop hop distances (-1 unreachable)
+
+	MemTimeline []sim.MemSample // when Options.SampleMemory
+}
+
+// TotalTime returns the end-to-end response time.
+func (r *Result) TotalTime() float64 { return r.Load + r.Exec + r.Save + r.Overhead }
+
+// Finish populates the resource fields of r from the cluster's final
+// state and the given error, and returns r for chaining.
+func (r *Result) Finish(c *sim.Cluster, err error) *Result {
+	r.Status = sim.StatusOf(err)
+	r.Err = err
+	r.NetBytes = c.TotalNetBytes()
+	r.MemTotal = c.TotalMemPeak()
+	r.MemMax = c.MaxMemPeak()
+	for _, m := range c.Machines() {
+		r.CPUUser += m.CPUUser
+		r.CPUIO += m.CPUIO
+		r.CPUNet += m.CPUNet
+		r.CPUIdle += m.CPUIdle
+	}
+	r.MemTimeline = c.Samples()
+	return r
+}
+
+// Engine is one of the eight systems under study.
+type Engine interface {
+	// Name returns the system name as used in the paper's figures
+	// (e.g. "giraph", "blogel-v", "graphlab").
+	Name() string
+	// Run executes the workload on the dataset over the given cluster.
+	// The returned Result always carries a Status; Run does not return
+	// an error because failed runs (OOM/TO/...) are results, not
+	// errors, in this study.
+	Run(c *sim.Cluster, d *Dataset, w Workload, opt Options) *Result
+}
+
+// Dataset is the handle engines receive: files in simulated HDFS in the
+// three formats, plus the metadata needed for cost accounting.
+type Dataset struct {
+	Name        string
+	FS          *hdfs.FS
+	PathPrefix  string
+	NumVertices int
+	Scale       float64 // paper-scale multiplier (graph.ScaleFactor)
+	Source      graph.VertexID
+
+	// Paper-scale file sizes per format, for I/O cost accounting.
+	PaperBytes map[graph.Format]int64
+
+	// DilationSSSP and DilationWCC are the iteration-dilation factors
+	// for the traversal workloads: how many paper-scale BSP iterations
+	// one synthetic iteration stands for. Down-scaling a graph shrinks
+	// its diameter, so a synthetic traversal finishes in fewer
+	// supersteps than the real dataset's; engines multiply
+	// per-superstep charges by the factor to keep the modeled clock at
+	// paper scale (the WRN timeout matrix depends on it). SSSP's factor
+	// is normalized by the source's directed eccentricity, WCC's by the
+	// undirected label-propagation depth. Values below 1 mean 1.
+	DilationSSSP float64
+	DilationWCC  float64
+}
+
+// DilationFor returns the iteration-dilation factor (>= 1) for the
+// workload kind; non-traversal workloads are never dilated.
+func (d *Dataset) DilationFor(k Kind) float64 {
+	var v float64
+	switch k {
+	case SSSP:
+		v = d.DilationSSSP
+	case WCC:
+		v = d.DilationWCC
+	}
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Path returns the HDFS path of the dataset in the given format.
+func (d *Dataset) Path(f graph.Format) string {
+	return d.PathPrefix + "." + f.String()
+}
+
+// Open returns the dataset file in the given format.
+func (d *Dataset) Open(f graph.Format) (*hdfs.File, error) {
+	return d.FS.Open(d.Path(f))
+}
+
+// LoadGraph decodes the dataset from HDFS in the given format. This is
+// the real parsing work every engine performs at load time.
+func (d *Dataset) LoadGraph(f graph.Format) (*graph.Graph, error) {
+	return d.FS.ReadGraph(d.Path(f), f, d.NumVertices)
+}
+
+// FileBytes returns the paper-scale size of the dataset in format f.
+func (d *Dataset) FileBytes(f graph.Format) int64 { return d.PaperBytes[f] }
+
+// Prepare encodes g into all three formats in fs under prefix, split
+// into `chunks` chunks, and returns the Dataset handle. The paper-scale
+// file sizes are estimated from real per-format byte rates: ~21 B/edge
+// for the edge format (fitted to Table 5's block counts), 9 B/edge +
+// 8 B/vertex for adj, and adj plus 4 B/vertex for adj-long (real
+// datasets carry ~9-digit ids).
+func Prepare(fs *hdfs.FS, g *graph.Graph, prefix string, chunks int, source graph.VertexID) (*Dataset, error) {
+	scale := g.ScaleFactor()
+	pv := float64(g.NumVertices()) * scale
+	pe := float64(g.NumEdges()) * scale
+	d := &Dataset{
+		Name:        g.Name(),
+		FS:          fs,
+		PathPrefix:  prefix,
+		NumVertices: g.NumVertices(),
+		Scale:       scale,
+		Source:      source,
+		PaperBytes: map[graph.Format]int64{
+			graph.FormatEdge:    int64(pe * hdfs.EdgeFormatBytesPerEdge),
+			graph.FormatAdj:     int64(pe*9 + pv*8),
+			graph.FormatAdjLong: int64(pe*9 + pv*12),
+		},
+	}
+	for _, f := range []graph.Format{graph.FormatAdj, graph.FormatAdjLong, graph.FormatEdge} {
+		if _, err := fs.WriteGraph(d.Path(f), g, f, d.PaperBytes[f], chunks); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,177 @@
+package enginetest
+
+import (
+	"math"
+	"testing"
+
+	"graphbench/internal/blogel"
+	"graphbench/internal/dataflow"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/gas"
+	"graphbench/internal/graphx"
+	"graphbench/internal/haloop"
+	"graphbench/internal/mapreduce"
+	"graphbench/internal/pregel"
+	"graphbench/internal/relational"
+	"graphbench/internal/sim"
+)
+
+// engineMakers constructs a fresh instance of every engine in the
+// study per run: Gelly leaks memory across jobs on one instance (the
+// paper restarted Flink per workload), so instances are not shared.
+func engineMakers() []func() engine.Engine {
+	return []func() engine.Engine{
+		func() engine.Engine { return pregel.New() },
+		func() engine.Engine { return gas.New() },
+		func() engine.Engine { return blogel.NewV() },
+		func() engine.Engine { return blogel.NewB() },
+		func() engine.Engine { return mapreduce.New() },
+		func() engine.Engine { return haloop.New() },
+		func() engine.Engine { return graphx.New() },
+		func() engine.Engine { return relational.New() },
+		func() engine.Engine { return dataflow.New() },
+	}
+}
+
+func allEngines() []engine.Engine {
+	var out []engine.Engine
+	for _, mk := range engineMakers() {
+		out = append(out, mk())
+	}
+	return out
+}
+
+// TestCrossEngineAgreement is the paper's methodology check: every
+// system runs the same algorithm (§3), so all engines must produce
+// identical outputs on the same dataset. WRN is used because it has no
+// self-edges (GraphLab drops those) and Blogel-B's MPI overflow does
+// not trigger at this scale factor... except it does at paper scale, so
+// Blogel-B runs against a UK fixture instead for the traversals.
+func TestCrossEngineAgreement(t *testing.T) {
+	f := Prepare(t, datasets.UK, 1_000_000)
+	clean := &Fixture{Graph: f.Graph.WithoutSelfEdges(), Dataset: f.Dataset}
+
+	for _, mk := range engineMakers() {
+		e := mk()
+		machines := 64 // everything loads UK at 64...
+		if e.Name() == "haloop" {
+			machines = 32 // ...but HaLoop hits its shuffle bug there (§5.10)
+		}
+		t.Run(e.Name()+"/wcc", func(t *testing.T) {
+			res := mk().Run(sim.NewSize(machines), f.Dataset, engine.NewWCC(), engine.Options{})
+			if res.Status != sim.OK {
+				t.Fatalf("status %v (%v)", res.Status, res.Err)
+			}
+			VerifyWCC(t, f, res)
+		})
+		t.Run(e.Name()+"/sssp", func(t *testing.T) {
+			res := mk().Run(sim.NewSize(machines), f.Dataset, engine.NewSSSP(f.Dataset.Source), engine.Options{})
+			if res.Status != sim.OK {
+				t.Fatalf("status %v (%v)", res.Status, res.Err)
+			}
+			VerifySSSP(t, f, res)
+		})
+		t.Run(e.Name()+"/khop", func(t *testing.T) {
+			res := mk().Run(sim.NewSize(machines), f.Dataset, engine.NewKHop(f.Dataset.Source), engine.Options{})
+			if res.Status != sim.OK {
+				t.Fatalf("status %v (%v)", res.Status, res.Err)
+			}
+			VerifyKHop(t, f, res, 3)
+		})
+		t.Run(e.Name()+"/pagerank", func(t *testing.T) {
+			w := engine.NewPageRank()
+			res := mk().Run(sim.NewSize(machines), f.Dataset, w, engine.Options{})
+			if res.Status != sim.OK {
+				t.Fatalf("status %v (%v)", res.Status, res.Err)
+			}
+			// GraphLab drops self-edges (§3.1.1); Blogel-B's two-step
+			// algorithm converges along a different path (§3.1.2).
+			switch e.Name() {
+			case "graphlab":
+				VerifyPageRank(t, clean, res, w, 1e-9)
+			case "blogel-b":
+				VerifyPageRankRelative(t, f, res, w, 0.1)
+			default:
+				VerifyPageRank(t, f, res, w, 1e-9)
+			}
+		})
+	}
+}
+
+// TestRankSumInvariant: without dangling redistribution, the PageRank
+// vector of every engine must satisfy sum(r) = n·δ + (1−δ)·Σ_{v:out>0}
+// contributions — bounded by [n·δ, n]. A cheap cross-engine invariant
+// on top of the exact oracle comparison.
+func TestRankSumInvariant(t *testing.T) {
+	f := Prepare(t, datasets.Twitter, 600_000)
+	n := float64(f.Graph.NumVertices())
+	for _, e := range allEngines() {
+		if e.Name() == "blogel-b" {
+			continue // two-step PageRank is approximate by design
+		}
+		res := e.Run(sim.NewSize(16), f.Dataset, engine.NewPageRank(), engine.Options{})
+		if res.Status != sim.OK {
+			t.Fatalf("%s: %v", e.Name(), res.Status)
+		}
+		sum := 0.0
+		for _, r := range res.Ranks {
+			sum += r
+		}
+		if sum < 0.15*n-1e-6 || sum > 2*n {
+			t.Errorf("%s: rank sum %v outside [%v, %v]", e.Name(), sum, 0.15*n, 2*n)
+		}
+	}
+}
+
+// TestTimeoutInjection: with an artificially tiny timeout every engine
+// aborts with TO rather than hanging or panicking.
+func TestTimeoutInjection(t *testing.T) {
+	f := Prepare(t, datasets.Twitter, 600_000)
+	for _, e := range allEngines() {
+		cfg := sim.NewConfig(16)
+		cfg.Timeout = 1 // one simulated second
+		res := e.Run(sim.New(cfg), f.Dataset, engine.NewPageRank(), engine.Options{})
+		if res.Status != sim.TO {
+			t.Errorf("%s: status %v, want TO under a 1s budget", e.Name(), res.Status)
+		}
+	}
+}
+
+// TestMemoryStarvationInjection: with one-byte machines every in-memory
+// engine OOMs cleanly; the disk-based ones (Hadoop, HaLoop, Vertica)
+// still fail because even their fixed buffers exceed the budget.
+func TestMemoryStarvationInjection(t *testing.T) {
+	f := Prepare(t, datasets.Twitter, 600_000)
+	for _, e := range allEngines() {
+		cfg := sim.NewConfig(16)
+		cfg.MemoryBytes = 1
+		res := e.Run(sim.New(cfg), f.Dataset, engine.NewKHop(f.Dataset.Source), engine.Options{})
+		if res.Status != sim.OOM {
+			t.Errorf("%s: status %v, want OOM with 1-byte machines", e.Name(), res.Status)
+		}
+	}
+}
+
+// TestDeterminism: running the same experiment twice produces identical
+// modeled times and outputs.
+func TestDeterminism(t *testing.T) {
+	f := Prepare(t, datasets.Twitter, 600_000)
+	for _, mk := range []func() engine.Engine{
+		func() engine.Engine { return pregel.New() },
+		func() engine.Engine { return graphx.New() },
+	} {
+		a := mk().Run(sim.NewSize(16), f.Dataset, engine.NewPageRank(), engine.Options{})
+		b := mk().Run(sim.NewSize(16), f.Dataset, engine.NewPageRank(), engine.Options{})
+		if a.Exec != b.Exec || a.NetBytes != b.NetBytes || a.Iterations != b.Iterations {
+			t.Errorf("%s: nondeterministic: %v/%v vs %v/%v",
+				a.System, a.Exec, a.NetBytes, b.Exec, b.NetBytes)
+		}
+		for v := range a.Ranks {
+			if math.Abs(a.Ranks[v]-b.Ranks[v]) > 0 {
+				t.Errorf("%s: ranks differ at %d", a.System, v)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package enginetest provides the shared verification harness for the
+// eight engine packages: dataset preparation at test scale and output
+// checks against the single-thread oracles. Every engine's integration
+// tests run the same four workloads through these helpers, which is how
+// the repository enforces the paper's "uniform algorithm across
+// systems" methodology.
+package enginetest
+
+import (
+	"math"
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/hdfs"
+	"graphbench/internal/sim"
+	"graphbench/internal/singlethread"
+)
+
+// Fixture bundles a prepared dataset with its in-memory truth.
+type Fixture struct {
+	Graph   *graph.Graph
+	Dataset *engine.Dataset
+}
+
+// Prepare generates the named dataset at the given scale, stores it in
+// a fresh simulated HDFS, and returns the fixture.
+func Prepare(t *testing.T, name datasets.Name, scale float64) *Fixture {
+	t.Helper()
+	g := datasets.Generate(name, datasets.Options{Scale: scale, Seed: 1})
+	fs := hdfs.New()
+	src := datasets.SourceVertex(g, 42)
+	d, err := engine.Prepare(fs, g, "data/"+string(name), 64, src)
+	if err != nil {
+		t.Fatalf("preparing %s: %v", name, err)
+	}
+	d.DilationSSSP = datasets.TraversalDilation(name, g, src)
+	d.DilationWCC = datasets.WCCDilation(name, g)
+	return &Fixture{Graph: g, Dataset: d}
+}
+
+// RunOK runs the workload and requires a successful completion.
+func RunOK(t *testing.T, e engine.Engine, f *Fixture, machines int, w engine.Workload, opt engine.Options) *engine.Result {
+	t.Helper()
+	res := e.Run(sim.NewSize(machines), f.Dataset, w, opt)
+	if res.Status != sim.OK {
+		t.Fatalf("%s/%s on %s@%d: status %v (%v)", e.Name(), w.Kind, f.Dataset.Name, machines, res.Status, res.Err)
+	}
+	return res
+}
+
+// VerifyPageRank checks ranks against the single-thread oracle with the
+// same stopping criterion. tol is the comparison tolerance (engines with
+// different summation orders need ~1e-9; asynchronous engines more).
+func VerifyPageRank(t *testing.T, f *Fixture, res *engine.Result, w engine.Workload, tol float64) {
+	t.Helper()
+	want, iters, _ := singlethread.PageRank(f.Graph, w.Damping, w.Tolerance, w.MaxIterations)
+	if len(res.Ranks) != len(want) {
+		t.Fatalf("ranks length %d, want %d", len(res.Ranks), len(want))
+	}
+	worst := 0.0
+	for v := range want {
+		if d := math.Abs(res.Ranks[v] - want[v]); d > worst {
+			worst = d
+		}
+	}
+	if worst > tol {
+		t.Fatalf("max rank deviation %v > %v (oracle converged in %d iterations, engine in %d)",
+			worst, tol, iters, res.Iterations)
+	}
+}
+
+// VerifyPageRankRelative is VerifyPageRank with a per-vertex relative
+// tolerance — hub vertices carry ranks orders of magnitude above the
+// floor, so approximate engines are compared proportionally.
+func VerifyPageRankRelative(t *testing.T, f *Fixture, res *engine.Result, w engine.Workload, relTol float64) {
+	t.Helper()
+	want, _, _ := singlethread.PageRank(f.Graph, w.Damping, w.Tolerance, w.MaxIterations)
+	if len(res.Ranks) != len(want) {
+		t.Fatalf("ranks length %d, want %d", len(res.Ranks), len(want))
+	}
+	worst := 0.0
+	for v := range want {
+		denom := math.Abs(want[v])
+		if denom < 1 {
+			denom = 1
+		}
+		if d := math.Abs(res.Ranks[v]-want[v]) / denom; d > worst {
+			worst = d
+		}
+	}
+	if worst > relTol {
+		t.Fatalf("max relative rank deviation %v > %v", worst, relTol)
+	}
+}
+
+// VerifyWCC checks component labels exactly.
+func VerifyWCC(t *testing.T, f *Fixture, res *engine.Result) {
+	t.Helper()
+	want := singlethread.WCCReference(f.Graph)
+	if len(res.Labels) != len(want) {
+		t.Fatalf("labels length %d, want %d", len(res.Labels), len(want))
+	}
+	for v := range want {
+		if res.Labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, res.Labels[v], want[v])
+		}
+	}
+}
+
+// VerifySSSP checks hop distances exactly.
+func VerifySSSP(t *testing.T, f *Fixture, res *engine.Result) {
+	t.Helper()
+	want := graph.BFSDistances(f.Graph, f.Dataset.Source)
+	verifyDistances(t, res.Dist, want)
+}
+
+// VerifyKHop checks distances truncated at k.
+func VerifyKHop(t *testing.T, f *Fixture, res *engine.Result, k int) {
+	t.Helper()
+	want, _ := singlethread.KHop(f.Graph, f.Dataset.Source, k)
+	verifyDistances(t, res.Dist, want)
+}
+
+func verifyDistances(t *testing.T, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("distances length %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+// VerifyAllWorkloads runs the standard four workloads at the given
+// cluster size and verifies each against its oracle — the common body
+// of every engine's integration test.
+func VerifyAllWorkloads(t *testing.T, e engine.Engine, f *Fixture, machines int, prTol float64, opt engine.Options) {
+	t.Helper()
+	w := engine.NewPageRank()
+	VerifyPageRank(t, f, RunOK(t, e, f, machines, w, opt), w, prTol)
+	VerifyWCC(t, f, RunOK(t, e, f, machines, engine.NewWCC(), opt))
+	VerifySSSP(t, f, RunOK(t, e, f, machines, engine.NewSSSP(f.Dataset.Source), opt))
+	VerifyKHop(t, f, RunOK(t, e, f, machines, engine.NewKHop(f.Dataset.Source), opt), 3)
+}

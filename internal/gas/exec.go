@@ -1,0 +1,450 @@
+package gas
+
+import (
+	"math"
+	"math/rand"
+
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/sim"
+)
+
+// execution holds one run's state: the GAS engine proper. Gather reads
+// neighbor values through mirrors (charged as mirror-sync messages),
+// Apply updates the master copy, Scatter signals neighbors.
+type execution struct {
+	cluster *sim.Cluster
+	prof    *sim.Profile
+	d       *engine.Dataset
+	g       *graph.Graph
+	vc      replicaCounter
+	w       engine.Workload
+	opt     engine.Options
+	res     *engine.Result
+
+	values    []float64
+	active    []bool
+	nextSet   []graph.VertexID
+	replicasM []int16 // cached replicas-1 per vertex
+}
+
+// replicaCounter is the part of partition.VertexCut the execution needs.
+type replicaCounter interface {
+	NumReplicas(v graph.VertexID) int
+	ReplicationFactor() float64
+}
+
+func (ex *execution) init() {
+	n := ex.g.NumVertices()
+	ex.values = make([]float64, n)
+	ex.active = make([]bool, n)
+	ex.replicasM = make([]int16, n)
+	for v := 0; v < n; v++ {
+		r := ex.vc.NumReplicas(graph.VertexID(v)) - 1
+		if r < 0 {
+			r = 0
+		}
+		ex.replicasM[v] = int16(r)
+		switch ex.w.Kind {
+		case engine.PageRank:
+			ex.values[v] = 1
+		case engine.WCC:
+			ex.values[v] = float64(v)
+		default:
+			ex.values[v] = math.Inf(1)
+		}
+	}
+}
+
+func (ex *execution) dilation() float64 {
+	return ex.d.DilationFor(ex.w.Kind)
+}
+
+// chargeIteration charges one engine iteration: edge operations for
+// gather+scatter, mirror-synchronization messages, the per-iteration
+// scheduler cost (dilated for traversal workloads), and memory pressure.
+func (ex *execution) chargeIteration(activeCount, gatherEdges, scatterEdges, mirrorMsgs float64, slowdown float64) error {
+	p := ex.prof
+	c := ex.cluster
+	m := float64(c.Size())
+	imb := p.Imbalance
+	cores := c.Config().Cores
+	dil := ex.dilation()
+
+	edgeSec := p.EdgeSeconds((gatherEdges+scatterEdges)/m*imb*ex.d.Scale, cores)
+	msgSec := p.MsgSeconds(mirrorMsgs/m*imb*ex.d.Scale, cores)
+	scanSec := p.ScanSeconds(activeCount/m*imb*ex.d.Scale, cores)
+	netBytes := mirrorMsgs / m * imb * p.MsgBytes * ex.d.Scale
+
+	costs := make([]sim.StepCost, c.Size())
+	for i := range costs {
+		compute := (scanSec*dil + edgeSec + msgSec) * slowdown
+		compute *= p.PressureFactor(c.Machine(i).MemUsed(), c.Config().MemoryBytes)
+		costs[i] = sim.StepCost{
+			ComputeSeconds: compute,
+			NetSendBytes:   netBytes,
+			NetRecvBytes:   netBytes,
+		}
+	}
+	if err := c.RunStep(costs); err != nil {
+		return err
+	}
+	return c.Advance(p.SuperstepFixed * dil)
+}
+
+// runSync executes the synchronous GAS engine.
+func (ex *execution) runSync() error {
+	ex.init()
+	switch ex.w.Kind {
+	case engine.PageRank:
+		return ex.syncPageRank()
+	default:
+		return ex.syncPropagate()
+	}
+}
+
+// syncPageRank runs synchronous PageRank. In exact mode every vertex
+// recomputes every iteration; in approximate mode (§5.2) vertices whose
+// change fell below tolerance deactivate, and reactivate only when an
+// in-neighbor's rank changes — they still gather from inactive
+// neighbors, which is the memory-for-accuracy trade GraphLab makes.
+func (ex *execution) syncPageRank() error {
+	n := ex.g.NumVertices()
+	contrib := make([]float64, n)
+	next := make([]float64, n)
+	approx := ex.opt.Approximate
+	for v := range ex.active {
+		ex.active[v] = true
+	}
+	tol := ex.w.Tolerance
+	if tol <= 0 {
+		tol = 0.01
+	}
+
+	iters := 0
+	for {
+		iters++
+		for v := 0; v < n; v++ {
+			if d := ex.g.OutDegree(graph.VertexID(v)); d > 0 {
+				contrib[v] = ex.values[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		var activeCount, gatherEdges, scatterEdges, mirrorMsgs, updates float64
+		maxDelta := 0.0
+		changed := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if approx && !ex.active[v] {
+				next[v] = ex.values[v]
+				continue
+			}
+			activeCount++
+			gatherEdges += float64(ex.g.InDegree(graph.VertexID(v)))
+			mirrorMsgs += 2 * float64(ex.replicasM[v])
+			sum := 0.0
+			for _, u := range ex.g.InNeighbors(graph.VertexID(v)) {
+				sum += contrib[u]
+			}
+			nv := ex.w.Damping + (1-ex.w.Damping)*sum
+			next[v] = nv
+			d := math.Abs(nv - ex.values[v])
+			if d > maxDelta {
+				maxDelta = d
+			}
+			if d > tol/10 {
+				updates++
+				changed[v] = true
+				scatterEdges += float64(ex.g.OutDegree(graph.VertexID(v)))
+			}
+		}
+		ex.values, next = next, ex.values
+		ex.res.PerIteration = append(ex.res.PerIteration, engine.IterStat{
+			Iteration: iters, Active: int(activeCount), Updates: int(updates),
+		})
+		if err := ex.chargeIteration(activeCount, gatherEdges, scatterEdges, mirrorMsgs, 1); err != nil {
+			ex.res.Iterations = iters
+			ex.res.Ranks = ex.values
+			return err
+		}
+		if approx {
+			// Deactivate converged vertices; reactivate targets of
+			// changed ranks.
+			for v := 0; v < n; v++ {
+				ex.active[v] = false
+			}
+			anyActive := false
+			for v := 0; v < n; v++ {
+				if changed[v] {
+					for _, w := range ex.g.OutNeighbors(graph.VertexID(v)) {
+						ex.active[w] = true
+						anyActive = true
+					}
+				}
+			}
+			if !anyActive {
+				break
+			}
+		}
+		if ex.w.MaxIterations > 0 && iters >= ex.w.MaxIterations {
+			break
+		}
+		if ex.w.MaxIterations <= 0 && maxDelta < tol {
+			break
+		}
+	}
+	ex.res.Iterations = iters
+	ex.res.Ranks = ex.values
+	return nil
+}
+
+// syncPropagate runs WCC / SSSP / K-hop: frontier-driven min-propagation.
+// WCC gathers across both edge directions (GraphLab sees both ends of an
+// edge, §3.2); SSSP and K-hop gather along in-edges only.
+func (ex *execution) syncPropagate() error {
+	n := ex.g.NumVertices()
+	frontier := make([]graph.VertexID, 0, n)
+	switch ex.w.Kind {
+	case engine.WCC:
+		for v := 0; v < n; v++ {
+			frontier = append(frontier, graph.VertexID(v))
+		}
+	default:
+		// The source's distance is applied at init; its scatter seeds
+		// the first frontier, whose members gather from it.
+		ex.values[ex.d.Source] = 0
+		seen := make(map[graph.VertexID]bool)
+		for _, w := range ex.g.OutNeighbors(ex.d.Source) {
+			if w != ex.d.Source && !seen[w] {
+				seen[w] = true
+				frontier = append(frontier, w)
+			}
+		}
+	}
+
+	iters := 0
+	inFrontier := make([]bool, n)
+	for len(frontier) > 0 {
+		iters++
+		if ex.w.Kind == engine.KHop && iters > ex.w.K {
+			break
+		}
+		var gatherEdges, scatterEdges, mirrorMsgs float64
+		var next []graph.VertexID
+		for i := range inFrontier {
+			inFrontier[i] = false
+		}
+		for _, v := range frontier {
+			mirrorMsgs += 2 * float64(ex.replicasM[v])
+			var newVal float64
+			switch ex.w.Kind {
+			case engine.WCC:
+				gatherEdges += float64(ex.g.InDegree(v) + ex.g.OutDegree(v))
+				newVal = ex.values[v]
+				for _, u := range ex.g.InNeighbors(v) {
+					if ex.values[u] < newVal {
+						newVal = ex.values[u]
+					}
+				}
+				for _, u := range ex.g.OutNeighbors(v) {
+					if ex.values[u] < newVal {
+						newVal = ex.values[u]
+					}
+				}
+			default:
+				gatherEdges += float64(ex.g.InDegree(v))
+				newVal = ex.values[v]
+				for _, u := range ex.g.InNeighbors(v) {
+					if ex.values[u]+1 < newVal {
+						newVal = ex.values[u] + 1
+					}
+				}
+			}
+			if newVal < ex.values[v] {
+				ex.values[v] = newVal
+				scatterEdges += float64(ex.g.OutDegree(v))
+				targets := ex.g.OutNeighbors(v)
+				for _, w := range targets {
+					if !inFrontier[w] && w != v {
+						inFrontier[w] = true
+						next = append(next, w)
+					}
+				}
+				if ex.w.Kind == engine.WCC {
+					scatterEdges += float64(ex.g.InDegree(v))
+					for _, w := range ex.g.InNeighbors(v) {
+						if !inFrontier[w] && w != v {
+							inFrontier[w] = true
+							next = append(next, w)
+						}
+					}
+				}
+			}
+		}
+		ex.res.PerIteration = append(ex.res.PerIteration, engine.IterStat{
+			Iteration: iters, Active: len(frontier), Updates: len(next),
+		})
+		if err := ex.chargeIteration(float64(len(frontier)), gatherEdges, scatterEdges, mirrorMsgs, 1); err != nil {
+			ex.finishPropagate(iters)
+			return err
+		}
+		// Keep only vertices that can still improve.
+		frontier = frontier[:0]
+		for _, v := range next {
+			frontier = append(frontier, v)
+		}
+	}
+	ex.finishPropagate(iters)
+	return nil
+}
+
+func (ex *execution) finishPropagate(iters int) {
+	ex.res.Iterations = int(float64(iters)*ex.dilation() + 0.5)
+	switch ex.w.Kind {
+	case engine.WCC:
+		labels := make([]graph.VertexID, len(ex.values))
+		for i, v := range ex.values {
+			labels[i] = graph.VertexID(v)
+		}
+		ex.res.Labels = labels
+	default:
+		dist := make([]int32, len(ex.values))
+		for i, v := range ex.values {
+			if math.IsInf(v, 1) {
+				dist[i] = -1
+			} else {
+				dist[i] = int32(v)
+			}
+		}
+		ex.res.Dist = dist
+	}
+}
+
+// runAsync executes the asynchronous engine: chaotic Gauss–Seidel
+// sweeps with immediate value visibility, lock-contention slowdown, and
+// the distributed-lock memory accumulation of §5.3 / Figure 10.
+func (ex *execution) runAsync() error {
+	ex.init()
+	n := ex.g.NumVertices()
+	rng := rand.New(rand.NewSource(11))
+	order := rng.Perm(n)
+
+	slow := asyncSlowdown
+	if ex.opt.UseAllCores {
+		// Figure 1: async gains nothing from more compute threads —
+		// context switching makes it slightly worse.
+		slow *= 1.2
+	}
+	tol := ex.w.Tolerance
+	if tol <= 0 {
+		tol = 0.01
+	}
+
+	var lockBytes int64
+	defer func() {
+		if lockBytes > 0 {
+			ex.cluster.FreeAll(lockBytes)
+		}
+	}()
+
+	iters := 0
+	for {
+		iters++
+		var updates, gatherEdges, mirrorMsgs float64
+		maxDelta := 0.0
+		for _, vi := range order {
+			v := graph.VertexID(vi)
+			switch ex.w.Kind {
+			case engine.PageRank:
+				gatherEdges += float64(ex.g.InDegree(v))
+				mirrorMsgs += 2 * float64(ex.replicasM[v])
+				sum := 0.0
+				for _, u := range ex.g.InNeighbors(v) {
+					if d := ex.g.OutDegree(u); d > 0 {
+						sum += ex.values[u] / float64(d)
+					}
+				}
+				nv := ex.w.Damping + (1-ex.w.Damping)*sum
+				d := math.Abs(nv - ex.values[v])
+				if d > maxDelta {
+					maxDelta = d
+				}
+				if d > tol/10 {
+					updates++
+				}
+				ex.values[v] = nv
+			default:
+				// Chaotic min-propagation.
+				gatherEdges += float64(ex.g.InDegree(v))
+				newVal := ex.values[v]
+				for _, u := range ex.g.InNeighbors(v) {
+					if ex.values[u]+1 < newVal {
+						newVal = ex.values[u] + 1
+					}
+				}
+				if ex.w.Kind == engine.WCC {
+					newVal = math.Min(newVal, ex.values[v])
+					for _, u := range ex.g.InNeighbors(v) {
+						newVal = math.Min(newVal, ex.values[u])
+					}
+					for _, u := range ex.g.OutNeighbors(v) {
+						newVal = math.Min(newVal, ex.values[u])
+					}
+				}
+				if newVal < ex.values[v] {
+					ex.values[v] = newVal
+					updates++
+					maxDelta = 1
+				}
+			}
+		}
+		ex.res.PerIteration = append(ex.res.PerIteration, engine.IterStat{
+			Iteration: iters, Active: n, Updates: int(updates),
+		})
+
+		// Distributed-lock memory accumulates with every update and
+		// grows with cluster size; it is not released until the engine
+		// finishes (§5.3: "thousands of threads ... allocate memory for
+		// vertices without releasing them").
+		grow := int64(updates * ex.d.Scale * asyncLockBytesPerUpdate * float64(ex.cluster.Size()))
+		lockBytes += grow
+		var allocErr error
+		for i := 0; i < ex.cluster.Size(); i++ {
+			if err := ex.cluster.Alloc(i, grow); err != nil && allocErr == nil {
+				allocErr = err
+			}
+		}
+		if err := ex.chargeIteration(float64(n), gatherEdges, 0, mirrorMsgs, slow); err != nil {
+			ex.asyncFinish(iters)
+			return err
+		}
+		if allocErr != nil {
+			ex.asyncFinish(iters)
+			return allocErr
+		}
+		if ex.w.Kind == engine.PageRank {
+			if ex.w.MaxIterations > 0 && iters >= ex.w.MaxIterations {
+				break
+			}
+			if ex.w.MaxIterations <= 0 && maxDelta < tol {
+				break
+			}
+		} else if updates == 0 {
+			break
+		}
+		if ex.w.Kind == engine.KHop && iters > ex.w.K {
+			break
+		}
+	}
+	ex.asyncFinish(iters)
+	return nil
+}
+
+func (ex *execution) asyncFinish(iters int) {
+	if ex.w.Kind == engine.PageRank {
+		ex.res.Iterations = iters
+		ex.res.Ranks = ex.values
+		return
+	}
+	ex.finishPropagate(iters)
+}

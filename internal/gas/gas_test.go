@@ -1,0 +1,202 @@
+package gas
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/enginetest"
+	"graphbench/internal/sim"
+	"graphbench/internal/singlethread"
+)
+
+func TestAllWorkloadsCorrectSync(t *testing.T) {
+	// WRN has no self-edges, so GraphLab computes exact results on it.
+	// 32 machines: WRN does not fit on 16 (§5.2, tested below).
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	enginetest.VerifyAllWorkloads(t, New(), f, 32, 1e-9, engine.Options{})
+}
+
+func TestAutoPartitioningCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	enginetest.VerifyAllWorkloads(t, New(), f, 32, 1e-9, engine.Options{Partitioning: "auto"})
+}
+
+func TestSelfEdgesDropped(t *testing.T) {
+	// §3.1.1: GraphLab cannot represent self-edges, so its PageRank on
+	// Twitter (which has them) deviates from the true ranks but matches
+	// the oracle computed on the self-edge-free graph.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	if f.Graph.SelfEdges() == 0 {
+		t.Fatal("twitter fixture must contain self-edges for this test")
+	}
+	w := engine.NewPageRank()
+	res := enginetest.RunOK(t, New(), f, 16, w, engine.Options{})
+
+	clean := &enginetest.Fixture{Graph: f.Graph.WithoutSelfEdges(), Dataset: f.Dataset}
+	enginetest.VerifyPageRank(t, clean, res, w, 1e-9)
+
+	// And it must NOT match the true (self-edged) graph exactly.
+	want, _, _ := singlethread.PageRank(f.Graph, w.Damping, w.Tolerance, 0)
+	deviates := false
+	for v := range want {
+		if d := res.Ranks[v] - want[v]; d > 1e-6 || d < -1e-6 {
+			deviates = true
+			break
+		}
+	}
+	if !deviates {
+		t.Error("ranks identical despite dropped self-edges")
+	}
+}
+
+func TestAsyncPageRankConverges(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	w := engine.NewPageRank()
+	res := enginetest.RunOK(t, New(), f, 32, w, engine.Options{Async: true})
+	// Async converges to the same fixpoint but along a different path:
+	// compare loosely.
+	enginetest.VerifyPageRank(t, f, res, w, 0.05)
+}
+
+func TestAsyncSlowerThanSync(t *testing.T) {
+	// §5.3: asynchronous PageRank is typically slower than synchronous.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	sync := enginetest.RunOK(t, New(), f, 32, engine.NewPageRankIters(10), engine.Options{})
+	async := enginetest.RunOK(t, New(), f, 32, engine.NewPageRankIters(10), engine.Options{Async: true})
+	if async.Exec <= sync.Exec {
+		t.Fatalf("async exec %v not above sync %v", async.Exec, sync.Exec)
+	}
+}
+
+func TestFigure1CoresTradeoff(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	w := engine.NewPageRankIters(30) // Figure 1 uses 30 iterations
+	def := enginetest.RunOK(t, New(), f, 16, w, engine.Options{})
+	all := enginetest.RunOK(t, New(), f, 16, w, engine.Options{UseAllCores: true})
+	if all.Exec >= def.Exec {
+		t.Fatalf("sync with all cores (%v) not faster than default (%v)", all.Exec, def.Exec)
+	}
+	gain := (def.Exec - all.Exec) / def.Exec
+	if gain < 0.2 || gain > 0.6 {
+		t.Errorf("all-cores gain = %.0f%%, paper reports ~40%%", gain*100)
+	}
+
+	defA := enginetest.RunOK(t, New(), f, 16, w, engine.Options{Async: true})
+	allA := enginetest.RunOK(t, New(), f, 16, w, engine.Options{Async: true, UseAllCores: true})
+	if allA.Exec < defA.Exec {
+		t.Errorf("async with all cores (%v) should not beat default (%v)", allA.Exec, defA.Exec)
+	}
+}
+
+func TestWRNLoadOOMAt16(t *testing.T) {
+	// §5.2: GraphLab fails to load WRN on 16 machines regardless of
+	// partitioning algorithm.
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	for _, part := range []string{"random", "auto"} {
+		res := New().Run(sim.NewSize(16), f.Dataset, engine.NewPageRank(), engine.Options{Partitioning: part})
+		if res.Status != sim.OOM {
+			t.Errorf("WRN PageRank at 16 machines (%s): status %v, want OOM", part, res.Status)
+		}
+	}
+	// At 32 machines it loads and runs.
+	res := New().Run(sim.NewSize(32), f.Dataset, engine.NewPageRank(), engine.Options{})
+	if res.Status != sim.OK {
+		t.Errorf("WRN PageRank at 32 machines: status %v, want OK (%v)", res.Status, res.Err)
+	}
+}
+
+func TestAsyncWRNOOMAt128(t *testing.T) {
+	// §5.3 / Figure 10: async PageRank on WRN OOMs at 128 machines from
+	// accumulated distributed-lock memory, while sync completes.
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	async := New().Run(sim.NewSize(128), f.Dataset, engine.NewPageRank(), engine.Options{Async: true, SampleMemory: true})
+	if async.Status != sim.OOM {
+		t.Fatalf("async WRN PageRank at 128: status %v, want OOM", async.Status)
+	}
+	sync := New().Run(sim.NewSize(128), f.Dataset, engine.NewPageRank(), engine.Options{SampleMemory: true})
+	if sync.Status != sim.OK {
+		t.Fatalf("sync WRN PageRank at 128: status %v, want OK (%v)", sync.Status, sync.Err)
+	}
+	// Figure 10's shape: async per-machine memory climbs monotonically;
+	// sync stays flat after load.
+	if len(async.MemTimeline) < 2 {
+		t.Fatal("no async memory timeline")
+	}
+	first := async.MemTimeline[0].PerMach[0]
+	last := async.MemTimeline[len(async.MemTimeline)-1].PerMach[0]
+	if last <= first {
+		t.Errorf("async memory did not grow: %d -> %d", first, last)
+	}
+}
+
+func TestApproximatePageRankCheaper(t *testing.T) {
+	// §5.2 / Figure 4: approximate PageRank lets converged vertices
+	// drop out, so later iterations update far fewer vertices.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	w := engine.NewPageRank()
+	exact := enginetest.RunOK(t, New(), f, 16, w, engine.Options{})
+	approx := enginetest.RunOK(t, New(), f, 16, w, engine.Options{Approximate: true})
+	if approx.Exec >= exact.Exec {
+		t.Errorf("approximate exec %v not below exact %v", approx.Exec, exact.Exec)
+	}
+	// Updated-vertices ratio decays across iterations (Figure 4).
+	if len(approx.PerIteration) < 3 {
+		t.Fatal("no per-iteration stats")
+	}
+	early := approx.PerIteration[1].Active
+	late := approx.PerIteration[len(approx.PerIteration)-1].Active
+	if late >= early {
+		t.Errorf("active set did not shrink: %d -> %d", early, late)
+	}
+	// Approximate ranks track exact ones only loosely: §3.1 notes that
+	// letting converged vertices opt out "results in approximate
+	// answers" — the drift is real, not a bug.
+	enginetest.VerifyPageRankRelative(t, f, approx, w, 0.3)
+}
+
+func TestReplicationFactorReported(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	random := enginetest.RunOK(t, New(), f, 16, engine.NewKHop(f.Dataset.Source), engine.Options{})
+	auto := enginetest.RunOK(t, New(), f, 16, engine.NewKHop(f.Dataset.Source), engine.Options{Partitioning: "auto"})
+	if random.ReplicationFactor <= 1 || auto.ReplicationFactor <= 1 {
+		t.Fatalf("replication factors missing: random=%v auto=%v", random.ReplicationFactor, auto.ReplicationFactor)
+	}
+	// Table 4: auto reduces replication versus random.
+	if auto.ReplicationFactor >= random.ReplicationFactor {
+		t.Errorf("auto replication %v not below random %v", auto.ReplicationFactor, random.ReplicationFactor)
+	}
+}
+
+func TestAutoLoadTimeCliff(t *testing.T) {
+	// §5.4: auto partitioning load time jumps when the machine count
+	// admits no grid (32: oblivious) versus when it does (64: grid).
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	at64 := enginetest.RunOK(t, New(), f, 64, engine.NewKHop(f.Dataset.Source), engine.Options{Partitioning: "auto"})
+	at32 := New().Run(sim.NewSize(32), f.Dataset, engine.NewKHop(f.Dataset.Source), engine.Options{Partitioning: "auto"})
+	if at32.Status != sim.OK {
+		t.Fatalf("UK khop at 32: %v", at32.Status)
+	}
+	// Per-machine load work at 32 should exceed 64's even though the
+	// cluster is half the size — oblivious placement is the cliff.
+	if at32.Load <= at64.Load {
+		t.Errorf("oblivious load at 32 (%v) not above grid load at 64 (%v)", at32.Load, at64.Load)
+	}
+}
+
+func TestVariantLabels(t *testing.T) {
+	cases := []struct {
+		opt  engine.Options
+		w    engine.Workload
+		want string
+	}{
+		{engine.Options{}, engine.NewPageRank(), "GL-S-R-T"},
+		{engine.Options{Async: true, Partitioning: "auto"}, engine.NewPageRankIters(5), "GL-A-A-I"},
+		{engine.Options{Partitioning: "auto"}, engine.NewPageRank(), "GL-S-A-T"},
+	}
+	for _, c := range cases {
+		if got := Variant(c.opt, c.w); got != c.want {
+			t.Errorf("Variant = %q, want %q", got, c.want)
+		}
+	}
+}

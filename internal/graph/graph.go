@@ -1,0 +1,260 @@
+// Package graph provides the in-memory graph substrate shared by every
+// engine in this repository: a compact CSR (compressed sparse row)
+// representation with both out- and in-adjacency, degree statistics, and
+// the three on-disk formats used in the paper (adj, adj-long, edge).
+//
+// Graphs are directed. Vertex identifiers are dense integers in
+// [0, NumVertices). Each graph carries a ScaleFactor: the number of
+// paper-scale vertices/edges that one synthetic vertex/edge stands for.
+// Engines multiply resource charges by the scale factor so that memory
+// and time accounting reflect the paper-scale datasets while the actual
+// computation runs on a small synthetic analogue.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: 0 <= id < NumVertices.
+type VertexID int32
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// Graph is an immutable directed graph in CSR form.
+//
+// The zero value is an empty graph; use a Builder to construct one.
+type Graph struct {
+	name string
+
+	outOffsets []int32
+	outEdges   []VertexID
+	inOffsets  []int32
+	inEdges    []VertexID
+
+	selfEdges int
+	scale     float64
+}
+
+// Name returns the dataset name ("twitter", "wrn", ...), possibly empty.
+func (g *Graph) Name() string { return g.name }
+
+// ScaleFactor reports how many paper-scale vertices/edges one synthetic
+// vertex/edge represents. It is 1 for graphs built directly from data.
+func (g *Graph) ScaleFactor() float64 {
+	if g.scale <= 0 {
+		return 1
+	}
+	return g.scale
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int {
+	if len(g.outOffsets) == 0 {
+		return 0
+	}
+	return len(g.outOffsets) - 1
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.outEdges) }
+
+// SelfEdges returns the number of edges with Src == Dst.
+func (g *Graph) SelfEdges() int { return g.selfEdges }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outOffsets[v+1] - g.outOffsets[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.inOffsets[v+1] - g.inOffsets[v])
+}
+
+// OutNeighbors returns the out-neighbors of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outEdges[g.outOffsets[v]:g.outOffsets[v+1]]
+}
+
+// InNeighbors returns the in-neighbors of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inEdges[g.inOffsets[v]:g.inOffsets[v+1]]
+}
+
+// Edges calls fn for every directed edge. It stops early if fn returns false.
+func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			if !fn(VertexID(v), w) {
+				return
+			}
+		}
+	}
+}
+
+// Stats summarizes degree structure; see Table 3 of the paper.
+type Stats struct {
+	Vertices     int
+	Edges        int
+	AvgOutDegree float64
+	MaxOutDegree int
+	MaxInDegree  int
+	SelfEdges    int
+}
+
+// Stats computes degree statistics over the graph.
+func (g *Graph) Stats() Stats {
+	s := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges(), SelfEdges: g.selfEdges}
+	if s.Vertices == 0 {
+		return s
+	}
+	for v := 0; v < s.Vertices; v++ {
+		if d := g.OutDegree(VertexID(v)); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d := g.InDegree(VertexID(v)); d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+	}
+	s.AvgOutDegree = float64(s.Edges) / float64(s.Vertices)
+	return s
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	name     string
+	n        int
+	edges    []Edge
+	scale    float64
+	dedupe   bool
+	haveDups bool
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, scale: 1}
+}
+
+// SetName records the dataset name on the built graph.
+func (b *Builder) SetName(name string) *Builder { b.name = name; return b }
+
+// SetScaleFactor records the paper-scale multiplier on the built graph.
+func (b *Builder) SetScaleFactor(s float64) *Builder { b.scale = s; return b }
+
+// Dedupe removes duplicate edges at Build time when enabled.
+func (b *Builder) Dedupe(on bool) *Builder { b.dedupe = on; return b }
+
+// AddEdge appends the directed edge (src, dst). It panics if either
+// endpoint is out of range, since that is a programming error in the
+// generator or loader, not a runtime condition.
+func (b *Builder) AddEdge(src, dst VertexID) {
+	if src < 0 || int(src) >= b.n || dst < 0 || int(dst) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", src, dst, b.n))
+	}
+	b.edges = append(b.edges, Edge{src, dst})
+}
+
+// NumEdges returns the number of edges accumulated so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build constructs the CSR graph. The Builder must not be reused after.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].Src != b.edges[j].Src {
+			return b.edges[i].Src < b.edges[j].Src
+		}
+		return b.edges[i].Dst < b.edges[j].Dst
+	})
+	if b.dedupe {
+		out := b.edges[:0]
+		for i, e := range b.edges {
+			if i > 0 && e == b.edges[i-1] {
+				continue
+			}
+			out = append(out, e)
+		}
+		b.edges = out
+	}
+
+	g := &Graph{name: b.name, scale: b.scale}
+	g.outOffsets = make([]int32, b.n+1)
+	g.outEdges = make([]VertexID, len(b.edges))
+	inDeg := make([]int32, b.n)
+	for i, e := range b.edges {
+		g.outOffsets[e.Src+1]++
+		g.outEdges[i] = e.Dst
+		inDeg[e.Dst]++
+		if e.Src == e.Dst {
+			g.selfEdges++
+		}
+	}
+	for v := 0; v < b.n; v++ {
+		g.outOffsets[v+1] += g.outOffsets[v]
+	}
+
+	g.inOffsets = make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		g.inOffsets[v+1] = g.inOffsets[v] + inDeg[v]
+	}
+	g.inEdges = make([]VertexID, len(b.edges))
+	cursor := make([]int32, b.n)
+	copy(cursor, g.inOffsets[:b.n])
+	for v := 0; v < b.n; v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			g.inEdges[cursor[w]] = VertexID(v)
+			cursor[w]++
+		}
+	}
+	// In-neighbor lists are filled in src order, hence already sorted.
+	b.edges = nil
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}
+
+// Undirected returns a new graph in which every edge (u,v) also appears
+// as (v,u). Duplicate edges are removed. WCC and diameter estimation use
+// the undirected view.
+func (g *Graph) Undirected() *Graph {
+	b := NewBuilder(g.NumVertices())
+	b.SetName(g.name).SetScaleFactor(g.ScaleFactor()).Dedupe(true)
+	g.Edges(func(src, dst VertexID) bool {
+		b.AddEdge(src, dst)
+		if src != dst {
+			b.AddEdge(dst, src)
+		}
+		return true
+	})
+	return b.Build()
+}
+
+// WithoutSelfEdges returns a copy of g with self-edges removed. GraphLab
+// (PowerGraph) cannot represent self-edges (paper §3.1.1); the GAS engine
+// uses this to mirror that limitation.
+func (g *Graph) WithoutSelfEdges() *Graph {
+	if g.selfEdges == 0 {
+		return g
+	}
+	b := NewBuilder(g.NumVertices())
+	b.SetName(g.name).SetScaleFactor(g.ScaleFactor())
+	g.Edges(func(src, dst VertexID) bool {
+		if src != dst {
+			b.AddEdge(src, dst)
+		}
+		return true
+	})
+	return b.Build()
+}

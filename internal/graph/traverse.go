@@ -1,0 +1,153 @@
+package graph
+
+import "math/rand"
+
+// BFSDistances returns the hop distance from source to every vertex over
+// the directed out-edges, with -1 for unreachable vertices. It is the
+// shared traversal primitive used by diameter estimation and by the
+// single-thread oracles.
+func BFSDistances(g *Graph, source VertexID) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if g.NumVertices() == 0 {
+		return dist
+	}
+	dist[source] = 0
+	frontier := []VertexID{source}
+	for level := int32(1); len(frontier) > 0; level++ {
+		var next []VertexID
+		for _, v := range frontier {
+			for _, w := range g.OutNeighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = level
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite BFS distance from source.
+func Eccentricity(g *Graph, source VertexID) int {
+	max := int32(0)
+	for _, d := range BFSDistances(g, source) {
+		if d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// EstimateDiameter estimates the diameter of the undirected view of g by
+// a double-sweep heuristic repeated from `samples` random seeds: BFS from
+// a random vertex, then BFS again from the farthest vertex found. The
+// result is a lower bound that is exact on trees and very tight on road
+// networks, which is where diameter matters in the paper.
+func EstimateDiameter(g *Graph, samples int, seed int64) int {
+	u := g.Undirected()
+	n := u.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	best := 0
+	for s := 0; s < samples; s++ {
+		start := VertexID(rng.Intn(n))
+		dist := BFSDistances(u, start)
+		far, farD := start, int32(0)
+		for v, d := range dist {
+			if d > farD {
+				far, farD = VertexID(v), d
+			}
+		}
+		if ecc := Eccentricity(u, far); ecc > best {
+			best = ecc
+		}
+	}
+	return best
+}
+
+// HashMinRounds returns the number of synchronous label-propagation
+// rounds HashMin WCC needs on g until fixpoint — the exact iteration
+// count a BSP engine will take, used to normalize iteration dilation
+// for down-scaled datasets.
+func HashMinRounds(g *Graph) int {
+	u := g.Undirected()
+	n := u.NumVertices()
+	labels := make([]VertexID, n)
+	for i := range labels {
+		labels[i] = VertexID(i)
+	}
+	frontier := make([]VertexID, n)
+	for i := range frontier {
+		frontier[i] = VertexID(i)
+	}
+	inFrontier := make([]bool, n)
+	rounds := 0
+	for len(frontier) > 0 {
+		rounds++
+		var next []VertexID
+		for i := range inFrontier {
+			inFrontier[i] = false
+		}
+		updates := make(map[VertexID]VertexID)
+		for _, v := range frontier {
+			for _, w := range u.OutNeighbors(v) {
+				if labels[v] < labels[w] {
+					if cur, ok := updates[w]; !ok || labels[v] < cur {
+						updates[w] = labels[v]
+					}
+				}
+			}
+		}
+		for w, l := range updates {
+			labels[w] = l
+			if !inFrontier[w] {
+				inFrontier[w] = true
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return rounds
+}
+
+// LargestComponentFraction returns the fraction of vertices inside the
+// largest weakly connected component. Twitter has a single giant
+// component (paper §4.4.1); the dataset generators assert this property.
+func LargestComponentFraction(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	u := g.Undirected()
+	seen := make([]bool, n)
+	best := 0
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		size := 0
+		stack := []VertexID{VertexID(v)}
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, w := range u.OutNeighbors(x) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return float64(best) / float64(n)
+}

@@ -1,0 +1,320 @@
+// Package graphx implements GraphX on Spark (§2.5.2): a property graph
+// of vertex and edge RDDs with vertex-cut partitioning and a Pregel API
+// in which every iteration is several Spark stages (message generation
+// over the edge RDD, aggregation, vertex join). GraphX inherits Spark's
+// overheads — job scheduling, shuffles, long RDD lineages, and the
+// partition placement skew — which make it the slowest native graph
+// system in the study and unable to finish high-iteration workloads
+// (§5.6).
+package graphx
+
+import (
+	"math"
+
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/partition"
+	"graphbench/internal/rdd"
+	"graphbench/internal/sim"
+)
+
+// Profile is GraphX's cost profile (Scala on the JVM, Spark runtime).
+var Profile = sim.Profile{
+	Name: "graphx", Lang: "Scala",
+	EdgeOpsPerSec:   50e6,
+	RecordCPUNs:     800,
+	MsgBytes:        16,
+	VertexBytes:     120,        // per replica in the vertex RDD
+	EdgeBytes:       90,         // edge RDD entry
+	PerMachineBase:  8 * sim.GB, // executor + daemon heaps
+	Imbalance:       1.15,
+	JobStartup:      4,
+	JobStartupPerM:  0.08,
+	PressurePenalty: 12,
+}
+
+// lineageBytesPerVertexIter is the modeled lineage retention per vertex
+// per (paper-scale) iteration: RDD metadata plus cached shuffle blocks
+// that fault tolerance keeps alive (§5.6).
+const lineageBytesPerVertexIter = 0.04
+
+// stagesPerIteration is how many Spark stages one Pregel iteration
+// spans ("every iteration consists of multiple Spark jobs").
+const stagesPerIteration = 3
+
+// GraphX is the engine.
+type GraphX struct {
+	Profile sim.Profile
+}
+
+// New returns a GraphX engine with the default profile.
+func New() *GraphX { return &GraphX{Profile: Profile} }
+
+// Name implements engine.Engine.
+func (g *GraphX) Name() string { return "graphx" }
+
+// DefaultPartitions returns GraphX's default partition count for the
+// dataset: the number of HDFS blocks of its edge-format file (§4.4.3).
+func DefaultPartitions(d *engine.Dataset) int {
+	f, err := d.Open(graph.FormatEdge)
+	if err != nil {
+		return 1
+	}
+	return f.Blocks()
+}
+
+// TunedPartitions returns the paper's tuned partition count (Table 5).
+func TunedPartitions(d *engine.Dataset, machines int) int {
+	return partition.TunedPartitions(DefaultPartitions(d), machines*sim.CoresPerMachine)
+}
+
+// Run implements engine.Engine.
+func (g *GraphX) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt engine.Options) *engine.Result {
+	res := &engine.Result{System: g.Name(), Dataset: d.Name, Workload: w, Machines: c.Size()}
+	if opt.SampleMemory {
+		c.EnableSampling()
+	}
+	prof := g.Profile
+	m := c.Size()
+
+	parts := opt.NumPartitions
+	if parts <= 0 {
+		parts = DefaultPartitions(d)
+	}
+	sc := rdd.NewContext(c, &prof, d.Scale, parts, 17)
+
+	// Spark standalone startup.
+	mark := c.Clock()
+	if err := c.Advance(prof.StartupSeconds(m)); err != nil {
+		res.Overhead = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Overhead = c.Clock() - mark
+
+	// Load: read the edge-format file, build vertex and edge RDDs with
+	// vertex-cut partitioning.
+	mark = c.Clock()
+	gr, err := d.LoadGraph(graph.FormatEdge)
+	if err != nil {
+		return res.Finish(c, err)
+	}
+	vc := partition.BuildVertexCut(gr, m, partition.VCRandom, 7)
+	res.ReplicationFactor = vc.ReplicationFactor()
+
+	loaded, err := g.chargeLoad(c, sc, d, gr, vc)
+	if err != nil {
+		res.Load = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Load = c.Clock() - mark
+
+	// Execute the Pregel iterations.
+	mark = c.Clock()
+	execErr := g.pregelLoop(sc, d, gr, w, opt, res)
+	res.Exec = c.Clock() - mark
+	sc.ReleaseLineage()
+	if execErr != nil {
+		return res.Finish(c, execErr)
+	}
+
+	// Save: write the result RDD to HDFS.
+	mark = c.Clock()
+	saveErr := sc.Checkpoint(float64(gr.NumVertices()) * 16)
+	res.Save = c.Clock() - mark
+	c.FreeAll(loaded)
+	return res.Finish(c, saveErr)
+}
+
+func (g *GraphX) chargeLoad(c *sim.Cluster, sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, vc *partition.VertexCut) (int64, error) {
+	file, err := d.Open(graph.FormatEdge)
+	if err != nil {
+		return 0, err
+	}
+	m := float64(c.Size())
+	// Read + parse the edge file as one stage, then a shuffle stage to
+	// build the partitioned property graph.
+	readPer := float64(file.PaperBytes) / m
+	costs := make([]sim.StepCost, c.Size())
+	for i := range costs {
+		costs[i] = sim.StepCost{DiskReadBytes: readPer}
+	}
+	if err := c.RunStep(costs); err != nil {
+		return 0, err
+	}
+	if err := sc.RunStage(rdd.StageCost{
+		Records:      float64(gr.NumEdges()),
+		ShuffleBytes: float64(gr.NumEdges()) * g.Profile.EdgeBytes * 0.3,
+	}); err != nil {
+		return 0, err
+	}
+
+	memBytes := float64(vc.TotalReplicas())*d.Scale*g.Profile.VertexBytes +
+		float64(gr.NumEdges())*d.Scale*g.Profile.EdgeBytes
+	per := int64(memBytes/m*g.Profile.Imbalance) + g.Profile.PerMachineBase
+	for i := 0; i < c.Size(); i++ {
+		if err := c.Alloc(i, per); err != nil {
+			return per, err
+		}
+	}
+	return per, nil
+}
+
+// pregelLoop performs the real computation (identical algorithms to the
+// other systems) while charging each iteration as Spark stages plus
+// lineage growth.
+func (g *GraphX) pregelLoop(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, w engine.Workload, opt engine.Options, res *engine.Result) error {
+	n := gr.NumVertices()
+	dil := d.DilationFor(w.Kind)
+	work := gr
+	if w.Kind == engine.WCC {
+		work = gr.Undirected()
+	}
+
+	values := make([]float64, n)
+	contrib := make([]float64, n)
+	next := make([]float64, n)
+	for v := range values {
+		switch w.Kind {
+		case engine.PageRank:
+			values[v] = 1
+		case engine.WCC:
+			values[v] = float64(v)
+		default:
+			values[v] = math.Inf(1)
+		}
+	}
+	if w.Kind == engine.SSSP || w.Kind == engine.KHop {
+		values[d.Source] = 0
+	}
+
+	iters := 0
+	for {
+		iters++
+		var msgs float64
+		maxDelta := 0.0
+		changed := 0
+
+		switch w.Kind {
+		case engine.PageRank:
+			for v := 0; v < n; v++ {
+				if deg := work.OutDegree(graph.VertexID(v)); deg > 0 {
+					contrib[v] = values[v] / float64(deg)
+					msgs += float64(deg)
+				} else {
+					contrib[v] = 0
+				}
+			}
+			for v := 0; v < n; v++ {
+				sum := 0.0
+				for _, u := range work.InNeighbors(graph.VertexID(v)) {
+					sum += contrib[u]
+				}
+				nv := w.Damping + (1-w.Damping)*sum
+				if dd := math.Abs(nv - values[v]); dd > maxDelta {
+					maxDelta = dd
+				}
+				next[v] = nv
+			}
+			values, next = next, values
+		default:
+			copy(next, values)
+			for v := 0; v < n; v++ {
+				if math.IsInf(values[v], 1) {
+					continue
+				}
+				emit := values[v]
+				if w.Kind != engine.WCC {
+					emit++
+				}
+				for _, u := range work.OutNeighbors(graph.VertexID(v)) {
+					msgs++
+					if emit < next[u] {
+						next[u] = emit
+					}
+				}
+			}
+			for v := range next {
+				if next[v] != values[v] {
+					changed++
+				}
+			}
+			values, next = next, values
+		}
+		// Charge the iteration: GraphX joins the full vertex RDD and
+		// scans the full edge RDD every iteration regardless of how
+		// small the frontier is.
+		perStage := rdd.StageCost{
+			Records:      (float64(n) + float64(work.NumEdges())) / stagesPerIteration,
+			ShuffleBytes: (msgs*g.Profile.MsgBytes + float64(n)*8) / stagesPerIteration,
+			Dilation:     dil,
+		}
+		iterStart := sc.Cluster.Clock()
+		var stageErr error
+		for s := 0; s < stagesPerIteration; s++ {
+			if stageErr = sc.RunStage(perStage); stageErr != nil {
+				break
+			}
+		}
+		res.PerIteration = append(res.PerIteration, engine.IterStat{
+			Iteration: iters, Active: n, Updates: changed,
+			Seconds: (sc.Cluster.Clock() - iterStart) / dil,
+		})
+		if stageErr == nil {
+			if opt.CheckpointEvery > 0 && iters%opt.CheckpointEvery == 0 {
+				stageErr = sc.Checkpoint(float64(n)*16 + float64(work.NumEdges())*12)
+			} else {
+				stageErr = sc.ExtendLineage(int64(float64(n) * d.Scale * lineageBytesPerVertexIter * dil / float64(sc.Cluster.Size())))
+			}
+		}
+		if stageErr != nil {
+			res.Iterations = int(float64(iters)*dil + 0.5)
+			g.fill(res, w, values)
+			return stageErr
+		}
+
+		switch w.Kind {
+		case engine.PageRank:
+			if w.MaxIterations > 0 && iters >= w.MaxIterations {
+				goto done
+			}
+			if w.MaxIterations <= 0 && maxDelta < w.Tolerance {
+				goto done
+			}
+		case engine.KHop:
+			if iters >= w.K {
+				goto done
+			}
+		default:
+			if changed == 0 {
+				goto done
+			}
+		}
+	}
+done:
+	res.Iterations = int(float64(iters)*dil + 0.5)
+	g.fill(res, w, values)
+	return nil
+}
+
+func (g *GraphX) fill(res *engine.Result, w engine.Workload, values []float64) {
+	switch w.Kind {
+	case engine.PageRank:
+		res.Ranks = values
+	case engine.WCC:
+		labels := make([]graph.VertexID, len(values))
+		for i, v := range values {
+			labels[i] = graph.VertexID(v)
+		}
+		res.Labels = labels
+	default:
+		dist := make([]int32, len(values))
+		for i, v := range values {
+			if math.IsInf(v, 1) {
+				dist[i] = -1
+			} else {
+				dist[i] = int32(v)
+			}
+		}
+		res.Dist = dist
+	}
+}

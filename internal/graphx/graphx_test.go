@@ -1,0 +1,123 @@
+package graphx
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/enginetest"
+	"graphbench/internal/pregel"
+	"graphbench/internal/rdd"
+	"graphbench/internal/sim"
+)
+
+func TestAllWorkloadsCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	enginetest.VerifyAllWorkloads(t, New(), f, 16, 1e-9,
+		engine.Options{NumPartitions: 128})
+}
+
+func TestDefaultAndTunedPartitions(t *testing.T) {
+	// Table 5: UK's edge file defaults to ~1200 partitions; tuned
+	// values cap at twice the core count.
+	f := enginetest.Prepare(t, datasets.UK, 400_000)
+	def := DefaultPartitions(f.Dataset)
+	if def < 1000 || def > 1400 {
+		t.Errorf("UK default partitions = %d, want ~1200 (Table 5)", def)
+	}
+	if got := TunedPartitions(f.Dataset, 16); got != 128 {
+		t.Errorf("tuned(16 machines) = %d, want 128", got)
+	}
+	if got := TunedPartitions(f.Dataset, 128); got != 1024 {
+		t.Errorf("tuned(128 machines) = %d, want 1024", got)
+	}
+}
+
+func TestSlowerThanGiraph(t *testing.T) {
+	// §5.6: GraphX is slower than the native graph systems.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	w := engine.NewPageRankIters(10)
+	gx := enginetest.RunOK(t, New(), f, 32, w, engine.Options{NumPartitions: 256})
+	gir := enginetest.RunOK(t, pregel.New(), f, 32, w, engine.Options{})
+	if gx.TotalTime() <= gir.TotalTime() {
+		t.Errorf("GraphX total %v not above Giraph %v", gx.TotalTime(), gir.TotalTime())
+	}
+}
+
+func TestWRNWCCFailsAllClusterSizes(t *testing.T) {
+	// §5.6: "GraphX failed to compute WCC for the WRN dataset due to
+	// memory or timeout errors in all cluster sizes" — RDD lineage
+	// growth is the culprit.
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	for _, m := range []int{16, 32, 64, 128} {
+		res := New().Run(sim.NewSize(m), f.Dataset, engine.NewWCC(), engine.Options{})
+		if res.Status != sim.OOM && res.Status != sim.TO {
+			t.Errorf("GraphX WRN WCC at %d: status %v, want OOM or TO", m, res.Status)
+		}
+	}
+}
+
+func TestCheckpointTradesMemoryForIO(t *testing.T) {
+	// §5.6: checkpointing prevents long lineages but adds expensive
+	// disk I/O. On a workload that fits, checkpointing must lower the
+	// memory peak and raise the time.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	w := engine.NewPageRankIters(12)
+	plain := enginetest.RunOK(t, New(), f, 32, w, engine.Options{NumPartitions: 256})
+	ckpt := enginetest.RunOK(t, New(), f, 32, w, engine.Options{NumPartitions: 256, CheckpointEvery: 2})
+	if ckpt.Exec <= plain.Exec {
+		t.Errorf("checkpointed exec %v not above plain %v", ckpt.Exec, plain.Exec)
+	}
+	if ckpt.MemMax >= plain.MemMax {
+		t.Errorf("checkpointed memory %v not below plain %v", ckpt.MemMax, plain.MemMax)
+	}
+}
+
+func TestPartitionCountUShape(t *testing.T) {
+	// Figure 2: both too few and too many partitions hurt.
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	w := engine.NewPageRankIters(5)
+	exec := func(parts int) float64 {
+		res := enginetest.RunOK(t, New(), f, 32, w, engine.Options{NumPartitions: parts})
+		return res.Exec
+	}
+	few := exec(16)    // fewer than the 128 cores
+	tuned := exec(256) // 2x cores
+	many := exec(2048) // task overhead + skew
+	if tuned >= few {
+		t.Errorf("tuned partitions (%v) not faster than too-few (%v)", tuned, few)
+	}
+	if tuned >= many {
+		t.Errorf("tuned partitions (%v) not faster than too-many (%v)", tuned, many)
+	}
+}
+
+func TestStragglerReported(t *testing.T) {
+	// Figure 11: at 1200 partitions on 128 machines placement is
+	// heavily skewed.
+	c := sim.NewSize(128)
+	sc := rdd.NewContext(c, &Profile, 1, 1200, 17)
+	if sc.Straggler() < 2.5 {
+		t.Errorf("straggler = %v, want the Figure 11 skew (>= 2.5)", sc.Straggler())
+	}
+	total := 0
+	for _, p := range sc.Placement() {
+		total += p
+	}
+	if total != 1200 {
+		t.Errorf("placement lost partitions: %d", total)
+	}
+}
+
+func TestUK128WorseThan64ForWCC(t *testing.T) {
+	// §5.8: GraphX WCC on UK at 128 machines was significantly worse
+	// than at 64 — the placement skew at 1024 partitions dominates.
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	at64 := enginetest.RunOK(t, New(), f, 64, engine.NewWCC(),
+		engine.Options{NumPartitions: 512})
+	at128 := enginetest.RunOK(t, New(), f, 128, engine.NewWCC(),
+		engine.Options{NumPartitions: 1024})
+	if at128.Exec <= at64.Exec {
+		t.Errorf("GraphX UK WCC at 128 (%v) should be worse than at 64 (%v)", at128.Exec, at64.Exec)
+	}
+}

@@ -1,0 +1,72 @@
+package haloop
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/enginetest"
+	"graphbench/internal/mapreduce"
+	"graphbench/internal/sim"
+)
+
+func TestAllWorkloadsCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	enginetest.VerifyAllWorkloads(t, New(), f, 16, 1e-9, engine.Options{})
+}
+
+func TestFasterThanHadoopButNotDouble(t *testing.T) {
+	// §5.10: HaLoop beats Hadoop, but "our experiments do not show the
+	// 2x speedup that was reported in the HaLoop paper".
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	w := engine.NewPageRankIters(10)
+	hd := enginetest.RunOK(t, mapreduce.New(), f, 16, w, engine.Options{})
+	hl := enginetest.RunOK(t, New(), f, 16, w, engine.Options{})
+	if hl.TotalTime() >= hd.TotalTime() {
+		t.Fatalf("HaLoop total %v not below Hadoop %v", hl.TotalTime(), hd.TotalTime())
+	}
+	speedup := hd.TotalTime() / hl.TotalTime()
+	if speedup >= 2.0 {
+		t.Errorf("speedup = %.2fx; the paper observed well under 2x", speedup)
+	}
+	if speedup < 1.1 {
+		t.Errorf("speedup = %.2fx; the cache should help measurably", speedup)
+	}
+}
+
+func TestShuffleBugOnLargeClusters(t *testing.T) {
+	// §5.10: multi-iteration workloads fail with SHFL on 64 and 128
+	// machines; K-hop (3 iterations) completes everywhere.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	for _, m := range []int{64, 128} {
+		res := New().Run(sim.NewSize(m), f.Dataset, engine.NewPageRank(), engine.Options{})
+		if res.Status != sim.SHFL {
+			t.Errorf("HaLoop PageRank at %d: status %v, want SHFL", m, res.Status)
+		}
+		khop := New().Run(sim.NewSize(m), f.Dataset, engine.NewKHop(f.Dataset.Source), engine.Options{})
+		if khop.Status != sim.OK {
+			t.Errorf("HaLoop K-hop at %d: status %v, want OK (short runs dodge the bug)", m, khop.Status)
+		}
+	}
+	// Small clusters are unaffected.
+	res := New().Run(sim.NewSize(32), f.Dataset, engine.NewPageRank(), engine.Options{})
+	if res.Status != sim.OK {
+		t.Errorf("HaLoop PageRank at 32: status %v, want OK", res.Status)
+	}
+}
+
+func TestBetterCPUUtilization(t *testing.T) {
+	// §5.10: HaLoop's CPUs wait on I/O less than Hadoop's.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	w := engine.NewPageRankIters(8)
+	hd := enginetest.RunOK(t, mapreduce.New(), f, 16, w, engine.Options{})
+	hl := enginetest.RunOK(t, New(), f, 16, w, engine.Options{})
+	if hl.CPUIO >= hd.CPUIO {
+		t.Errorf("HaLoop I/O wait %v not below Hadoop %v", hl.CPUIO, hd.CPUIO)
+	}
+	// Both use similar, fixed memory (§5.10).
+	ratio := float64(hl.MemMax) / float64(hd.MemMax)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("memory ratio %v; paper reports similar footprints", ratio)
+	}
+}

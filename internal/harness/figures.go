@@ -1,0 +1,377 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"graphbench/internal/core"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/graphx"
+	"graphbench/internal/metrics"
+	"graphbench/internal/partition"
+	"graphbench/internal/sim"
+	"graphbench/internal/singlethread"
+)
+
+// Figure1Cores reproduces Figure 1: GraphLab PageRank (30 iterations,
+// Twitter, 16 machines) with the default two reserved communication
+// cores versus all four cores, sync and async.
+func Figure1Cores(r *core.Runner) string {
+	run := func(async, allCores bool) *engine.Result {
+		s, _ := core.SystemByKey("gl-s-r-i")
+		d := r.Dataset(datasets.Twitter)
+		w := engine.NewPageRankIters(30)
+		opt := engine.Options{Async: async, UseAllCores: allCores}
+		return s.New().Run(sim.NewSize(16), d, w, opt)
+	}
+	configs := []struct {
+		label           string
+		async, allCores bool
+	}{
+		{"sync/2cores", false, false},
+		{"sync/4cores", false, true},
+		{"async/2cores", true, false},
+		{"async/4cores", true, true},
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1: GraphLab cores for computation (PageRank x30, Twitter, 16 machines)\n")
+	max := 0.0
+	times := make([]float64, len(configs))
+	for i, c := range configs {
+		times[i] = run(c.async, c.allCores).Exec
+		if times[i] > max {
+			max = times[i]
+		}
+	}
+	for i, c := range configs {
+		b.WriteString(barLine(c.label, times[i], max, 40, metrics.FmtSeconds(times[i])) + "\n")
+	}
+	return b.String()
+}
+
+// Figure2PartitionSweep reproduces Figure 2: GraphX execution time as a
+// function of the partition count, for Twitter and UK at 32/64/128
+// machines. The default (#blocks) is marked.
+func Figure2PartitionSweep(r *core.Runner) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: GraphX performance vs number of partitions (PageRank x10)\n")
+	s, _ := core.SystemByKey("graphx")
+	for _, name := range []datasets.Name{datasets.Twitter, datasets.UK} {
+		d := r.Dataset(name)
+		def := graphx.DefaultPartitions(d)
+		sweep := []int{64, 128, 256, 512, 1024, def}
+		for _, m := range []int{32, 64, 128} {
+			fmt.Fprintf(&b, "  %s @ %d machines (default=%d partitions):\n", name, m, def)
+			times := make([]float64, len(sweep))
+			max := 0.0
+			for i, p := range sweep {
+				w := engine.NewPageRankIters(10)
+				res := s.New().Run(sim.NewSize(m), d, w, engine.Options{NumPartitions: p})
+				if res.Status == sim.OK {
+					times[i] = res.Exec
+					if times[i] > max {
+						max = times[i]
+					}
+				}
+			}
+			for i, p := range sweep {
+				label := fmt.Sprintf("p=%d", p)
+				if p == def {
+					label += "*"
+				}
+				suffix := metrics.FmtSeconds(times[i])
+				if times[i] == 0 {
+					suffix = "failed"
+				}
+				b.WriteString("    " + barLine(label, times[i], max, 36, suffix) + "\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// Figure3BlogelNoHDFS reproduces Figure 3: Blogel-B WCC on 16 machines
+// with and without the HDFS round-trip between partitioning and
+// execution.
+func Figure3BlogelNoHDFS(r *core.Runner) string {
+	s, _ := core.SystemByKey("blogel-b")
+	std := r.Run(s, datasets.Twitter, engine.WCC, 16)
+	mod := s.New().Run(sim.NewSize(16), r.Dataset(datasets.Twitter), r.Workload(engine.WCC, datasets.Twitter),
+		engine.Options{SkipHDFSRoundTrip: true})
+	var b strings.Builder
+	b.WriteString("Figure 3: modified Blogel-B (no HDFS round-trip), WCC, Twitter, 16 machines\n")
+	max := std.TotalTime()
+	b.WriteString(barLine("standard", std.TotalTime(), max, 40, cellPhases(std)) + "\n")
+	b.WriteString(barLine("modified", mod.TotalTime(), max, 40, cellPhases(mod)) + "\n")
+	reduction := (std.TotalTime() - mod.TotalTime()) / std.TotalTime() * 100
+	fmt.Fprintf(&b, "end-to-end reduction: %.0f%% (paper: ~50%%)\n", reduction)
+	return b.String()
+}
+
+// Figure4ApproxPR reproduces Figure 4: percentage of updated vertices
+// per iteration, approximate versus exact PageRank (GraphLab).
+func Figure4ApproxPR(r *core.Runner) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: % of vertices updated per iteration, approximate vs exact PageRank\n")
+	s, _ := core.SystemByKey("gl-s-r-t")
+	// Cluster sizes where GraphLab-random can load each dataset: WRN
+	// and UK do not fit small clusters (§5.2).
+	machinesFor := map[datasets.Name]int{datasets.Twitter: 16, datasets.UK: 64, datasets.WRN: 32}
+	for _, name := range []datasets.Name{datasets.Twitter, datasets.UK, datasets.WRN} {
+		d := r.Dataset(name)
+		approx := s.New().Run(sim.NewSize(machinesFor[name]), d, engine.NewPageRank(), engine.Options{Approximate: true})
+		if approx.Status != sim.OK {
+			fmt.Fprintf(&b, "  %s: %s\n", name, approx.Status)
+			continue
+		}
+		n := 0
+		for _, st := range approx.PerIteration {
+			if st.Active > n {
+				n = st.Active
+			}
+		}
+		fmt.Fprintf(&b, "  %s (exact updates 100%% every iteration):\n", name)
+		for i, st := range approx.PerIteration {
+			if i >= 10 {
+				fmt.Fprintf(&b, "    ... %d more iterations\n", len(approx.PerIteration)-i)
+				break
+			}
+			pct := float64(st.Active) / float64(n) * 100
+			b.WriteString("    " + barLine(fmt.Sprintf("iter %d", st.Iteration), pct, 100, 30,
+				fmt.Sprintf("%.0f%%", pct)) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// mainGrid renders one of the Figures 5–9 grids: systems × cluster
+// sizes for a workload and dataset, with phase decomposition and the
+// single-thread reference.
+func mainGrid(r *core.Runner, kind engine.Kind, names []datasets.Name, title string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	systems := core.MainGridSystems()
+	if kind == engine.PageRank {
+		systems = core.Systems()
+	}
+	for _, name := range names {
+		st := singleThreadSeconds(r, name, kind)
+		fmt.Fprintf(&b, "  %s (single thread: %s)\n", name, metrics.FmtSeconds(st))
+		var cells []core.Cell
+		for _, m := range core.ClusterSizes {
+			for _, s := range systems {
+				cells = append(cells, core.Cell{System: s, Dataset: name, Kind: kind, Machines: m})
+			}
+		}
+		results := r.RunGrid(cells)
+		i := 0
+		for _, m := range core.ClusterSizes {
+			fmt.Fprintf(&b, "    %d machines:\n", m)
+			max := 0.0
+			for j := range systems {
+				if res := results[i+j]; res != nil && res.Status == sim.OK && res.TotalTime() > max {
+					max = res.TotalTime()
+				}
+			}
+			for _, s := range systems {
+				res := results[i]
+				i++
+				val := 0.0
+				if res != nil && res.Status == sim.OK {
+					val = res.TotalTime()
+				}
+				b.WriteString("      " + barLine(s.Label, val, max, 30, cellPhases(res)) + "\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+func singleThreadSeconds(r *core.Runner, name datasets.Name, kind engine.Kind) float64 {
+	g := datasets.Generate(name, datasets.Options{Scale: r.Scale, Seed: r.Seed})
+	d := r.Dataset(name)
+	switch kind {
+	case engine.PageRank:
+		_, _, c := singlethread.PageRank(g, 0.15, 0.01, 0)
+		return singlethread.ModeledSeconds(c, r.Scale)
+	case engine.WCC:
+		_, c := singlethread.WCC(g)
+		return singlethread.ModeledSeconds(c, r.Scale)
+	case engine.SSSP:
+		_, c := singlethread.SSSP(g, d.Source)
+		return singlethread.ModeledSeconds(c, r.Scale)
+	default:
+		_, c := singlethread.KHop(g, d.Source, 3)
+		return singlethread.ModeledSeconds(c, r.Scale)
+	}
+}
+
+// Figure5Twitter reproduces Figure 5: Twitter across K-hop, WCC and
+// SSSP for all systems and cluster sizes.
+func Figure5Twitter(r *core.Runner) string {
+	var b strings.Builder
+	for _, kind := range []engine.Kind{engine.KHop, engine.WCC, engine.SSSP} {
+		b.WriteString(mainGrid(r, kind, []datasets.Name{datasets.Twitter},
+			fmt.Sprintf("Figure 5 (%s): Twitter results", kind)))
+	}
+	return b.String()
+}
+
+// Figure6PageRank reproduces Figure 6: PageRank over WRN, UK and
+// Twitter for all systems (including the six GraphLab variants).
+func Figure6PageRank(r *core.Runner) string {
+	return mainGrid(r, engine.PageRank,
+		[]datasets.Name{datasets.WRN, datasets.UK, datasets.Twitter},
+		"Figure 6: PageRank query results")
+}
+
+// Figure7KHop reproduces Figure 7.
+func Figure7KHop(r *core.Runner) string {
+	return mainGrid(r, engine.KHop,
+		[]datasets.Name{datasets.WRN, datasets.UK, datasets.Twitter},
+		"Figure 7: K-hop query results")
+}
+
+// Figure8SSSP reproduces Figure 8.
+func Figure8SSSP(r *core.Runner) string {
+	return mainGrid(r, engine.SSSP,
+		[]datasets.Name{datasets.WRN, datasets.UK, datasets.Twitter},
+		"Figure 8: SSSP query results")
+}
+
+// Figure9WCC reproduces Figure 9.
+func Figure9WCC(r *core.Runner) string {
+	return mainGrid(r, engine.WCC,
+		[]datasets.Name{datasets.WRN, datasets.UK, datasets.Twitter},
+		"Figure 9: WCC query results")
+}
+
+// Figure10AsyncMemory reproduces Figure 10: per-worker memory timelines
+// of GraphLab sync vs async PageRank on WRN at 128 machines.
+func Figure10AsyncMemory(r *core.Runner) string {
+	d := r.Dataset(datasets.WRN)
+	s, _ := core.SystemByKey("gl-s-r-t")
+	var b strings.Builder
+	b.WriteString("Figure 10: GraphLab memory per worker, PageRank on WRN, 128 machines\n")
+	for _, mode := range []struct {
+		label string
+		async bool
+	}{{"synchronous", false}, {"asynchronous", true}} {
+		res := s.New().Run(sim.NewSize(128), d, engine.NewPageRank(),
+			engine.Options{Async: mode.async, SampleMemory: true})
+		fmt.Fprintf(&b, "  %s (status %s):\n", mode.label, res.Status)
+		samples := res.MemTimeline
+		stride := len(samples)/8 + 1
+		for i := 0; i < len(samples); i += stride {
+			smp := samples[i]
+			var maxMem int64
+			for _, m := range smp.PerMach {
+				if m > maxMem {
+					maxMem = m
+				}
+			}
+			b.WriteString("    " + barLine(fmt.Sprintf("t=%s", metrics.FmtSeconds(smp.Time)),
+				float64(maxMem), float64(32*sim.GB), 30, metrics.FmtBytes(maxMem)) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Figure11Imbalance reproduces Figure 11: the distribution of 1200
+// partitions over 128 machines under Spark's placement.
+func Figure11Imbalance(seed int64) string {
+	counts := partition.SparkPlacement(1200, 128, seed)
+	hist := map[int]int{} // partitions-per-machine -> machines
+	maxC := 0
+	for _, c := range counts {
+		bucket := c / 5 * 5
+		hist[bucket]++
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Figure 11: GraphX partition placement, 1200 partitions on 128 machines\n")
+	fmt.Fprintf(&b, "  balanced would be %.1f per machine; most loaded machine has %d (paper: 54)\n",
+		1200.0/128, maxC)
+	for bucket := 0; bucket <= maxC; bucket += 5 {
+		if n := hist[bucket]; n > 0 {
+			b.WriteString("  " + barLine(fmt.Sprintf("%d-%d", bucket, bucket+4),
+				float64(n), 128, 40, fmt.Sprintf("%d machines", n)) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Figure12Vertica reproduces Figure 12: Vertica vs the graph systems on
+// UK at 32 machines — SSSP (116 iterations at paper scale) and 55
+// iterations of PageRank.
+func Figure12Vertica(r *core.Runner) string {
+	systems := []core.System{core.Vertica()}
+	for _, key := range []string{"blogel-v", "giraph", "gl-s-r-i", "graphx"} {
+		s, _ := core.SystemByKey(key)
+		systems = append(systems, s)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 12: Vertica vs graph systems, UK, 32 machines\n")
+	for _, spec := range []struct {
+		label string
+		kind  engine.Kind
+		iters int
+	}{{"SSSP", engine.SSSP, 0}, {"PageRank x55", engine.PageRank, 55}} {
+		fmt.Fprintf(&b, "  %s:\n", spec.label)
+		results := make([]*engine.Result, len(systems))
+		max := 0.0
+		for i, s := range systems {
+			d := r.Dataset(datasets.UK)
+			w := r.Workload(spec.kind, datasets.UK)
+			if spec.iters > 0 {
+				w = engine.NewPageRankIters(spec.iters)
+			}
+			opt := s.Opt
+			if s.Key == "graphx" {
+				opt.NumPartitions = graphx.TunedPartitions(d, 32)
+			}
+			results[i] = s.New().Run(sim.NewSize(32), d, w, opt)
+			if results[i].Status == sim.OK && results[i].TotalTime() > max {
+				max = results[i].TotalTime()
+			}
+		}
+		for i, s := range systems {
+			val := 0.0
+			if results[i].Status == sim.OK {
+				val = results[i].TotalTime()
+			}
+			b.WriteString("    " + barLine(s.Label, val, max, 36, cellTime(results[i])) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Figure13VerticaResources reproduces Figure 13: how Vertica uses
+// resources versus the graph systems while computing 55 iterations of
+// PageRank on UK with 64 machines — max user/I-O CPU, memory footprint,
+// and network usage.
+func Figure13VerticaResources(r *core.Runner) string {
+	systems := []core.System{core.Vertica()}
+	for _, key := range []string{"blogel-v", "giraph", "gl-s-r-i"} {
+		s, _ := core.SystemByKey(key)
+		systems = append(systems, s)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 13: resource usage, PageRank x55, UK, 64 machines\n")
+	b.WriteString(fmt.Sprintf("  %-10s %12s %12s %14s %12s\n", "system", "user CPU", "I/O wait", "mem footprint", "network"))
+	for _, s := range systems {
+		d := r.Dataset(datasets.UK)
+		res := s.New().Run(sim.NewSize(64), d, engine.NewPageRankIters(55), s.Opt)
+		if res.Status != sim.OK {
+			fmt.Fprintf(&b, "  %-10s %s\n", s.Label, res.Status)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %12s %12s %14s %12s\n", s.Label,
+			metrics.FmtSeconds(res.CPUUser), metrics.FmtSeconds(res.CPUIO),
+			metrics.FmtBytes(res.MemMax), metrics.FmtBytes(res.NetBytes))
+	}
+	return b.String()
+}

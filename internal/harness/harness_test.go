@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"graphbench/internal/core"
+)
+
+// testRunner uses a coarse scale so the full-grid figures stay fast.
+func testRunner() *core.Runner { return core.NewRunner(400_000, 1) }
+
+func TestStaticTables(t *testing.T) {
+	if out := Table1Systems(); !strings.Contains(out, "Blogel") || !strings.Contains(out, "Vertica") {
+		t.Errorf("Table 1 incomplete:\n%s", out)
+	}
+	if out := Table2Dimensions(); !strings.Contains(out, "Cluster Size") {
+		t.Errorf("Table 2 incomplete:\n%s", out)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := Table3Datasets(400_000, 1)
+	for _, want := range []string{"twitter", "wrn", "uk200705", "clueweb", "4.8e+04"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4ReplicationShape(t *testing.T) {
+	out := Table4Replication(400_000, 1)
+	if !strings.Contains(out, "grid") || !strings.Contains(out, "oblivious") {
+		t.Errorf("Table 4 should name the auto strategies:\n%s", out)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	out := Table5Partitions(testRunner())
+	if !strings.Contains(out, "1024") {
+		t.Errorf("Table 5 missing the UK@128 tuned value:\n%s", out)
+	}
+}
+
+func TestTable6(t *testing.T) {
+	out := Table6IterTime(testRunner())
+	if !strings.Contains(out, "Giraph SSSP") {
+		t.Errorf("Table 6 malformed:\n%s", out)
+	}
+}
+
+func TestTable7(t *testing.T) {
+	out := Table7ClueWeb(core.NewRunner(10_000_000, 1))
+	for _, w := range []string{"pagerank", "wcc", "sssp", "khop"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Table 7 missing %s:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "OOM") {
+		t.Errorf("Blogel-V should complete every ClueWeb workload (Table 7):\n%s", out)
+	}
+}
+
+func TestTable8(t *testing.T) {
+	out := Table8GiraphMemory(testRunner())
+	if !strings.Contains(out, "GB") {
+		t.Errorf("Table 8 has no memory values:\n%s", out)
+	}
+}
+
+func TestTable9COST(t *testing.T) {
+	out := Table9COST(testRunner())
+	if !strings.Contains(out, "COST") || !strings.Contains(out, "S=") {
+		t.Errorf("Table 9 malformed:\n%s", out)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	out := Figure1Cores(testRunner())
+	if !strings.Contains(out, "sync/4cores") {
+		t.Errorf("Figure 1 malformed:\n%s", out)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	out := Figure3BlogelNoHDFS(testRunner())
+	if !strings.Contains(out, "reduction") {
+		t.Errorf("Figure 3 malformed:\n%s", out)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	out := Figure4ApproxPR(testRunner())
+	if !strings.Contains(out, "iter 1") {
+		t.Errorf("Figure 4 malformed:\n%s", out)
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	out := Figure10AsyncMemory(testRunner())
+	if !strings.Contains(out, "asynchronous") || !strings.Contains(out, "OOM") {
+		t.Errorf("Figure 10 should show the async OOM:\n%s", out)
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	out := Figure11Imbalance(1)
+	if !strings.Contains(out, "most loaded machine") {
+		t.Errorf("Figure 11 malformed:\n%s", out)
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	out := Figure12Vertica(testRunner())
+	if !strings.Contains(out, "PageRank x55") || !strings.Contains(out, "V ") {
+		t.Errorf("Figure 12 malformed:\n%s", out)
+	}
+}
+
+func TestFigure13(t *testing.T) {
+	out := Figure13VerticaResources(testRunner())
+	if !strings.Contains(out, "I/O wait") {
+		t.Errorf("Figure 13 malformed:\n%s", out)
+	}
+}
+
+// TestPaperFindings asserts the headline claims of §1 hold in the
+// regenerated main grid at a representative point.
+func TestPaperFindings(t *testing.T) {
+	r := testRunner()
+
+	// "Blogel is the overall winner": BV has the best end-to-end time
+	// for Twitter PageRank at 16 machines among completions.
+	var cells []core.Cell
+	for _, s := range core.MainGridSystems() {
+		cells = append(cells, core.Cell{System: s, Dataset: "twitter", Kind: 0, Machines: 16})
+	}
+	best := core.BestParallel(r.RunGrid(cells))
+	if best == nil || best.System != "BV" {
+		got := "none"
+		if best != nil {
+			got = best.System
+		}
+		t.Errorf("best Twitter PageRank system = %s, want BV", got)
+	}
+}

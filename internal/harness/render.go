@@ -1,0 +1,66 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section from experiment runs on the simulated cluster.
+// Each function returns the rendered artifact as text; the benchmarks
+// in bench_test.go and cmd/graphbench print them.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"graphbench/internal/engine"
+	"graphbench/internal/metrics"
+	"graphbench/internal/sim"
+)
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	fmt.Fprintln(tw, strings.Join(underline(header), "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+func underline(header []string) []string {
+	out := make([]string, len(header))
+	for i, h := range header {
+		out[i] = strings.Repeat("-", len(h))
+	}
+	return out
+}
+
+// cellTime formats a result the way the paper's charts label bars:
+// total seconds for completions, the failure code otherwise.
+func cellTime(res *engine.Result) string {
+	if res == nil {
+		return "-"
+	}
+	if res.Status != sim.OK {
+		return res.Status.String()
+	}
+	return metrics.FmtSeconds(res.TotalTime())
+}
+
+// cellPhases formats the load/execute/save/overhead decomposition.
+func cellPhases(res *engine.Result) string {
+	if res == nil {
+		return "-"
+	}
+	if res.Status != sim.OK {
+		return res.Status.String()
+	}
+	return fmt.Sprintf("L%s E%s S%s O%s",
+		metrics.FmtSeconds(res.Load), metrics.FmtSeconds(res.Exec),
+		metrics.FmtSeconds(res.Save), metrics.FmtSeconds(res.Overhead))
+}
+
+// barLine renders one labeled horizontal bar.
+func barLine(label string, value, max float64, width int, suffix string) string {
+	return fmt.Sprintf("%-12s %-*s %s", label, width, metrics.Bar(value, max, width), suffix)
+}

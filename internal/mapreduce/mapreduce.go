@@ -1,0 +1,330 @@
+// Package mapreduce implements Hadoop MapReduce (§2.4): a disk-based
+// BSP data-processing framework running graph workloads as chains of
+// map/shuffle/sort/reduce jobs, one job per iteration.
+//
+// The paper's Hadoop pathology is reproduced structurally: every
+// iteration re-reads the whole graph from HDFS, shuffles both structure
+// and messages across the network, sorts them, and writes everything
+// back with replication — "excessive I/O with HDFS and data shuffling
+// at every iteration". The payoff, also reproduced: a small, fixed
+// memory footprint that never OOMs, making Hadoop the fallback when
+// graphs exceed cluster memory (§5.9, §5.10).
+package mapreduce
+
+import (
+	"math"
+
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/sim"
+)
+
+// Profile is Hadoop's cost profile: 4 mappers / 2 reducers per machine,
+// 30 GB granted, JVM text-record processing.
+var Profile = sim.Profile{
+	Name: "hadoop", Lang: "Java",
+	EdgeOpsPerSec:   40e6,
+	RecordCPUNs:     1500, // parse + serialize a text record
+	MsgBytes:        24,   // shuffled message record
+	MsgMemBytes:     0,    // disk-based: messages spill, they don't reside
+	VertexBytes:     0,
+	EdgeBytes:       0,
+	PerMachineBase:  5 * sim.GB, // mapper/reducer JVM heaps
+	Imbalance:       1.2,
+	JobStartup:      18, // job setup + task launch
+	JobStartupPerM:  0.12,
+	PressurePenalty: 0,
+}
+
+// Hadoop is the engine.
+type Hadoop struct {
+	Profile sim.Profile
+	// haloop-style extensions are configured by the haloop package.
+	InvariantCache bool    // cache loop-invariant data on local disk
+	LoopAwareSched bool    // mapper/partition affinity cuts shuffle
+	ShuffleBugAt   int     // iteration at which the SHFL bug fires on >=64 machines (0: never)
+	SpeedupName    string  // engine name override
+	ShuffleFactor  float64 // fraction of shuffle remaining under loop-aware scheduling
+}
+
+// New returns a plain Hadoop engine.
+func New() *Hadoop { return &Hadoop{Profile: Profile, ShuffleFactor: 1} }
+
+// Name implements engine.Engine.
+func (h *Hadoop) Name() string {
+	if h.SpeedupName != "" {
+		return h.SpeedupName
+	}
+	return "hadoop"
+}
+
+// jobCost is the modeled cost of one MapReduce job.
+type jobCost struct {
+	inputBytes   float64 // read from HDFS by mappers
+	mapRecords   float64 // records processed by mappers
+	interBytes   float64 // map output: spilled, shuffled, sorted
+	interRecords float64
+	reduceOut    float64 // bytes written back to HDFS (before replication)
+	dilation     float64 // iteration-dilation on this job's fixed costs
+}
+
+// charge runs one job against the cluster.
+func (h *Hadoop) charge(c *sim.Cluster, jc jobCost) error {
+	p := &h.Profile
+	m := float64(c.Size())
+	cores := c.Config().Cores
+	dil := jc.dilation
+	if dil < 1 {
+		dil = 1
+	}
+
+	if err := c.Advance(p.StartupSeconds(c.Size()) * dil); err != nil {
+		return err
+	}
+
+	shuffle := jc.interBytes * h.shuffleFactor()
+	sortCPU := jc.interRecords * math.Log2(math.Max(jc.interRecords/m, 2)) * 80e-9 / float64(cores)
+	cpu := p.RecordSeconds((jc.mapRecords+jc.interRecords)/m*p.Imbalance, cores) + sortCPU/m*p.Imbalance
+	// Per-machine shuffle share: 1/m of the volume, (m-1)/m of which
+	// crosses the network.
+	netPerMachine := shuffle / m * (m - 1) / m * p.Imbalance
+
+	costs := make([]sim.StepCost, c.Size())
+	for i := range costs {
+		costs[i] = sim.StepCost{
+			ComputeSeconds: cpu * dil,
+			DiskReadBytes:  (jc.inputBytes*dil + jc.interBytes) / m * p.Imbalance,
+			DiskWriteBytes: (jc.interBytes + jc.reduceOut*3) / m * p.Imbalance,
+			NetSendBytes:   netPerMachine,
+			NetRecvBytes:   netPerMachine,
+		}
+	}
+	return c.RunStep(costs)
+}
+
+func (h *Hadoop) shuffleFactor() float64 {
+	if h.LoopAwareSched && h.ShuffleFactor > 0 {
+		return h.ShuffleFactor
+	}
+	return 1
+}
+
+// Run implements engine.Engine.
+func (h *Hadoop) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt engine.Options) *engine.Result {
+	res := &engine.Result{System: h.Name(), Dataset: d.Name, Workload: w, Machines: c.Size()}
+	if opt.SampleMemory {
+		c.EnableSampling()
+	}
+
+	// Fixed JVM footprint for the task slots; disk-based processing
+	// never grows it (§5.9's "out-of-core systems may have a role").
+	if err := c.AllocAll(h.Profile.PerMachineBase); err != nil {
+		return res.Finish(c, err)
+	}
+
+	mark := c.Clock()
+	gr, err := d.LoadGraph(graph.FormatAdj)
+	if err != nil {
+		return res.Finish(c, err)
+	}
+	// "Load" for Hadoop is only staging: the data is already in HDFS.
+	res.Load = c.Clock() - mark
+
+	mark = c.Clock()
+	execErr := h.iterate(c, d, gr, w, res)
+	res.Exec = c.Clock() - mark
+	if execErr != nil {
+		return res.Finish(c, execErr)
+	}
+
+	// Final results are the last job's reduce output; saving is folded
+	// into the last job's write. Teardown:
+	mark = c.Clock()
+	err = c.Advance(h.Profile.StartupSeconds(c.Size()) * 0.3)
+	res.Overhead = c.Clock() - mark
+	return res.Finish(c, err)
+}
+
+// iterate drives the per-workload job chains. All four workloads do
+// real computation over the decoded graph; each iteration is charged as
+// a full MapReduce job.
+func (h *Hadoop) iterate(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engine.Workload, res *engine.Result) error {
+	n := gr.NumVertices()
+	adjBytes := float64(d.FileBytes(graph.FormatAdj))
+	stateBytes := float64(n) * d.Scale * 16
+	dil := d.DilationFor(w.Kind)
+
+	// The WCC chain starts with a reverse-edge job: map emits both
+	// directions, reduce materializes the undirected adjacency.
+	work := gr
+	if w.Kind == engine.WCC {
+		work = gr.Undirected()
+		if err := h.charge(c, jobCost{
+			inputBytes:   adjBytes,
+			mapRecords:   (float64(n) + float64(gr.NumEdges())) * d.Scale,
+			interBytes:   2 * float64(gr.NumEdges()) * d.Scale * h.Profile.MsgBytes,
+			interRecords: 2 * float64(gr.NumEdges()) * d.Scale,
+			reduceOut:    2 * adjBytes,
+			dilation:     1,
+		}); err != nil {
+			return err
+		}
+		adjBytes *= 2
+	}
+
+	values := make([]float64, n)
+	contrib := make([]float64, n)
+	next := make([]float64, n)
+	for v := range values {
+		switch w.Kind {
+		case engine.PageRank:
+			values[v] = 1
+		case engine.WCC:
+			values[v] = float64(v)
+		default:
+			values[v] = math.Inf(1)
+		}
+	}
+	if w.Kind == engine.SSSP || w.Kind == engine.KHop {
+		values[d.Source] = 0
+	}
+
+	iters := 0
+	for {
+		iters++
+		var msgs float64
+		maxDelta := 0.0
+		changed := 0
+
+		switch w.Kind {
+		case engine.PageRank:
+			for v := 0; v < n; v++ {
+				if deg := work.OutDegree(graph.VertexID(v)); deg > 0 {
+					contrib[v] = values[v] / float64(deg)
+					msgs += float64(deg)
+				} else {
+					contrib[v] = 0
+				}
+			}
+			for v := 0; v < n; v++ {
+				sum := 0.0
+				for _, u := range work.InNeighbors(graph.VertexID(v)) {
+					sum += contrib[u]
+				}
+				nv := w.Damping + (1-w.Damping)*sum
+				if dd := math.Abs(nv - values[v]); dd > maxDelta {
+					maxDelta = dd
+				}
+				next[v] = nv
+			}
+			values, next = next, values
+		default:
+			// HashMin / BFS relaxation: map emits values along edges,
+			// reduce takes the min. Hadoop scans every record whether
+			// or not it changed — the frontier does not shrink the job.
+			copy(next, values)
+			for v := 0; v < n; v++ {
+				if math.IsInf(values[v], 1) {
+					continue
+				}
+				emit := values[v]
+				if w.Kind != engine.WCC {
+					emit++
+				}
+				for _, u := range work.OutNeighbors(graph.VertexID(v)) {
+					msgs++
+					if emit < next[u] {
+						next[u] = emit
+					}
+				}
+			}
+			for v := range next {
+				if next[v] != values[v] {
+					changed++
+				}
+			}
+			values, next = next, values
+		}
+
+		res.PerIteration = append(res.PerIteration, engine.IterStat{Iteration: iters, Active: n, Updates: changed})
+
+		// The HaLoop shuffle bug: on large clusters mapper output is
+		// occasionally deleted before all reducers consume it, killing
+		// the run after a few iterations (§5.10).
+		if h.ShuffleBugAt > 0 && c.Size() >= 64 && iters >= h.ShuffleBugAt {
+			res.Iterations = iters
+			h.fill(res, w, values)
+			return &sim.Failure{Status: sim.SHFL,
+				Detail: "mapper output deleted before reducers consumed it"}
+		}
+
+		jc := jobCost{
+			inputBytes:   adjBytes + stateBytes,
+			mapRecords:   float64(n)*d.Scale + msgs*d.Scale,
+			interBytes:   msgs*d.Scale*h.Profile.MsgBytes + adjBytes, // messages + structure pass-through
+			interRecords: msgs*d.Scale + float64(n)*d.Scale,
+			reduceOut:    adjBytes + stateBytes,
+			dilation:     dil,
+		}
+		if h.InvariantCache && iters > 1 {
+			// HaLoop: loop-invariant adjacency is cached and indexed on
+			// local disk; state is re-read from HDFS, the structure is
+			// read from the local cache (cheaper, not free) and no
+			// longer rides the shuffle (§2.5.1). The savings are real
+			// but far from the 2x HaLoop's authors reported (§5.10).
+			jc.inputBytes = stateBytes + adjBytes*0.6
+			jc.interBytes = msgs * d.Scale * h.Profile.MsgBytes
+			jc.reduceOut = stateBytes + adjBytes*0.3
+		}
+		if err := h.charge(c, jc); err != nil {
+			res.Iterations = iters
+			h.fill(res, w, values)
+			return err
+		}
+
+		switch w.Kind {
+		case engine.PageRank:
+			if w.MaxIterations > 0 && iters >= w.MaxIterations {
+				goto done
+			}
+			if w.MaxIterations <= 0 && maxDelta < w.Tolerance {
+				goto done
+			}
+		case engine.KHop:
+			if iters >= w.K {
+				goto done
+			}
+		default:
+			if changed == 0 {
+				goto done
+			}
+		}
+	}
+done:
+	res.Iterations = int(float64(iters)*dil + 0.5)
+	h.fill(res, w, values)
+	return nil
+}
+
+func (h *Hadoop) fill(res *engine.Result, w engine.Workload, values []float64) {
+	switch w.Kind {
+	case engine.PageRank:
+		res.Ranks = values
+	case engine.WCC:
+		labels := make([]graph.VertexID, len(values))
+		for i, v := range values {
+			labels[i] = graph.VertexID(v)
+		}
+		res.Labels = labels
+	default:
+		dist := make([]int32, len(values))
+		for i, v := range values {
+			if math.IsInf(v, 1) {
+				dist[i] = -1
+			} else {
+				dist[i] = int32(v)
+			}
+		}
+		res.Dist = dist
+	}
+}

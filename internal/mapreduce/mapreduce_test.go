@@ -1,0 +1,62 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/enginetest"
+	"graphbench/internal/sim"
+)
+
+func TestAllWorkloadsCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	enginetest.VerifyAllWorkloads(t, New(), f, 16, 1e-9, engine.Options{})
+}
+
+func TestDiskBasedNeverOOMs(t *testing.T) {
+	// §5.9: out-of-core systems can finish when memory is constrained.
+	// ClueWeb K-hop on a 16-machine cluster kills every in-memory
+	// system; Hadoop plods through.
+	f := enginetest.Prepare(t, datasets.ClueWeb, 10_000_000)
+	res := New().Run(sim.NewSize(16), f.Dataset, engine.NewKHop(f.Dataset.Source), engine.Options{})
+	if res.Status != sim.OK {
+		t.Fatalf("Hadoop ClueWeb K-hop at 16: status %v (%v)", res.Status, res.Err)
+	}
+	if res.MemMax > 10*sim.GB {
+		t.Errorf("Hadoop per-machine memory = %d bytes; should stay small and fixed", res.MemMax)
+	}
+}
+
+func TestSlowestOnIterativeWorkloads(t *testing.T) {
+	// Hadoop pays a full job (startup + scan + shuffle + write) per
+	// iteration; per-iteration cost must dwarf BSP systems'.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	res := enginetest.RunOK(t, New(), f, 16, engine.NewPageRankIters(5), engine.Options{})
+	perIter := res.Exec / 5
+	if perIter < 30 {
+		t.Errorf("Hadoop per-iteration time = %.1fs; the paper reports minutes-scale iterations", perIter)
+	}
+	if res.CPUIO <= 0 {
+		t.Error("no disk I/O charged")
+	}
+}
+
+func TestWRNTraversalTimesOut(t *testing.T) {
+	// Figure 8: Hadoop cannot finish SSSP on the road network within
+	// 24 hours at any cluster size.
+	f := enginetest.Prepare(t, datasets.WRN, 2_000_000)
+	res := New().Run(sim.NewSize(128), f.Dataset, engine.NewSSSP(f.Dataset.Source), engine.Options{})
+	if res.Status != sim.TO {
+		t.Fatalf("Hadoop WRN SSSP at 128: status %v, want TO", res.Status)
+	}
+}
+
+func TestHadoopNoShuffleBug(t *testing.T) {
+	// The SHFL failure belongs to HaLoop, not Hadoop.
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	res := enginetest.RunOK(t, New(), f, 64, engine.NewPageRankIters(8), engine.Options{})
+	if res.Status != sim.OK {
+		t.Fatalf("plain Hadoop hit %v", res.Status)
+	}
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphbench/internal/engine"
+	"graphbench/internal/sim"
+)
+
+func sampleResult() *engine.Result {
+	return &engine.Result{
+		System: "BV", Dataset: "twitter", Workload: engine.NewPageRank(),
+		Machines: 16, Status: sim.OK,
+		Load: 10, Exec: 55, Save: 1, Overhead: 2,
+		Iterations: 7, NetBytes: 1 << 30, MemTotal: 90 << 30, MemMax: 6 << 30,
+		CPUUser: 100, CPUIO: 5, CPUNet: 20, CPUIdle: 30,
+		ReplicationFactor: 9.3,
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	r := FromResult(sampleResult())
+	if r.System != "BV" || r.Workload != "pagerank" || r.Status != "OK" {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.Total != 68 {
+		t.Fatalf("Total = %v, want 68", r.Total)
+	}
+	if r.RepFact != 9.3 {
+		t.Fatalf("RepFact = %v", r.RepFact)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	recs := []Record{FromResult(sampleResult()), FromResult(sampleResult())}
+	recs[1].System = "G"
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].System != "BV" || got[1].System != "G" {
+		t.Fatalf("round trip lost records: %+v", got)
+	}
+}
+
+func TestReadLogSkipsBlanksRejectsGarbage(t *testing.T) {
+	got, err := ReadLog(strings.NewReader("\n\n{\"system\":\"BV\"}\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank handling: %v %v", got, err)
+	}
+	if _, err := ReadLog(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	recs := []Record{
+		{System: "BV", Dataset: "twitter", Workload: "pagerank", Machines: 16},
+		{System: "G", Dataset: "twitter", Workload: "wcc", Machines: 32},
+		{System: "BV", Dataset: "wrn", Workload: "pagerank", Machines: 16},
+	}
+	if got := Filter(recs, "BV", "", "", 0); len(got) != 2 {
+		t.Fatalf("system filter: %d", len(got))
+	}
+	if got := Filter(recs, "", "twitter", "", 0); len(got) != 2 {
+		t.Fatalf("dataset filter: %d", len(got))
+	}
+	if got := Filter(recs, "BV", "twitter", "pagerank", 16); len(got) != 1 {
+		t.Fatalf("combined filter: %d", len(got))
+	}
+	if got := Filter(recs, "", "", "", 64); len(got) != 0 {
+		t.Fatalf("machines filter: %d", len(got))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(50, 100, 10); got != "█████" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(0, 100, 10); got != "" {
+		t.Errorf("zero Bar = %q", got)
+	}
+	if got := Bar(1, 1000, 10); got != "█" {
+		t.Errorf("tiny nonzero should render one cell, got %q", got)
+	}
+	if got := Bar(200, 100, 10); len([]rune(got)) != 10 {
+		t.Errorf("overflow Bar = %q", got)
+	}
+	if got := Bar(5, 0, 10); got != "" {
+		t.Errorf("zero-max Bar = %q", got)
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1.5:    "1.50s",
+		42:     "42s",
+		999:    "999s",
+		12117:  "12,117s",
+		123456: "123,456s",
+	}
+	for in, want := range cases {
+		if got := FmtSeconds(in); got != want {
+			t.Errorf("FmtSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	if got := FmtBytes(191 << 30); got != "191 GB" {
+		t.Errorf("FmtBytes = %q", got)
+	}
+	if got := FmtBytes(3 << 30); got != "3.0 GB" {
+		t.Errorf("FmtBytes = %q", got)
+	}
+	if got := FmtBytes(10 << 20); got != "10 MB" {
+		t.Errorf("FmtBytes = %q", got)
+	}
+}

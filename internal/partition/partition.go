@@ -1,0 +1,65 @@
+// Package partition implements every partitioning strategy used in the
+// paper: random hash edge-cut (Hadoop, HaLoop, Giraph, Vertica, Gelly),
+// the four vertex-cut strategies of GraphLab/PowerGraph with the Auto
+// selection rule of §4.4.1 (Random, Grid, PDS, Oblivious), the Graph
+// Voronoi Diagram partitioner of Blogel-B, and the Spark partition
+// placement model behind Figure 11's imbalance.
+package partition
+
+import (
+	"graphbench/internal/graph"
+)
+
+// hash64 is a splitmix64-style mixer: deterministic, seedable, and good
+// enough to stand in for the hash partitioners of the real systems.
+func hash64(x, seed uint64) uint64 {
+	x += seed + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// EdgeCut is random hash edge-cut partitioning: each vertex (with all
+// its out-edges) is assigned to one machine.
+type EdgeCut struct {
+	M    int
+	Seed int64
+}
+
+// MachineOf returns the machine that owns vertex v.
+func (p EdgeCut) MachineOf(v graph.VertexID) int {
+	return int(hash64(uint64(v), uint64(p.Seed)) % uint64(p.M))
+}
+
+// Counts returns per-machine counts of owned vertices and of the
+// out-edges stored with them.
+func (p EdgeCut) Counts(g *graph.Graph) (vertices, edges []int) {
+	vertices = make([]int, p.M)
+	edges = make([]int, p.M)
+	for v := 0; v < g.NumVertices(); v++ {
+		m := p.MachineOf(graph.VertexID(v))
+		vertices[m]++
+		edges[m] += g.OutDegree(graph.VertexID(v))
+	}
+	return vertices, edges
+}
+
+// Imbalance returns max/avg of the per-machine edge counts — the
+// straggler factor of a partitioning.
+func Imbalance(counts []int) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	avg := float64(total) / float64(len(counts))
+	return float64(max) / avg
+}

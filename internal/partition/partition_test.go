@@ -1,0 +1,365 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/graph"
+)
+
+func randomGraph(n, e int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < e; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestEdgeCutDeterministicAndComplete(t *testing.T) {
+	g := randomGraph(100, 400, 1)
+	p := EdgeCut{M: 8, Seed: 42}
+	for v := 0; v < g.NumVertices(); v++ {
+		m := p.MachineOf(graph.VertexID(v))
+		if m < 0 || m >= 8 {
+			t.Fatalf("machine %d out of range", m)
+		}
+		if m != p.MachineOf(graph.VertexID(v)) {
+			t.Fatal("MachineOf not deterministic")
+		}
+	}
+	verts, edges := p.Counts(g)
+	tv, te := 0, 0
+	for i := range verts {
+		tv += verts[i]
+		te += edges[i]
+	}
+	if tv != 100 || te != 400 {
+		t.Fatalf("counts lose mass: %d vertices, %d edges", tv, te)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]int{10, 10, 10, 10}); got != 1 {
+		t.Errorf("balanced imbalance = %v, want 1", got)
+	}
+	if got := Imbalance([]int{30, 10}); got != 1.5 {
+		t.Errorf("imbalance = %v, want 1.5", got)
+	}
+	if got := Imbalance(nil); got != 1 {
+		t.Errorf("empty imbalance = %v, want 1", got)
+	}
+	if got := Imbalance([]int{0, 0}); got != 1 {
+		t.Errorf("zero imbalance = %v, want 1", got)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := []struct {
+		m, x, y int
+		ok      bool
+	}{
+		{16, 4, 4, true},
+		{64, 8, 8, true},
+		{12, 3, 4, true},
+		{6, 2, 3, true},
+		{32, 4, 8, false}, // |4-8| > 2
+		{128, 8, 16, false},
+	}
+	for _, c := range cases {
+		x, y, ok := gridShape(c.m)
+		if ok != c.ok || (ok && (x != c.x || y != c.y)) {
+			t.Errorf("gridShape(%d) = (%d,%d,%v), want (%d,%d,%v)", c.m, x, y, ok, c.x, c.y, c.ok)
+		}
+	}
+}
+
+func TestPDSOrder(t *testing.T) {
+	for _, m := range []int{7, 13, 21, 31, 57, 133} {
+		if _, ok := pdsOrder(m); !ok {
+			t.Errorf("pdsOrder(%d) not recognized", m)
+		}
+	}
+	for _, m := range []int{16, 32, 64, 128} {
+		if _, ok := pdsOrder(m); ok {
+			t.Errorf("pdsOrder(%d) should not exist (paper cluster sizes use grid/oblivious)", m)
+		}
+	}
+}
+
+func TestPerfectDifferenceSetProperty(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5} {
+		m := p*p + p + 1
+		s := perfectDifferenceSet(m, p)
+		if len(s) != p+1 {
+			t.Fatalf("p=%d: set size %d, want %d", p, len(s), p+1)
+		}
+		seen := make([]bool, m)
+		for i := range s {
+			for j := range s {
+				if i == j {
+					continue
+				}
+				d := ((s[i]-s[j])%m + m) % m
+				if seen[d] {
+					t.Fatalf("p=%d: difference %d repeated", p, d)
+				}
+				seen[d] = true
+			}
+		}
+		for d := 1; d < m; d++ {
+			if !seen[d] {
+				t.Fatalf("p=%d: difference %d missing", p, d)
+			}
+		}
+	}
+}
+
+func TestAutoKindMatchesPaper(t *testing.T) {
+	// §5.4: Grid at 16 and 64 machines, Oblivious at 32 and 128.
+	cases := map[int]VertexCutKind{
+		16: VCGrid, 64: VCGrid,
+		32: VCOblivious, 128: VCOblivious,
+		13: VCPDS, 57: VCPDS,
+	}
+	for m, want := range cases {
+		if got := AutoKind(m); got != want {
+			t.Errorf("AutoKind(%d) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestVertexCutInvariants(t *testing.T) {
+	g := randomGraph(200, 2000, 3)
+	for _, kind := range []VertexCutKind{VCRandom, VCGrid, VCOblivious} {
+		m := 16
+		vc := BuildVertexCut(g, m, kind, 7)
+		// Every edge assigned exactly once to a valid machine.
+		total := 0
+		for _, c := range vc.EdgeCounts() {
+			total += c
+		}
+		if total != g.NumEdges() {
+			t.Errorf("%v: %d edges placed, want %d", kind, total, g.NumEdges())
+		}
+		// Each edge's machine holds replicas of both endpoints.
+		idx := 0
+		bad := 0
+		g.Edges(func(src, dst graph.VertexID) bool {
+			mach := vc.MachineOfEdge(idx)
+			if !vc.replicas[src].has(mach) || !vc.replicas[dst].has(mach) {
+				bad++
+			}
+			idx++
+			return true
+		})
+		if bad > 0 {
+			t.Errorf("%v: %d edges on machines lacking endpoint replicas", kind, bad)
+		}
+		rf := vc.ReplicationFactor()
+		if rf < 1 || rf > float64(m) {
+			t.Errorf("%v: replication factor %v out of range", kind, rf)
+		}
+	}
+}
+
+func TestVertexCutPDS(t *testing.T) {
+	g := randomGraph(150, 1500, 5)
+	vc := BuildVertexCut(g, 13, VCPDS, 7) // 13 = 3²+3+1
+	total := 0
+	for _, c := range vc.EdgeCounts() {
+		total += c
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("PDS lost edges: %d/%d", total, g.NumEdges())
+	}
+	// PDS bounds replicas by |S| = p+1 = 4... plus the endpoint's own
+	// hash set; every vertex's replicas must lie inside its candidate
+	// set, which has p+1 members for each of the two roles.
+	if rf := vc.ReplicationFactor(); rf > 8 {
+		t.Errorf("PDS replication factor %v, want <= 2(p+1)", rf)
+	}
+}
+
+func TestConstrainedCutsReduceReplication(t *testing.T) {
+	// §4.4.1: grid/oblivious exist to reduce the replication factor
+	// versus random. Use a skewed graph where it matters.
+	g := datasets.Generate(datasets.Twitter, datasets.Options{Scale: 200_000, Seed: 1})
+	random := BuildVertexCut(g, 16, VCRandom, 7).ReplicationFactor()
+	grid := BuildVertexCut(g, 16, VCGrid, 7).ReplicationFactor()
+	obl := BuildVertexCut(g, 16, VCOblivious, 7).ReplicationFactor()
+	if grid >= random {
+		t.Errorf("grid replication %v not below random %v", grid, random)
+	}
+	if obl >= random {
+		t.Errorf("oblivious replication %v not below random %v", obl, random)
+	}
+}
+
+func TestMasterOf(t *testing.T) {
+	g := randomGraph(50, 200, 9)
+	vc := BuildVertexCut(g, 8, VCRandom, 7)
+	for v := 0; v < g.NumVertices(); v++ {
+		master := vc.MasterOf(graph.VertexID(v))
+		if master < 0 || master >= 8 {
+			t.Fatalf("master %d out of range", master)
+		}
+		if vc.NumReplicas(graph.VertexID(v)) > 0 && !vc.replicas[v].has(master) {
+			t.Fatalf("master of %d not among its replicas", v)
+		}
+	}
+}
+
+func TestVoronoiCoversAllVertices(t *testing.T) {
+	g := datasets.Generate(datasets.WRN, datasets.Options{Scale: 400_000, Seed: 1})
+	v := BuildVoronoi(g, 4, 11, VoronoiOptions{})
+	for i, b := range v.BlockOf {
+		if b < 0 || int(b) >= v.NumBlocks {
+			t.Fatalf("vertex %d in invalid block %d", i, b)
+		}
+	}
+	sum := 0
+	for _, s := range v.BlockSizes {
+		sum += s
+	}
+	if sum != g.NumVertices() {
+		t.Fatalf("block sizes sum to %d, want %d", sum, g.NumVertices())
+	}
+}
+
+func TestVoronoiBlocksAreConnected(t *testing.T) {
+	g := datasets.Generate(datasets.WRN, datasets.Options{Scale: 800_000, Seed: 2})
+	u := g.Undirected()
+	v := BuildVoronoi(g, 4, 3, VoronoiOptions{})
+	// BFS within each block must reach the whole block.
+	seen := make([]bool, g.NumVertices())
+	for start := 0; start < g.NumVertices(); start++ {
+		if seen[start] {
+			continue
+		}
+		block := v.BlockOf[start]
+		count := 0
+		stack := []graph.VertexID{graph.VertexID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			count++
+			for _, w := range u.OutNeighbors(x) {
+				if !seen[w] && v.BlockOf[w] == block {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		_ = count
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d not reached within its own block: block not connected", i)
+		}
+	}
+}
+
+func TestVoronoiBlockGraphAndPacking(t *testing.T) {
+	g := datasets.Generate(datasets.UK, datasets.Options{Scale: 400_000, Seed: 1})
+	m := 8
+	v := BuildVoronoi(g, m, 5, VoronoiOptions{})
+	if v.NumBlocks < m {
+		t.Logf("only %d blocks for %d machines (acceptable for tiny graphs)", v.NumBlocks, m)
+	}
+	counts := v.MachineVertexCounts(m)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("machine vertex counts sum to %d, want %d", total, g.NumVertices())
+	}
+	// Cross-block edges must be consistent between the two counters.
+	if v.CrossBlockEdges() < v.CrossMachineEdges(g) {
+		t.Errorf("cross-block (%d) < cross-machine (%d): blocks span machines?",
+			v.CrossBlockEdges(), v.CrossMachineEdges(g))
+	}
+	for x := 0; x < g.NumVertices(); x++ {
+		mach := v.MachineOf(graph.VertexID(x))
+		if mach < 0 || mach >= m {
+			t.Fatalf("vertex %d on invalid machine %d", x, mach)
+		}
+	}
+}
+
+func TestVoronoiReducesDiameterForRoads(t *testing.T) {
+	// The entire point of Blogel-B on WRN: the block graph has a far
+	// smaller diameter than the vertex graph.
+	g := datasets.Generate(datasets.WRN, datasets.Options{Scale: 400_000, Seed: 1})
+	v := BuildVoronoi(g, 8, 3, VoronoiOptions{})
+	if v.NumBlocks >= g.NumVertices()/2 {
+		t.Fatalf("voronoi produced %d blocks for %d vertices: no compression", v.NumBlocks, g.NumVertices())
+	}
+}
+
+func TestTunedPartitionsMatchesTable5(t *testing.T) {
+	// Table 5: per dataset blocks and cluster size -> partitions.
+	cases := []struct {
+		blocks, machines, want int
+	}{
+		{440, 16, 128}, {440, 32, 256}, {440, 64, 440}, {440, 128, 440},
+		{240, 16, 128}, {240, 32, 240}, {240, 64, 240}, {240, 128, 240},
+		{1200, 16, 128}, {1200, 32, 256}, {1200, 64, 512}, {1200, 128, 1024},
+	}
+	for _, c := range cases {
+		if got := TunedPartitions(c.blocks, c.machines*4); got != c.want {
+			t.Errorf("TunedPartitions(%d, %d machines) = %d, want %d", c.blocks, c.machines, got, c.want)
+		}
+	}
+}
+
+func TestSparkPlacementSkewed(t *testing.T) {
+	counts := SparkPlacement(1200, 128, 1)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1200 {
+		t.Fatalf("placement lost partitions: %d/1200", total)
+	}
+	max := MaxCount(counts)
+	// Figure 11: balanced would be 9.4; the paper observed one machine
+	// with 54. The model must reproduce a severe skew.
+	if max < 25 {
+		t.Errorf("max partitions per machine = %d, want the Figure 11 skew (>= 25)", max)
+	}
+	if max > 120 {
+		t.Errorf("max partitions per machine = %d: implausibly skewed", max)
+	}
+}
+
+// Property: vertex-cut never loses or duplicates edges for any graph.
+func TestQuickVertexCutComplete(t *testing.T) {
+	f := func(seed int64, mSel uint8) bool {
+		ms := []int{2, 4, 6, 16}[int(mSel)%4]
+		g := randomGraph(40, 160, seed)
+		for _, kind := range []VertexCutKind{VCRandom, VCGrid, VCOblivious} {
+			if kind == VCGrid {
+				if _, _, ok := gridShape(ms); !ok {
+					continue
+				}
+			}
+			vc := BuildVertexCut(g, ms, kind, seed)
+			total := 0
+			for _, c := range vc.EdgeCounts() {
+				total += c
+			}
+			if total != g.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

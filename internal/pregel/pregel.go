@@ -1,0 +1,213 @@
+// Package pregel implements Giraph (§2.1.1): the open-source Pregel.
+// It is a map-only Hadoop application, so every run pays Hadoop job
+// startup/teardown that grows with cluster size (§5.5, §5.7); the graph
+// is loaded fully into memory with random hash edge-cut partitioning;
+// computation is vertex-centric BSP with message combiners; every
+// superstep touches all owned vertex partitions, which puts a floor on
+// per-iteration time (Table 6).
+package pregel
+
+import (
+	"graphbench/internal/bsp"
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/hdfs"
+	"graphbench/internal/partition"
+	"graphbench/internal/sim"
+)
+
+// Profile is Giraph's cost profile. Calibration (EXPERIMENTS.md):
+// per-vertex scan cost fitted to Table 6's WRN iteration times (6 s at
+// 16 machines, 3 s at 32, including the 1.3x straggler factor); the
+// memory model to Table 8's cluster totals (~192 GB for Twitter at 16
+// machines, growing ~6 GB per added machine).
+var Profile = sim.Profile{
+	Name: "giraph", Lang: "Java",
+	EdgeOpsPerSec:   60e6,
+	VertexScanNs:    440,
+	MsgCPUNs:        600,
+	MsgBytes:        12,
+	VertexBytes:     300,
+	EdgeBytes:       60,
+	MsgMemBytes:     16,
+	PerMachineBase:  6 * sim.GB,
+	Imbalance:       1.3,
+	SuperstepFixed:  0.1,
+	JobStartup:      15,
+	JobStartupPerM:  0.5,
+	PressurePenalty: 4,
+}
+
+// Giraph is the engine.
+type Giraph struct {
+	Profile sim.Profile
+}
+
+// New returns a Giraph engine with the default profile.
+func New() *Giraph { return &Giraph{Profile: Profile} }
+
+// Name implements engine.Engine.
+func (g *Giraph) Name() string { return "giraph" }
+
+// memFactors returns the workload-specific multipliers on vertex and
+// edge memory: WCC materializes reverse edges and per-vertex neighbor
+// sets (§5.8), roughly doubling both.
+func memFactors(w engine.Workload) (vf, ef float64) {
+	if w.Kind == engine.WCC {
+		return 2.0, 2.4
+	}
+	return 1, 1
+}
+
+// Run implements engine.Engine.
+func (g *Giraph) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt engine.Options) *engine.Result {
+	res := &engine.Result{System: g.Name(), Dataset: d.Name, Workload: w, Machines: c.Size()}
+	if opt.SampleMemory {
+		c.EnableSampling()
+	}
+	prof := g.Profile
+	m := c.Size()
+
+	// Job startup through the Hadoop resource manager.
+	mark := c.Clock()
+	if err := c.Advance(prof.StartupSeconds(m)); err != nil {
+		res.Overhead = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Overhead = c.Clock() - mark
+
+	// Load: read the adj file from HDFS, shuffle records to their hash
+	// partition, build in-memory vertex/edge structures.
+	mark = c.Clock()
+	gr, err := d.LoadGraph(graph.FormatAdj)
+	if err != nil {
+		return res.Finish(c, err)
+	}
+	loaded, err := chargeLoad(c, &prof, d, gr, w)
+	if err != nil {
+		res.Load = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Load = c.Clock() - mark
+
+	// Execute.
+	mark = c.Clock()
+	cut := partition.EdgeCut{M: m, Seed: 7}
+	cfg := bsp.Config{
+		Graph:           gr,
+		Scale:           d.Scale,
+		M:               m,
+		MachineOf:       cut.MachineOf,
+		Profile:         &prof,
+		ScanAll:         true,
+		RecordIterStats: true,
+	}
+	configureWorkload(&cfg, w, d, opt)
+	out, err := bsp.Run(c, cfg)
+	res.Exec = c.Clock() - mark
+	res.Iterations = dilatedIterations(out.Supersteps, cfg.TimeDilation)
+	res.PerIteration = out.IterStats
+	fillOutputs(res, w, out)
+	if err != nil {
+		return res.Finish(c, err)
+	}
+
+	// Save results to HDFS (one record per vertex).
+	mark = c.Clock()
+	resultBytes := int64(float64(gr.NumVertices()) * d.Scale * 16)
+	if err := c.Advance(hdfs.WriteSeconds(resultBytes, m, c.Config().DiskBW, c.Config().NetBW)); err != nil {
+		res.Save = c.Clock() - mark
+		return res.Finish(c, err)
+	}
+	res.Save = c.Clock() - mark
+
+	// Teardown: releasing containers back to Hadoop.
+	mark = c.Clock()
+	err = c.Advance(prof.StartupSeconds(m) * 0.4)
+	res.Overhead += c.Clock() - mark
+	c.FreeAll(loaded)
+	return res.Finish(c, err)
+}
+
+// chargeLoad charges the read+shuffle+build time and the resident
+// memory of the loaded graph; it returns the per-machine bytes held
+// until the run ends.
+func chargeLoad(c *sim.Cluster, prof *sim.Profile, d *engine.Dataset, gr *graph.Graph, w engine.Workload) (int64, error) {
+	m := c.Size()
+	bytes := d.FileBytes(graph.FormatAdj)
+	perMachine := float64(bytes) / float64(m)
+	costs := make([]sim.StepCost, m)
+	parse := prof.EdgeSeconds(float64(gr.NumEdges())*d.Scale/float64(m), c.Config().Cores)
+	for i := range costs {
+		costs[i] = sim.StepCost{
+			ComputeSeconds: parse,
+			DiskReadBytes:  perMachine,
+			NetSendBytes:   perMachine * float64(m-1) / float64(m),
+			NetRecvBytes:   perMachine * float64(m-1) / float64(m),
+		}
+	}
+	if err := c.RunStep(costs); err != nil {
+		return 0, err
+	}
+
+	vf, ef := memFactors(w)
+	graphBytes := float64(gr.NumVertices())*d.Scale*prof.VertexBytes*vf +
+		float64(gr.NumEdges())*d.Scale*prof.EdgeBytes*ef
+	perMachineMem := int64(graphBytes/float64(m)*prof.Imbalance) + prof.PerMachineBase
+	for i := 0; i < m; i++ {
+		if err := c.Alloc(i, perMachineMem); err != nil {
+			return perMachineMem, err
+		}
+	}
+	return perMachineMem, nil
+}
+
+// configureWorkload wires the §3 vertex programs into the BSP config.
+func configureWorkload(cfg *bsp.Config, w engine.Workload, d *engine.Dataset, opt engine.Options) {
+	switch w.Kind {
+	case engine.PageRank:
+		cfg.Program = &bsp.PageRankProgram{Damping: w.Damping}
+		cfg.Combine = bsp.SumCombine
+		cfg.StopDeltaBelow = w.Tolerance
+		cfg.FixedSupersteps = w.MaxIterations
+	case engine.WCC:
+		cfg.Program = bsp.WCCProgram{}
+		cfg.Combine = bsp.MinCombine
+		cfg.CombineFrom = 1
+		cfg.UseInNeighbors = true
+		cfg.TimeDilation = d.DilationFor(engine.WCC)
+	case engine.SSSP:
+		cfg.Program = &bsp.SSSPProgram{Source: d.Source}
+		cfg.Combine = bsp.MinCombine
+		cfg.TimeDilation = d.DilationFor(engine.SSSP)
+	case engine.KHop:
+		cfg.Program = &bsp.KHopProgram{Source: d.Source, K: w.K}
+		cfg.Combine = bsp.MinCombine
+	}
+	if opt.DisableCombiner {
+		cfg.Combine = nil
+	}
+	if w.MaxIterations > 0 && w.Kind != engine.PageRank {
+		cfg.MaxSupersteps = w.MaxIterations
+	}
+}
+
+// dilatedIterations reports iteration counts at paper scale.
+func dilatedIterations(supersteps int, dilation float64) int {
+	if dilation < 1 {
+		dilation = 1
+	}
+	return int(float64(supersteps)*dilation + 0.5)
+}
+
+// fillOutputs maps BSP values onto the result's typed outputs.
+func fillOutputs(res *engine.Result, w engine.Workload, out *bsp.Output) {
+	switch w.Kind {
+	case engine.PageRank:
+		res.Ranks = out.Values
+	case engine.WCC:
+		res.Labels = bsp.LabelsFromValues(out.Values)
+	case engine.SSSP, engine.KHop:
+		res.Dist = bsp.DistancesFromValues(out.Values)
+	}
+}

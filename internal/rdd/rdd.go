@@ -1,0 +1,174 @@
+// Package rdd models Spark's core execution machinery (§2.5.2) as used
+// by GraphX: stages of tasks over partitioned RDDs, shuffle boundaries,
+// lineage growth with optional checkpointing, and the partition
+// placement skew behind Figure 11.
+//
+// Three Spark behaviours drive the paper's GraphX findings and are
+// modeled explicitly:
+//
+//   - every stage schedules one task per partition: too few partitions
+//     under-utilize the cluster, too many pay task overhead and skew
+//     (Table 5, Figure 2);
+//   - tasks are placed with data locality, which clumps consecutive
+//     partitions onto the same machines; the slowest machine gates the
+//     synchronous stage (Figure 11, §5.6);
+//   - fault tolerance keeps RDD lineage alive: every iteration retains
+//     references to its predecessors, growing memory until an OOM —
+//     unless checkpointing trades the memory for expensive disk I/O
+//     (§5.6: the WCC-on-WRN failure in all cluster sizes).
+package rdd
+
+import (
+	"graphbench/internal/partition"
+	"graphbench/internal/sim"
+)
+
+// TaskLatency is the per-task launch cost in seconds.
+const TaskLatency = 0.03
+
+// SchedulerDelay is the fixed per-stage scheduling cost in seconds.
+const SchedulerDelay = 0.4
+
+// DriverDispatch is the driver-side serialization cost per task: with
+// thousands of partitions the master becomes the bottleneck — the right
+// side of Figure 2's U-shape.
+const DriverDispatch = 0.008
+
+// Context is a Spark application context bound to a cluster.
+type Context struct {
+	Cluster *sim.Cluster
+	Prof    *sim.Profile
+	Scale   float64
+
+	Partitions int
+	placement  []int
+	straggler  float64
+
+	lineagePerMachine int64 // bytes currently retained by lineage
+}
+
+// NewContext creates a context with the given partition count.
+// Placement follows Spark's locality clumping.
+func NewContext(c *sim.Cluster, prof *sim.Profile, scale float64, partitions int, seed int64) *Context {
+	if partitions < 1 {
+		partitions = 1
+	}
+	// The straggler factor compares the most loaded machine's task
+	// waves against the ideal wave count. Fewer partitions than cores
+	// is an under-utilization problem (see Utilization), not a
+	// straggler problem.
+	pl := partition.SparkPlacement(partitions, c.Size(), seed)
+	maxWaves := float64(partition.MaxCount(pl)) / float64(c.Config().Cores)
+	idealWaves := float64(partitions) / float64(c.TotalCores())
+	if maxWaves < 1 {
+		maxWaves = 1
+	}
+	if idealWaves < 1 {
+		idealWaves = 1
+	}
+	strag := maxWaves / idealWaves
+	if strag < 1 {
+		strag = 1
+	}
+	return &Context{
+		Cluster: c, Prof: prof, Scale: scale,
+		Partitions: partitions, placement: pl, straggler: strag,
+	}
+}
+
+// Straggler returns the placement skew factor (max/avg partitions per
+// machine) — Figure 11's quantity.
+func (sc *Context) Straggler() float64 { return sc.straggler }
+
+// Placement returns partitions per machine.
+func (sc *Context) Placement() []int { return sc.placement }
+
+// Utilization returns the fraction of cluster cores a stage with this
+// partition count can keep busy (fewer partitions than cores idles the
+// remainder — the left side of Figure 2's U-shape).
+func (sc *Context) Utilization() float64 {
+	cores := float64(sc.Cluster.TotalCores())
+	p := float64(sc.Partitions)
+	if p >= cores {
+		return 1
+	}
+	return p / cores
+}
+
+// StageCost describes one stage.
+type StageCost struct {
+	Records      float64 // records processed across the cluster (paper scale applied by caller? no — synthetic; Scale applied here)
+	ShuffleBytes float64 // synthetic-scale shuffle volume in records*bytes
+	Dilation     float64 // iteration dilation on this stage's fixed work
+}
+
+// RunStage charges one stage: scheduler delay, task waves, record CPU
+// (slowed by placement skew and memory pressure), and shuffle I/O.
+func (sc *Context) RunStage(st StageCost) error {
+	c := sc.Cluster
+	p := sc.Prof
+	m := float64(c.Size())
+	dil := st.Dilation
+	if dil < 1 {
+		dil = 1
+	}
+
+	waves := float64((sc.Partitions + c.TotalCores() - 1) / c.TotalCores())
+	fixed := SchedulerDelay + float64(sc.Partitions)*DriverDispatch + waves*TaskLatency*sc.straggler
+
+	cpu := p.RecordSeconds(st.Records*sc.Scale/m, c.Config().Cores)
+	cpu = cpu / sc.Utilization() * sc.straggler
+
+	shufflePer := st.ShuffleBytes * sc.Scale / m * sc.straggler
+	costs := make([]sim.StepCost, c.Size())
+	for i := range costs {
+		compute := (fixed + cpu*dil) * p.PressureFactor(c.Machine(i).MemUsed(), c.Config().MemoryBytes)
+		costs[i] = sim.StepCost{
+			ComputeSeconds: compute,
+			DiskReadBytes:  shufflePer,
+			DiskWriteBytes: shufflePer,
+			NetSendBytes:   shufflePer * (m - 1) / m,
+			NetRecvBytes:   shufflePer * (m - 1) / m,
+		}
+	}
+	return c.RunStep(costs)
+}
+
+// ExtendLineage retains bytes-per-machine of lineage for fault
+// tolerance; the allocation stays until Checkpoint or ReleaseLineage.
+func (sc *Context) ExtendLineage(bytesPerMachine int64) error {
+	sc.lineagePerMachine += bytesPerMachine
+	return sc.Cluster.AllocAll(bytesPerMachine)
+}
+
+// LineageBytes returns the current per-machine lineage footprint.
+func (sc *Context) LineageBytes() int64 { return sc.lineagePerMachine }
+
+// Checkpoint writes the dataset to HDFS (replicated) and truncates the
+// lineage, releasing its memory — lineage-for-I/O, §5.6's trade.
+func (sc *Context) Checkpoint(datasetBytes float64) error {
+	c := sc.Cluster
+	m := float64(c.Size())
+	per := datasetBytes * sc.Scale / m
+	costs := make([]sim.StepCost, c.Size())
+	for i := range costs {
+		costs[i] = sim.StepCost{
+			DiskWriteBytes: per * 3,
+			NetSendBytes:   per * 2,
+			NetRecvBytes:   per * 2,
+		}
+	}
+	if err := c.RunStep(costs); err != nil {
+		return err
+	}
+	sc.ReleaseLineage()
+	return nil
+}
+
+// ReleaseLineage frees retained lineage memory.
+func (sc *Context) ReleaseLineage() {
+	if sc.lineagePerMachine > 0 {
+		sc.Cluster.FreeAll(sc.lineagePerMachine)
+		sc.lineagePerMachine = 0
+	}
+}

@@ -1,0 +1,105 @@
+package rdd
+
+import (
+	"testing"
+
+	"graphbench/internal/sim"
+)
+
+var prof = sim.Profile{Name: "test", RecordCPUNs: 100, PressurePenalty: 0}
+
+func TestUtilization(t *testing.T) {
+	c := sim.NewSize(32) // 128 cores
+	if u := NewContext(c, &prof, 1, 64, 1).Utilization(); u != 0.5 {
+		t.Errorf("Utilization(64 partitions) = %v, want 0.5", u)
+	}
+	if u := NewContext(c, &prof, 1, 256, 1).Utilization(); u != 1 {
+		t.Errorf("Utilization(256) = %v, want 1", u)
+	}
+}
+
+func TestStragglerSmallClustersBalanced(t *testing.T) {
+	// Placement skew is a large-cluster phenomenon; at 16-32 machines
+	// the factor stays modest, at 128 it is severe.
+	small := NewContext(sim.NewSize(16), &prof, 1, 128, 17).Straggler()
+	large := NewContext(sim.NewSize(128), &prof, 1, 1024, 17).Straggler()
+	if small > 3 {
+		t.Errorf("straggler at 16 machines = %v, want modest", small)
+	}
+	if large < 3 {
+		t.Errorf("straggler at 128 machines = %v, want severe (Figure 11)", large)
+	}
+	if large <= small {
+		t.Errorf("straggler should grow with cluster size: %v <= %v", large, small)
+	}
+}
+
+func TestRunStageChargesTime(t *testing.T) {
+	c := sim.NewSize(4)
+	sc := NewContext(c, &prof, 1000, 16, 1)
+	before := c.Clock()
+	if err := sc.RunStage(StageCost{Records: 1e6, ShuffleBytes: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Clock() <= before {
+		t.Fatal("stage advanced no time")
+	}
+	if c.Machine(0).DiskRead == 0 || c.Machine(0).NetSent == 0 {
+		t.Fatal("shuffle I/O not charged")
+	}
+}
+
+func TestDilationMultipliesFixedWork(t *testing.T) {
+	run := func(dil float64) float64 {
+		c := sim.NewSize(4)
+		sc := NewContext(c, &prof, 1000, 16, 1)
+		if err := sc.RunStage(StageCost{Records: 1e6, Dilation: dil}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Clock()
+	}
+	if a, b := run(1), run(10); b <= a {
+		t.Fatalf("dilated stage (%v) not above plain (%v)", b, a)
+	}
+}
+
+func TestLineageGrowsAndCheckpointReleases(t *testing.T) {
+	c := sim.NewSize(2)
+	sc := NewContext(c, &prof, 1, 16, 1)
+	for i := 0; i < 5; i++ {
+		if err := sc.ExtendLineage(sim.MB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.LineageBytes() != 5*sim.MB {
+		t.Fatalf("lineage = %d", sc.LineageBytes())
+	}
+	if c.Machine(0).MemUsed() != 5*sim.MB {
+		t.Fatalf("lineage memory not charged: %d", c.Machine(0).MemUsed())
+	}
+	if err := sc.Checkpoint(1000); err != nil {
+		t.Fatal(err)
+	}
+	if sc.LineageBytes() != 0 || c.Machine(0).MemUsed() != 0 {
+		t.Fatal("checkpoint did not release lineage")
+	}
+	if c.Machine(0).DiskWrite == 0 {
+		t.Fatal("checkpoint wrote nothing")
+	}
+}
+
+func TestLineageOOM(t *testing.T) {
+	c := sim.NewSize(1)
+	sc := NewContext(c, &prof, 1, 4, 1)
+	err := sc.ExtendLineage(2 * sim.MemoryPerMachine)
+	if sim.StatusOf(err) != sim.OOM {
+		t.Fatalf("want OOM, got %v", err)
+	}
+}
+
+func TestPartitionsClampedToOne(t *testing.T) {
+	sc := NewContext(sim.NewSize(2), &prof, 1, 0, 1)
+	if sc.Partitions != 1 {
+		t.Fatalf("Partitions = %d, want 1", sc.Partitions)
+	}
+}

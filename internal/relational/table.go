@@ -1,0 +1,97 @@
+// Package relational implements the Vertica approach of §2.6: graphs as
+// edge and vertex tables in a shared-nothing columnar store, workloads
+// as iterated join + aggregate queries, with the paper's two
+// optimizations — replacing the vertex table wholesale instead of
+// updating in place (sequential instead of random I/O), and keeping
+// traversal frontiers in an active-vertex temporary table.
+//
+// The executor is real: columns hold values, joins and aggregations
+// compute them. Costs are charged per operator: projection scans from
+// disk (Vertica's I/O wait, Figure 13a), re-segmentation shuffles for
+// joins and group-bys (Figure 13c: network grows with the cluster), and
+// temp-table create/swap catalog work per iteration — the overheads
+// behind §5.11's finding that Vertica is not competitive and falls
+// further behind as the cluster grows.
+package relational
+
+// Column is a columnar vector. Vertex ids are stored as float64, which
+// is lossless below 2^53.
+type Column []float64
+
+// Table is a named collection of equal-length columns, hash-segmented
+// across machines by its first column.
+type Table struct {
+	Name string
+	N    int
+	cols map[string]Column
+}
+
+// NewTable creates an empty table with the given column names.
+func NewTable(name string, colNames ...string) *Table {
+	t := &Table{Name: name, cols: make(map[string]Column, len(colNames))}
+	for _, c := range colNames {
+		t.cols[c] = nil
+	}
+	return t
+}
+
+// Append adds one row; values follow the order used at construction.
+func (t *Table) Append(colNames []string, vals ...float64) {
+	for i, c := range colNames {
+		t.cols[c] = append(t.cols[c], vals[i])
+	}
+	t.N++
+}
+
+// Col returns the named column.
+func (t *Table) Col(name string) Column { return t.cols[name] }
+
+// SetCol replaces the named column.
+func (t *Table) SetCol(name string, c Column) {
+	t.cols[name] = c
+	if len(c) > t.N {
+		t.N = len(c)
+	}
+}
+
+// JoinSumByDst computes, in one pass, the canonical PageRank query:
+//
+//	SELECT e.dst, SUM(v.val / v.weight)
+//	FROM edges e JOIN vertices v ON e.src = v.id GROUP BY e.dst
+//
+// vertices are addressed positionally (id = row index), as Vertica's
+// dense projections allow. weight entries <= 0 contribute nothing.
+func JoinSumByDst(src, dst Column, val, weight Column, n int) Column {
+	out := make(Column, n)
+	for i := range src {
+		s, d := int(src[i]), int(dst[i])
+		if w := weight[s]; w > 0 {
+			out[d] += val[s] / w
+		}
+	}
+	return out
+}
+
+// JoinMinByDst computes the traversal query:
+//
+//	SELECT e.dst, MIN(v.val + delta)
+//	FROM edges e JOIN active v ON e.src = v.id GROUP BY e.dst
+//
+// restricted to src rows flagged active. Entries with no incoming
+// update keep +Inf (represented by the supplied init).
+func JoinMinByDst(src, dst Column, val Column, active []bool, delta float64, init float64, n int) Column {
+	out := make(Column, n)
+	for i := range out {
+		out[i] = init
+	}
+	for i := range src {
+		s, d := int(src[i]), int(dst[i])
+		if active != nil && !active[s] {
+			continue
+		}
+		if v := val[s] + delta; v < out[d] {
+			out[d] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package relational
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/enginetest"
+	"graphbench/internal/gas"
+	"graphbench/internal/sim"
+)
+
+func TestAllWorkloadsCorrect(t *testing.T) {
+	f := enginetest.Prepare(t, datasets.Twitter, 400_000)
+	enginetest.VerifyAllWorkloads(t, New(), f, 16, 1e-9, engine.Options{})
+}
+
+func TestJoinOperators(t *testing.T) {
+	// Tiny SQL sanity: edges (0->1, 0->2, 1->2), ranks 1 each,
+	// outdeg 2,1,0.
+	src := Column{0, 0, 1}
+	dst := Column{1, 2, 2}
+	val := Column{1, 1, 1}
+	weight := Column{2, 1, 0}
+	sums := JoinSumByDst(src, dst, val, weight, 3)
+	if sums[0] != 0 || sums[1] != 0.5 || sums[2] != 1.5 {
+		t.Fatalf("JoinSumByDst = %v", sums)
+	}
+	active := []bool{true, false, false}
+	mins := JoinMinByDst(src, dst, Column{0, 9, 9}, active, 1, 99, 3)
+	if mins[1] != 1 || mins[2] != 1 || mins[0] != 99 {
+		t.Fatalf("JoinMinByDst = %v", mins)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	cols := []string{"id", "rank"}
+	tb := NewTable("v", cols...)
+	tb.Append(cols, 0, 1.0)
+	tb.Append(cols, 1, 2.0)
+	if tb.N != 2 || tb.Col("rank")[1] != 2.0 {
+		t.Fatalf("table = %+v", tb)
+	}
+	tb.SetCol("rank", Column{3, 4})
+	if tb.Col("rank")[0] != 3 {
+		t.Fatal("SetCol failed")
+	}
+}
+
+func TestSmallMemoryLargeIO(t *testing.T) {
+	// Figure 13: Vertica's footprint is small, but I/O wait and
+	// network dominate versus a native graph system.
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	w := engine.NewPageRankIters(20)
+	v := enginetest.RunOK(t, New(), f, 64, w, engine.Options{})
+	gl := enginetest.RunOK(t, gas.New(), f, 64, w, engine.Options{})
+	if v.MemMax >= gl.MemMax {
+		t.Errorf("Vertica memory %d not below GraphLab %d", v.MemMax, gl.MemMax)
+	}
+	if v.CPUIO <= gl.CPUIO {
+		t.Errorf("Vertica I/O wait %v not above GraphLab %v", v.CPUIO, gl.CPUIO)
+	}
+	if v.NetBytes <= gl.NetBytes {
+		t.Errorf("Vertica network %d not above GraphLab %d", v.NetBytes, gl.NetBytes)
+	}
+}
+
+func TestGapGrowsWithClusterSize(t *testing.T) {
+	// §5.11: "As the cluster size increases, so does the gap between
+	// its performance and other systems."
+	f := enginetest.Prepare(t, datasets.UK, 1_000_000)
+	w := engine.NewPageRankIters(20)
+	ratio := func(m int) float64 {
+		// GraphLab needs auto partitioning to load UK below 32
+		// machines (§5.2), so compare at 32 and 128.
+		v := enginetest.RunOK(t, New(), f, m, w, engine.Options{})
+		gl := enginetest.RunOK(t, gas.New(), f, m, w, engine.Options{Partitioning: "auto"})
+		return v.Exec / gl.Exec
+	}
+	small, large := ratio(32), ratio(128)
+	if large <= small {
+		t.Errorf("Vertica/GraphLab exec ratio at 128 (%v) not above 32 (%v)", large, small)
+	}
+	if small < 1 {
+		t.Errorf("Vertica (%v) should already be slower at 32 machines", small)
+	}
+}
+
+func TestNoOOMEver(t *testing.T) {
+	// Disk-resident tables: even ClueWeb-scale joins spill, not crash.
+	f := enginetest.Prepare(t, datasets.ClueWeb, 10_000_000)
+	res := New().Run(sim.NewSize(16), f.Dataset, engine.NewKHop(f.Dataset.Source), engine.Options{})
+	if res.Status != sim.OK {
+		t.Fatalf("Vertica ClueWeb K-hop at 16: %v", res.Status)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "fmt"
+
+// Status classifies the outcome of an experiment, matching the paper's
+// result-table legend (§5): OK for success, and the four failure modes
+// observed across systems.
+type Status int
+
+const (
+	// OK means the run completed.
+	OK Status = iota
+	// OOM is an out-of-memory failure on any machine.
+	OOM
+	// TO is a timeout: execution exceeded 24 simulated hours.
+	TO
+	// SHFL is the HaLoop shuffle bug: mapper output deleted before all
+	// reducers consumed it (happens on large clusters).
+	SHFL
+	// MPI is the Blogel-B failure: integer overflow in the MPI buffer
+	// offsets while aggregating Voronoi block assignments for graphs
+	// with very large vertex counts.
+	MPI
+)
+
+// String returns the paper's abbreviation for the status.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case OOM:
+		return "OOM"
+	case TO:
+		return "TO"
+	case SHFL:
+		return "SHFL"
+	case MPI:
+		return "MPI"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Failure is an experiment-aborting error carrying the paper's status
+// code and, where meaningful, the machine that failed.
+type Failure struct {
+	Status  Status
+	Machine int // machine index, or -1 when cluster-wide
+	Detail  string
+}
+
+// Error implements the error interface.
+func (f *Failure) Error() string {
+	if f.Detail == "" {
+		return f.Status.String()
+	}
+	return fmt.Sprintf("%s: %s", f.Status, f.Detail)
+}
+
+// StatusOf extracts the Status from err: OK for nil, the Failure's
+// status when err is a *Failure, and TO otherwise (unknown errors are
+// treated as non-completions).
+func StatusOf(err error) Status {
+	if err == nil {
+		return OK
+	}
+	if f, ok := err.(*Failure); ok {
+		return f.Status
+	}
+	return TO
+}

@@ -1,0 +1,92 @@
+package sim
+
+// Profile is a system cost profile: the per-unit compute, messaging,
+// memory, and framework-overhead constants that distinguish the eight
+// systems. Engines combine these with real operation counts (times the
+// dataset ScaleFactor) to charge the cluster.
+//
+// The constants are calibrated against the paper's measurements (see
+// EXPERIMENTS.md §Calibration): e.g. Giraph's per-vertex scan cost is
+// fitted to Table 6's per-iteration times on WRN, and its memory model
+// to Table 8's totals.
+type Profile struct {
+	Name string
+	Lang string // "C++", "Java", "Scala", "SQL" — Table 1 commentary
+
+	// Compute throughput.
+	EdgeOpsPerSec float64 // edge operations per second per core
+	VertexScanNs  float64 // ns per vertex touched per superstep (active or not)
+	MsgCPUNs      float64 // ns of CPU per message produced+consumed
+	RecordCPUNs   float64 // ns per record for record-oriented systems (MR, SQL)
+
+	// Wire format.
+	MsgBytes float64 // bytes per message on the network
+
+	// Memory model (bytes at paper scale).
+	VertexBytes    float64 // resident bytes per vertex
+	EdgeBytes      float64 // resident bytes per directed edge
+	MsgMemBytes    float64 // buffered bytes per in-flight message
+	PerMachineBase int64   // fixed runtime footprint per machine (heap, buffers)
+
+	// Cluster behaviour.
+	Imbalance       float64 // max/avg partition load ratio under this system's partitioning
+	SuperstepFixed  float64 // fixed seconds per superstep (coordination)
+	JobStartup      float64 // seconds to launch a job
+	JobStartupPerM  float64 // additional seconds per machine at job launch
+	PressurePenalty float64 // compute multiplier slope under memory pressure (GC/spill)
+
+	// ComputeCores is how many cores the system uses for computation;
+	// 0 means all available (GraphLab reserves 2 for communication by
+	// default — Figure 1 studies exactly this).
+	ComputeCores int
+}
+
+// Cores returns the number of compute cores the profile uses on a
+// machine with the given total.
+func (p *Profile) Cores(machineCores int) int {
+	if p.ComputeCores <= 0 || p.ComputeCores > machineCores {
+		return machineCores
+	}
+	return p.ComputeCores
+}
+
+// EdgeSeconds converts edge-operation counts to seconds on one machine.
+func (p *Profile) EdgeSeconds(ops float64, machineCores int) float64 {
+	return ops / (p.EdgeOpsPerSec * float64(p.Cores(machineCores)))
+}
+
+// ScanSeconds converts vertex-touch counts to seconds on one machine.
+func (p *Profile) ScanSeconds(vertices float64, machineCores int) float64 {
+	return vertices * p.VertexScanNs * 1e-9 / float64(p.Cores(machineCores))
+}
+
+// MsgSeconds converts message counts to seconds on one machine.
+func (p *Profile) MsgSeconds(msgs float64, machineCores int) float64 {
+	return msgs * p.MsgCPUNs * 1e-9 / float64(p.Cores(machineCores))
+}
+
+// RecordSeconds converts record counts to seconds on one machine.
+func (p *Profile) RecordSeconds(records float64, machineCores int) float64 {
+	return records * p.RecordCPUNs * 1e-9 / float64(p.Cores(machineCores))
+}
+
+// StartupSeconds is the job-launch overhead on a cluster of m machines.
+func (p *Profile) StartupSeconds(m int) float64 {
+	return p.JobStartup + p.JobStartupPerM*float64(m)
+}
+
+// PressureFactor returns the compute-slowdown multiplier for a machine
+// whose modeled memory sits at used/capacity. Below 70% utilization the
+// factor is 1; above it, GC churn and spilling slow computation linearly
+// up to 1+PressurePenalty at 100% — the mechanism behind GraphX's
+// pathological per-iteration times on small clusters (Table 6).
+func (p *Profile) PressureFactor(used, capacity int64) float64 {
+	if capacity <= 0 || p.PressurePenalty <= 0 {
+		return 1
+	}
+	u := float64(used) / float64(capacity)
+	if u <= 0.7 {
+		return 1
+	}
+	return 1 + p.PressurePenalty*(u-0.7)/0.3
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConfigShape(t *testing.T) {
+	cfg := NewConfig(16)
+	if cfg.Machines != 16 || cfg.Cores != 4 {
+		t.Fatalf("unexpected config: %+v", cfg)
+	}
+	if cfg.MemoryBytes != MemoryPerMachine {
+		t.Fatalf("memory = %d, want %d", cfg.MemoryBytes, MemoryPerMachine)
+	}
+}
+
+func TestNewPanicsOnZeroMachines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Machines: 0})
+}
+
+func TestAllocOOM(t *testing.T) {
+	c := NewSize(2)
+	if err := c.Alloc(0, MemoryPerMachine/2); err != nil {
+		t.Fatalf("alloc within capacity failed: %v", err)
+	}
+	err := c.Alloc(0, MemoryPerMachine)
+	if err == nil {
+		t.Fatal("expected OOM")
+	}
+	f, ok := err.(*Failure)
+	if !ok || f.Status != OOM || f.Machine != 0 {
+		t.Fatalf("wrong failure: %v", err)
+	}
+	// Machine 1 untouched.
+	if c.Machine(1).MemUsed() != 0 {
+		t.Fatal("machine 1 was charged")
+	}
+}
+
+func TestFreeClampsAtZero(t *testing.T) {
+	c := NewSize(1)
+	if err := c.Alloc(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	c.Free(0, 1000)
+	if got := c.Machine(0).MemUsed(); got != 0 {
+		t.Fatalf("MemUsed = %d, want 0", got)
+	}
+	if got := c.Machine(0).MemPeak(); got != 100 {
+		t.Fatalf("MemPeak = %d, want 100 (peak survives free)", got)
+	}
+}
+
+func TestAllocAllAndTotals(t *testing.T) {
+	c := NewSize(4)
+	if err := c.AllocAll(10 * MB); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalMemPeak(); got != 40*MB {
+		t.Fatalf("TotalMemPeak = %d, want %d", got, 40*MB)
+	}
+	if got := c.MaxMemPeak(); got != 10*MB {
+		t.Fatalf("MaxMemPeak = %d, want %d", got, 10*MB)
+	}
+	c.FreeAll(10 * MB)
+	if c.Machine(3).MemUsed() != 0 {
+		t.Fatal("FreeAll did not release")
+	}
+}
+
+func TestRunStepTiming(t *testing.T) {
+	cfg := NewConfig(2)
+	cfg.BarrierLat = 1.0
+	c := New(cfg)
+	err := c.RunStep([]StepCost{
+		{ComputeSeconds: 2},
+		{ComputeSeconds: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall time = slowest machine (5s) + barrier (1s).
+	if got := c.Clock(); got != 6 {
+		t.Fatalf("clock = %v, want 6", got)
+	}
+	// The fast machine idled for the difference.
+	if got := c.Machine(0).CPUIdle; got != 4 {
+		t.Fatalf("machine 0 idle = %v, want 4", got)
+	}
+	if got := c.Machine(1).CPUUser; got != 5 {
+		t.Fatalf("machine 1 user = %v, want 5", got)
+	}
+}
+
+func TestRunStepChargesIOAndNetwork(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.DiskBW = 100
+	cfg.NetBW = 50
+	cfg.BarrierLat = 0
+	c := New(cfg)
+	err := c.RunStep([]StepCost{{
+		DiskReadBytes: 200, DiskWriteBytes: 100,
+		NetSendBytes: 100, NetRecvBytes: 25,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Machine(0)
+	if math.Abs(m.CPUIO-3.0) > 1e-9 { // 300 bytes / 100 Bps
+		t.Errorf("CPUIO = %v, want 3", m.CPUIO)
+	}
+	if math.Abs(m.CPUNet-2.0) > 1e-9 { // max(100,25)/50
+		t.Errorf("CPUNet = %v, want 2", m.CPUNet)
+	}
+	if m.NetSent != 100 || m.DiskRead != 200 || m.DiskWrite != 100 {
+		t.Errorf("counters wrong: %+v", m)
+	}
+}
+
+func TestRunStepPanicsOnWrongLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSize(2).RunStep([]StepCost{{}})
+}
+
+func TestTimeout(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.Timeout = 10
+	c := New(cfg)
+	if err := c.UniformStep(StepCost{ComputeSeconds: 5}); err != nil {
+		t.Fatalf("first step should pass: %v", err)
+	}
+	err := c.UniformStep(StepCost{ComputeSeconds: 6})
+	if StatusOf(err) != TO {
+		t.Fatalf("expected TO, got %v", err)
+	}
+}
+
+func TestAdvanceTimeout(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.Timeout = 10
+	c := New(cfg)
+	if err := c.Advance(11); StatusOf(err) != TO {
+		t.Fatalf("expected TO, got %v", err)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	c := NewSize(2)
+	c.EnableSampling()
+	if err := c.Alloc(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UniformStep(StepCost{ComputeSeconds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	samples := c.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	if samples[0].PerMach[0] != 42 || samples[0].PerMach[1] != 0 {
+		t.Fatalf("sample = %+v", samples[0])
+	}
+	// Without sampling enabled nothing is recorded.
+	c2 := NewSize(1)
+	c2.Sample()
+	if len(c2.Samples()) != 0 {
+		t.Fatal("sampling recorded while disabled")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{OK: "OK", OOM: "OOM", TO: "TO", SHFL: "SHFL", MPI: "MPI"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	if StatusOf(nil) != OK {
+		t.Error("StatusOf(nil) != OK")
+	}
+	if StatusOf(&Failure{Status: MPI}) != MPI {
+		t.Error("StatusOf(Failure{MPI}) != MPI")
+	}
+}
+
+func TestFailureError(t *testing.T) {
+	f := &Failure{Status: OOM, Machine: 3, Detail: "boom"}
+	if f.Error() != "OOM: boom" {
+		t.Errorf("Error() = %q", f.Error())
+	}
+	if (&Failure{Status: TO}).Error() != "TO" {
+		t.Errorf("bare failure Error() = %q", (&Failure{Status: TO}).Error())
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	p := Profile{EdgeOpsPerSec: 1e6, VertexScanNs: 1000, MsgCPUNs: 500, RecordCPUNs: 2000, ComputeCores: 2}
+	if got := p.Cores(4); got != 2 {
+		t.Errorf("Cores(4) = %d, want 2", got)
+	}
+	if got := p.Cores(1); got != 1 {
+		t.Errorf("Cores(1) = %d, want clamped 1", got)
+	}
+	if got := p.EdgeSeconds(2e6, 4); got != 1.0 {
+		t.Errorf("EdgeSeconds = %v, want 1", got)
+	}
+	if got := p.ScanSeconds(2e6, 4); got != 1.0 {
+		t.Errorf("ScanSeconds = %v, want 1", got)
+	}
+	if got := p.MsgSeconds(4e6, 4); got != 1.0 {
+		t.Errorf("MsgSeconds = %v, want 1", got)
+	}
+	if got := p.RecordSeconds(1e6, 4); got != 1.0 {
+		t.Errorf("RecordSeconds = %v, want 1", got)
+	}
+	allCores := Profile{EdgeOpsPerSec: 1e6}
+	if got := allCores.Cores(4); got != 4 {
+		t.Errorf("Cores with ComputeCores=0 = %d, want 4", got)
+	}
+}
+
+func TestStartupSeconds(t *testing.T) {
+	p := Profile{JobStartup: 10, JobStartupPerM: 0.5}
+	if got := p.StartupSeconds(16); got != 18 {
+		t.Errorf("StartupSeconds(16) = %v, want 18", got)
+	}
+}
+
+func TestPressureFactor(t *testing.T) {
+	p := Profile{PressurePenalty: 9}
+	if got := p.PressureFactor(50, 100); got != 1 {
+		t.Errorf("below threshold: factor = %v, want 1", got)
+	}
+	if got := p.PressureFactor(100, 100); math.Abs(got-10) > 1e-9 {
+		t.Errorf("at capacity: factor = %v, want 10", got)
+	}
+	mid := p.PressureFactor(85, 100)
+	if mid <= 1 || mid >= 10 {
+		t.Errorf("mid pressure factor = %v, want between 1 and 10", mid)
+	}
+	if got := (&Profile{}).PressureFactor(100, 100); got != 1 {
+		t.Errorf("no penalty profile: factor = %v, want 1", got)
+	}
+}
+
+// Property: clock is monotone and idle time is never negative.
+func TestQuickClockMonotone(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		cl := NewSize(3)
+		costs := []StepCost{
+			{ComputeSeconds: float64(a) / 100},
+			{ComputeSeconds: float64(b) / 100},
+			{ComputeSeconds: float64(c) / 100},
+		}
+		before := cl.Clock()
+		if err := cl.RunStep(costs); err != nil {
+			return false
+		}
+		if cl.Clock() < before {
+			return false
+		}
+		for _, m := range cl.Machines() {
+			if m.CPUIdle < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
