@@ -8,8 +8,10 @@ package graphbench_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"graphbench/internal/blogel"
 	"graphbench/internal/core"
@@ -293,6 +295,48 @@ func BenchmarkAblationBlogelBVsV(b *testing.B) {
 				"  BV: exec %.0fs, total %.0fs\n"+
 				"  BB: exec %.0fs, total %.0fs  (faster execute, slower end-to-end)\n",
 			bv.Exec, bv.TotalTime(), bb.Exec, bb.TotalTime()))
+	}
+}
+
+// BenchmarkParallelSpeedup measures the parallel execution subsystem
+// on one Table 9 row (Twitter PageRank, every main-grid system at 16
+// machines): the same cells run once sequentially (one matrix worker,
+// one shard per engine) and once fully parallel (GOMAXPROCS workers
+// and shards). Determinism guarantees both produce identical modeled
+// results; the benchmark reports the wall-clock ratio so later scaling
+// PRs have a perf trajectory to compare against.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	var cells []core.Cell
+	for _, s := range core.MainGridSystems() {
+		cells = append(cells, core.Cell{System: s, Dataset: datasets.Twitter, Kind: engine.PageRank, Machines: 16})
+	}
+	time16 := func(r *core.Runner) (time.Duration, []*engine.Result) {
+		r.Dataset(datasets.Twitter) // fixture generation outside the clock
+		start := time.Now()
+		res := r.RunGrid(cells)
+		return time.Since(start), res
+	}
+	for i := 0; i < b.N; i++ {
+		seq := runner()
+		seq.Workers, seq.Shards = 1, 1
+		seqDur, seqRes := time16(seq)
+
+		par := runner() // Workers/Shards zero: GOMAXPROCS at both layers
+		parDur, parRes := time16(par)
+
+		for j := range cells {
+			if seqRes[j].TotalTime() != parRes[j].TotalTime() || seqRes[j].NetBytes != parRes[j].NetBytes {
+				b.Fatalf("cell %d: parallel run diverged from sequential (modeled %v/%v vs %v/%v)",
+					j, parRes[j].TotalTime(), parRes[j].NetBytes, seqRes[j].TotalTime(), seqRes[j].NetBytes)
+			}
+		}
+		speedup := seqDur.Seconds() / parDur.Seconds()
+		b.ReportMetric(speedup, "speedup")
+		emit("speedup", fmt.Sprintf(
+			"Parallel speedup (Table 9 row: Twitter PageRank, %d systems @ 16 machines)\n"+
+				"  sequential %v, parallel %v: %.1fx on %d cores\n",
+			len(cells), seqDur.Round(time.Millisecond), parDur.Round(time.Millisecond),
+			speedup, runtime.GOMAXPROCS(0)))
 	}
 }
 

@@ -11,4 +11,32 @@
 //
 //	go test -bench=Table9 -benchtime=1x .
 //	go test -bench=Figure6 -benchtime=1x .
+//
+// # Concurrency model
+//
+// Execution is parallel at two layers, both built on internal/par and
+// both deterministic:
+//
+//   - Runtime sharding. The hot per-vertex loops — bsp.Run's
+//     compute/send phase, the GAS gather/apply sweeps, and Blogel's
+//     block-mode rounds — split the vertex (or block) range into
+//     contiguous shards, one per worker. Each shard accumulates
+//     privately (message buffers, counters, max-delta), and shard
+//     results merge in shard order: messages replay per destination in
+//     the exact sequential order, counters are integer-valued sums,
+//     aggregators are maxima. Outputs and modeled costs are therefore
+//     bit-identical for every shard count (engine.Options.Shards,
+//     0 = GOMAXPROCS, 1 = sequential), which
+//     internal/enginetest's determinism tests enforce. Loops whose
+//     sequential semantics are Gauss–Seidel (GraphLab's async engine,
+//     the frontier propagation sweep) intentionally stay sequential:
+//     sharding them would change the modeled execution.
+//
+//   - The experiment matrix. Every run owns a private sim.Cluster and
+//     engine instance, so core.RunGrid and the harness artifact
+//     generators execute independent runs concurrently on a pool
+//     sized by core.Runner.Workers — the -parallel flag of
+//     cmd/graphbench (0 = GOMAXPROCS). BenchmarkParallelSpeedup in
+//     bench_test.go tracks the wall-clock win over the sequential
+//     path.
 package graphbench

@@ -1,0 +1,3 @@
+module graphbench
+
+go 1.24.0

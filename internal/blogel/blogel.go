@@ -93,6 +93,7 @@ func (e *VEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 		MachineOf:       cut.MachineOf,
 		Profile:         &prof,
 		ScanAll:         false, // Blogel touches only active vertices
+		Shards:          opt.Shards,
 		RecordIterStats: true,
 	}
 	configureWorkload(&cfg, w, d, opt)

@@ -2,10 +2,12 @@ package blogel
 
 import (
 	"math"
+	"sort"
 
 	"graphbench/internal/engine"
 	"graphbench/internal/graph"
 	"graphbench/internal/hdfs"
+	"graphbench/internal/par"
 	"graphbench/internal/partition"
 	"graphbench/internal/sim"
 )
@@ -66,7 +68,8 @@ func (e *BEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 
 	// Execute block-centric computation.
 	mark = c.Clock()
-	bx := &bExec{cluster: c, prof: &prof, d: d, g: gr, vor: vor, w: w, res: res}
+	bx := &bExec{cluster: c, prof: &prof, d: d, g: gr, vor: vor, w: w, res: res,
+		pool: par.New(opt.Shards)}
 	execErr := bx.run()
 	res.Exec = c.Clock() - mark
 	if execErr != nil {
@@ -125,7 +128,9 @@ func (e *BEngine) chargeVoronoi(c *sim.Cluster, d *engine.Dataset, gr *graph.Gra
 	return nil
 }
 
-// bExec runs the block-centric programs.
+// bExec runs the block-centric programs. Hot loops shard over blocks
+// (or vertices) on the pool, with per-shard accumulators merged in
+// shard order so any worker count produces identical runs.
 type bExec struct {
 	cluster *sim.Cluster
 	prof    *sim.Profile
@@ -134,6 +139,7 @@ type bExec struct {
 	vor     *partition.Voronoi
 	w       engine.Workload
 	res     *engine.Result
+	pool    *par.Pool
 }
 
 func (bx *bExec) run() error {
@@ -219,23 +225,68 @@ func (bx *bExec) wcc() error {
 	for b := range active {
 		active[b] = true
 	}
+	// Per-shard HashMin state, reused across rounds: a candidate-label
+	// array plus the list of touched entries, so a round costs only
+	// the edges of its active blocks, not Theta(workers·nb).
+	type hashMinShard struct {
+		edgeOps, msgs int64
+		cand          []float64
+		touched       []int32
+	}
+	pl := par.PlanShards(nb, bx.pool.Workers())
+	hmShards := make([]*hashMinShard, pl.Count())
+	for i := range hmShards {
+		sh := &hashMinShard{cand: make([]float64, nb)}
+		for o := range sh.cand {
+			sh.cand[o] = math.Inf(1)
+		}
+		hmShards[i] = sh
+	}
+
 	rounds := 0
 	for {
 		rounds++
+		// Sharded HashMin round: each shard of source blocks collects
+		// candidate labels privately; the merge applies them in shard
+		// order, keeping the minimum per destination. The sequential
+		// loop's effect is the same per-destination minimum, so the
+		// round — including which blocks activate — is identical for
+		// any shard count.
+		bx.pool.ForEach(pl.Count(), func(i int) {
+			sh := hmShards[i]
+			sh.edgeOps, sh.msgs = 0, 0
+			for _, o := range sh.touched {
+				sh.cand[o] = math.Inf(1)
+			}
+			sh.touched = sh.touched[:0]
+			s := pl.Shard(i)
+			for b := s.Lo; b < s.Hi; b++ {
+				if !active[b] {
+					continue
+				}
+				sh.edgeOps += int64(len(adj[b]))
+				sh.msgs += int64(len(adj[b]))
+				for _, o := range adj[b] {
+					if labels[b] < sh.cand[o] {
+						if math.IsInf(sh.cand[o], 1) {
+							sh.touched = append(sh.touched, o)
+						}
+						sh.cand[o] = labels[b]
+					}
+				}
+			}
+		})
 		var msgs, edgeOps float64
 		next := make([]bool, nb)
 		newLabels := make([]float64, nb)
 		copy(newLabels, labels)
 		changedAny := false
-		for b := 0; b < nb; b++ {
-			if !active[b] {
-				continue
-			}
-			edgeOps += float64(len(adj[b]))
-			msgs += float64(len(adj[b]))
-			for _, o := range adj[b] {
-				if labels[b] < newLabels[o] {
-					newLabels[o] = labels[b]
+		for _, sh := range hmShards {
+			edgeOps += float64(sh.edgeOps)
+			msgs += float64(sh.msgs)
+			for _, o := range sh.touched {
+				if sh.cand[o] < newLabels[o] {
+					newLabels[o] = sh.cand[o]
 					next[o] = true
 					changedAny = true
 				}
@@ -264,9 +315,18 @@ func (bx *bExec) wcc() error {
 // traverse runs SSSP/K-hop: each round, blocks with pending distance
 // updates run a serial multi-source BFS internally, then ship boundary
 // improvements to neighboring blocks.
+//
+// Blocks run concurrently within a round: each block's BFS writes only
+// its own vertices' distances; reads of foreign vertices go through a
+// round-start snapshot, and boundary improvements are buffered as
+// proposals applied in shard order after the round — the messages
+// really do wait for the next superstep, which also makes the round
+// deterministic (the old sequential loop leaked same-round updates
+// between blocks in map-iteration order).
 func (bx *bExec) traverse() error {
 	n := bx.g.NumVertices()
 	dist := make([]int32, n)
+	distPrev := make([]int32, n)
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -275,50 +335,92 @@ func (bx *bExec) traverse() error {
 		bound = int32(bx.w.K)
 	}
 
+	type proposal struct {
+		v graph.VertexID
+		d int32
+	}
+	type bfsAcc struct {
+		edgeOps, msgs int64
+		proposals     []proposal
+		written       []graph.VertexID // in-block dist writes this round
+	}
+
 	dist[bx.d.Source] = 0
-	pending := map[int32][]graph.VertexID{bx.vor.BlockOf[bx.d.Source]: {bx.d.Source}}
+	copy(distPrev, dist)
+	seeds := map[int32][]graph.VertexID{bx.vor.BlockOf[bx.d.Source]: {bx.d.Source}}
+	blocks := []int32{bx.vor.BlockOf[bx.d.Source]}
 	rounds := 0
-	for len(pending) > 0 {
+	for len(blocks) > 0 {
 		rounds++
-		var edgeOps, msgs float64
-		nextPending := make(map[int32][]graph.VertexID)
-		for block, seeds := range pending {
-			// Serial BFS within the block from the updated vertices.
-			frontier := seeds
-			for len(frontier) > 0 {
-				var next []graph.VertexID
-				for _, v := range frontier {
-					if dist[v] >= bound {
-						continue
-					}
-					for _, w := range bx.g.OutNeighbors(v) {
-						edgeOps++
-						nd := dist[v] + 1
-						if dist[w] != -1 && dist[w] <= nd {
+		accs := par.MapShards(bx.pool, len(blocks), func(s par.Shard) bfsAcc {
+			var a bfsAcc
+			for bi := s.Lo; bi < s.Hi; bi++ {
+				block := blocks[bi]
+				// Serial BFS within the block from the updated vertices.
+				frontier := seeds[block]
+				for len(frontier) > 0 {
+					var next []graph.VertexID
+					for _, v := range frontier {
+						if dist[v] >= bound {
 							continue
 						}
-						if bx.vor.BlockOf[w] == block {
-							dist[w] = nd
-							next = append(next, w)
-						} else {
-							// Boundary improvement shipped to the
-							// neighboring block for the next round.
-							msgs++
-							if dist[w] == -1 || nd < dist[w] {
+						for _, w := range bx.g.OutNeighbors(v) {
+							a.edgeOps++
+							nd := dist[v] + 1
+							if bx.vor.BlockOf[w] == block {
+								if dist[w] != -1 && dist[w] <= nd {
+									continue
+								}
 								dist[w] = nd
-								nextPending[bx.vor.BlockOf[w]] = append(nextPending[bx.vor.BlockOf[w]], w)
+								a.written = append(a.written, w)
+								next = append(next, w)
+							} else if distPrev[w] == -1 || nd < distPrev[w] {
+								// Boundary improvement shipped to the
+								// neighboring block for the next round.
+								a.msgs++
+								a.proposals = append(a.proposals, proposal{v: w, d: nd})
 							}
 						}
 					}
+					frontier = next
 				}
-				frontier = next
+			}
+			return a
+		})
+		var edgeOps, msgs float64
+		nextSeeds := make(map[int32][]graph.VertexID)
+		var nextBlocks []int32
+		for _, a := range accs {
+			edgeOps += float64(a.edgeOps)
+			msgs += float64(a.msgs)
+			for _, p := range a.proposals {
+				if dist[p.v] == -1 || p.d < dist[p.v] {
+					dist[p.v] = p.d
+					blk := bx.vor.BlockOf[p.v]
+					if nextSeeds[blk] == nil {
+						nextBlocks = append(nextBlocks, blk)
+					}
+					nextSeeds[blk] = append(nextSeeds[blk], p.v)
+				}
 			}
 		}
-		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: rounds, Active: len(pending)})
+		// Sync the snapshot incrementally: only vertices written this
+		// round (in-block BFS writes and applied proposals) changed, so
+		// the round costs O(updates), not O(n).
+		for _, a := range accs {
+			for _, w := range a.written {
+				distPrev[w] = dist[w]
+			}
+			for _, p := range a.proposals {
+				distPrev[p.v] = dist[p.v]
+			}
+		}
+		sort.Slice(nextBlocks, func(i, j int) bool { return nextBlocks[i] < nextBlocks[j] })
+		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: rounds, Active: len(blocks)})
 		if err := bx.chargeRound(edgeOps, msgs, true); err != nil {
 			return err
 		}
-		pending = nextPending
+		blocks, seeds = nextBlocks, nextSeeds
 	}
 	bx.res.Iterations = dilated(rounds, bx.d.DilationFor(bx.w.Kind))
 	bx.res.Dist = dist
@@ -347,32 +449,43 @@ func (bx *bExec) pageRank() error {
 	contrib := make([]float64, n)
 	localIters := 0
 	for ; localIters < 30; localIters++ {
+		bx.pool.ForEachShard(n, func(s par.Shard) {
+			for v := s.Lo; v < s.Hi; v++ {
+				internal := 0
+				for _, w := range bx.g.OutNeighbors(graph.VertexID(v)) {
+					if bx.vor.BlockOf[w] == bx.vor.BlockOf[v] {
+						internal++
+					}
+				}
+				if internal > 0 {
+					contrib[v] = local[v] / float64(internal)
+				} else {
+					contrib[v] = 0
+				}
+			}
+		})
+		deltas := par.MapShards(bx.pool, n, func(s par.Shard) float64 {
+			maxDelta := 0.0
+			for v := s.Lo; v < s.Hi; v++ {
+				sum := 0.0
+				for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
+					if bx.vor.BlockOf[u] == bx.vor.BlockOf[v] {
+						sum += contrib[u]
+					}
+				}
+				nv := bx.w.Damping + (1-bx.w.Damping)*sum
+				if d := math.Abs(nv - local[v]); d > maxDelta {
+					maxDelta = d
+				}
+				local[v] = nv
+			}
+			return maxDelta
+		})
 		maxDelta := 0.0
-		for v := 0; v < n; v++ {
-			internal := 0
-			for _, w := range bx.g.OutNeighbors(graph.VertexID(v)) {
-				if bx.vor.BlockOf[w] == bx.vor.BlockOf[v] {
-					internal++
-				}
-			}
-			if internal > 0 {
-				contrib[v] = local[v] / float64(internal)
-			} else {
-				contrib[v] = 0
-			}
-		}
-		for v := 0; v < n; v++ {
-			sum := 0.0
-			for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
-				if bx.vor.BlockOf[u] == bx.vor.BlockOf[v] {
-					sum += contrib[u]
-				}
-			}
-			nv := bx.w.Damping + (1-bx.w.Damping)*sum
-			if d := math.Abs(nv - local[v]); d > maxDelta {
+		for _, d := range deltas {
+			if d > maxDelta {
 				maxDelta = d
 			}
-			local[v] = nv
 		}
 		if err := bx.chargeRound(float64(bx.g.NumEdges()), 0, false); err != nil {
 			return err
@@ -429,24 +542,35 @@ func (bx *bExec) pageRank() error {
 	iters := 0
 	for {
 		iters++
-		for v := 0; v < n; v++ {
-			if d := bx.g.OutDegree(graph.VertexID(v)); d > 0 {
-				contrib[v] = ranks[v] / float64(d)
-			} else {
-				contrib[v] = 0
+		bx.pool.ForEachShard(n, func(s par.Shard) {
+			for v := s.Lo; v < s.Hi; v++ {
+				if d := bx.g.OutDegree(graph.VertexID(v)); d > 0 {
+					contrib[v] = ranks[v] / float64(d)
+				} else {
+					contrib[v] = 0
+				}
 			}
-		}
+		})
+		deltas := par.MapShards(bx.pool, n, func(s par.Shard) float64 {
+			maxDelta := 0.0
+			for v := s.Lo; v < s.Hi; v++ {
+				sum := 0.0
+				for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
+					sum += contrib[u]
+				}
+				nv := bx.w.Damping + (1-bx.w.Damping)*sum
+				if d := math.Abs(nv - ranks[v]); d > maxDelta {
+					maxDelta = d
+				}
+				ranks[v] = nv
+			}
+			return maxDelta
+		})
 		maxDelta := 0.0
-		for v := 0; v < n; v++ {
-			sum := 0.0
-			for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
-				sum += contrib[u]
-			}
-			nv := bx.w.Damping + (1-bx.w.Damping)*sum
-			if d := math.Abs(nv - ranks[v]); d > maxDelta {
+		for _, d := range deltas {
+			if d > maxDelta {
 				maxDelta = d
 			}
-			ranks[v] = nv
 		}
 		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: iters, Active: n})
 		// Step 2 is plain vertex-centric PageRank: every edge carries a

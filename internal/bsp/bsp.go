@@ -15,6 +15,7 @@ package bsp
 import (
 	"graphbench/internal/engine"
 	"graphbench/internal/graph"
+	"graphbench/internal/par"
 	"graphbench/internal/sim"
 )
 
@@ -57,6 +58,14 @@ type Config struct {
 	// paper-scale superstep (i.e. divided back by the dilation).
 	TimeDilation float64
 
+	// Shards is the number of vertex-range shards (and worker
+	// goroutines) the compute/send phase runs on: 0 means GOMAXPROCS,
+	// 1 forces sequential execution. Any value produces bit-identical
+	// outputs and modeled costs — sends are recorded per (source
+	// shard, destination shard) bucket and replayed in shard order, so
+	// every destination observes the exact sequential message stream.
+	Shards int
+
 	// StopDeltaBelow stops after a superstep whose aggregated max
 	// delta is below the threshold (PageRank tolerance criterion).
 	StopDeltaBelow float64
@@ -79,8 +88,13 @@ type Output struct {
 	Messages   float64 // total messages produced (synthetic scale)
 }
 
-// Context is the per-vertex view handed to Program.Compute.
+// Context is the per-vertex view handed to Program.Compute. It routes
+// vertex-local state through the runtime (values, halted flags are
+// owned by the vertex being computed) and everything cross-vertex —
+// sends, update counts, the max-delta aggregator — through the compute
+// shard, which merges into the runtime in shard order afterwards.
 type Context struct {
+	ss *shardState
 	rt *runtime
 	v  graph.VertexID
 }
@@ -97,7 +111,7 @@ func (c *Context) Value() float64 { return c.rt.values[c.v] }
 // SetValue updates the vertex's value.
 func (c *Context) SetValue(x float64) {
 	if c.rt.values[c.v] != x {
-		c.rt.updates++
+		c.ss.updates++
 	}
 	c.rt.values[c.v] = x
 }
@@ -109,12 +123,12 @@ func (c *Context) OutDegree() int { return c.rt.cfg.Graph.OutDegree(c.v) }
 func (c *Context) NumVertices() int { return c.rt.cfg.Graph.NumVertices() }
 
 // Send delivers a message to dst for the next superstep.
-func (c *Context) Send(dst graph.VertexID, val float64) { c.rt.send(c.v, dst, val) }
+func (c *Context) Send(dst graph.VertexID, val float64) { c.ss.send(c.v, dst, val) }
 
 // SendToOut sends val to every out-neighbor.
 func (c *Context) SendToOut(val float64) {
 	for _, w := range c.rt.cfg.Graph.OutNeighbors(c.v) {
-		c.rt.send(c.v, w, val)
+		c.ss.send(c.v, w, val)
 	}
 }
 
@@ -124,7 +138,7 @@ func (c *Context) SendToAllNeighbors(val float64) {
 	c.SendToOut(val)
 	if c.rt.cfg.UseInNeighbors && c.rt.superstep >= 1 {
 		for _, w := range c.rt.cfg.Graph.InNeighbors(c.v) {
-			c.rt.send(c.v, w, val)
+			c.ss.send(c.v, w, val)
 		}
 	}
 }
@@ -135,14 +149,38 @@ func (c *Context) VoteToHalt() { c.rt.halted[c.v] = true }
 // AggregateMaxDelta feeds the superstep's max-delta aggregator, used by
 // the PageRank tolerance stopping criterion.
 func (c *Context) AggregateMaxDelta(d float64) {
-	if d > c.rt.maxDelta {
-		c.rt.maxDelta = d
+	if d > c.ss.maxDelta {
+		c.ss.maxDelta = d
 	}
+}
+
+// msg is one buffered message of the compute phase, applied to the
+// destination's inbox during the merge phase.
+type msg struct {
+	src, dst graph.VertexID
+	val      float64
+}
+
+// shardState is the private state of one compute shard: the messages
+// its vertices sent this superstep, bucketed by destination shard, and
+// its slice of the superstep's accumulators. Buckets preserve program
+// order, so concatenating them across source shards reproduces the
+// sequential send stream per destination.
+type shardState struct {
+	plan     par.Plan
+	out      [][]msg // indexed by destination shard
+	sent     int64
+	active   int64
+	updates  int
+	maxDelta float64
 }
 
 type runtime struct {
 	cfg     Config
 	cluster *sim.Cluster
+	pool    *par.Pool
+	plan    par.Plan      // vertex-range shards
+	shards  []*shardState // one per plan shard
 
 	values []float64
 	halted []bool
@@ -189,14 +227,20 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		cfg.TimeDilation = 1
 	}
 	n := cfg.Graph.NumVertices()
+	pool := par.New(cfg.Shards)
 	rt := &runtime{
 		cfg:       cfg,
 		cluster:   cluster,
+		pool:      pool,
+		plan:      par.PlanShards(n, pool.Workers()),
 		values:    make([]float64, n),
 		halted:    make([]bool, n),
 		inbox:     make([][]float64, n),
 		nextInbox: make([][]float64, n),
 		owner:     make([]int32, n),
+	}
+	for i := 0; i < rt.plan.Count(); i++ {
+		rt.shards = append(rt.shards, &shardState{plan: rt.plan, out: make([][]msg, rt.plan.Count())})
 	}
 	for v := 0; v < n; v++ {
 		rt.values[v] = cfg.Program.Init(graph.VertexID(v))
@@ -245,54 +289,107 @@ func (rt *runtime) fill(out *Output) {
 	out.Messages = rt.totalMsgs
 }
 
-// computePhase executes Compute for the active vertices and returns how
-// many ran.
+// computePhase executes Compute for the active vertices and returns
+// how many ran. It runs in two sharded passes: compute/send, where each
+// vertex-range shard runs its vertices in order and buffers sends by
+// destination shard; and merge, where each destination shard replays
+// the buffers in source-shard order into the inboxes and combiner
+// state. Per-destination message order therefore equals the sequential
+// order, and every accumulator is either an integer-valued sum or a
+// max, so outputs and modeled costs are bit-identical for any shard
+// count.
 func (rt *runtime) computePhase() int {
-	n := rt.cfg.Graph.NumVertices()
 	rt.updates = 0
 	rt.maxDelta = 0
 	rt.sentTotal = 0
 	rt.activeTotal = 0
 	rt.deliveredTotal = 0
 	rt.crossTotal = 0
-	active := 0
-	ctx := Context{rt: rt}
-	for v := 0; v < n; v++ {
-		msgs := rt.inbox[v]
-		if rt.halted[v] && len(msgs) == 0 {
-			continue
+
+	// Compute/send pass: vertex-range shards, program order per shard.
+	rt.pool.ForEach(rt.plan.Count(), func(i int) {
+		ss := rt.shards[i]
+		ss.sent, ss.active, ss.updates, ss.maxDelta = 0, 0, 0, 0
+		for d := range ss.out {
+			ss.out[d] = ss.out[d][:0]
 		}
-		rt.halted[v] = false
-		active++
-		ctx.v = graph.VertexID(v)
-		rt.cfg.Program.Compute(&ctx, msgs)
-		rt.inbox[v] = nil
+		ctx := Context{ss: ss, rt: rt}
+		s := rt.plan.Shard(i)
+		for v := s.Lo; v < s.Hi; v++ {
+			msgs := rt.inbox[v]
+			if rt.halted[v] && len(msgs) == 0 {
+				continue
+			}
+			rt.halted[v] = false
+			ss.active++
+			ctx.v = graph.VertexID(v)
+			rt.cfg.Program.Compute(&ctx, msgs)
+			rt.inbox[v] = nil
+		}
+	})
+
+	// Merge pass: destination shards, source-shard order within each.
+	type delivery struct{ delivered, cross int64 }
+	merged := par.MapPlan(rt.pool, rt.plan, func(s par.Shard) delivery {
+		var d delivery
+		for _, ss := range rt.shards {
+			for _, m := range ss.out[s.Index] {
+				del, cross := rt.deposit(m)
+				d.delivered += del
+				d.cross += cross
+			}
+		}
+		return d
+	})
+
+	active := 0
+	for _, ss := range rt.shards {
+		active += int(ss.active)
+		rt.sentTotal += float64(ss.sent)
+		rt.totalMsgs += float64(ss.sent)
+		rt.updates += ss.updates
+		if ss.maxDelta > rt.maxDelta {
+			rt.maxDelta = ss.maxDelta
+		}
+	}
+	for _, d := range merged {
+		rt.deliveredTotal += float64(d.delivered)
+		rt.crossTotal += float64(d.cross)
 	}
 	rt.activeTotal = float64(active)
 	return active
 }
 
-func (rt *runtime) send(src, dst graph.VertexID, val float64) {
-	srcM := rt.owner[src]
-	dstM := rt.owner[dst]
-	rt.sentTotal++
-	rt.totalMsgs++
+// send buffers one message in the sending shard, bucketed by the
+// destination's shard.
+func (ss *shardState) send(src, dst graph.VertexID, val float64) {
+	ss.sent++
+	d := ss.plan.ShardOf(int(dst))
+	ss.out[d] = append(ss.out[d], msg{src: src, dst: dst, val: val})
+}
 
+// deposit applies one buffered message to the destination inbox,
+// running the sender-side combiner exactly as the sequential runtime
+// would. Only the goroutine owning dst's shard calls deposit for it,
+// so the per-destination state needs no locking.
+func (rt *runtime) deposit(m msg) (delivered, cross int64) {
+	srcM := rt.owner[m.src]
 	if rt.cfg.Combine != nil && rt.superstep >= rt.cfg.CombineFrom {
 		tag := int32(rt.superstep)
-		if rt.stamp[srcM][dst] == tag {
-			i := rt.slotIdx[srcM][dst]
-			rt.nextInbox[dst][i] = rt.cfg.Combine(rt.nextInbox[dst][i], val)
-			return // merged: no new wire message
+		if rt.stamp[srcM][m.dst] == tag {
+			i := rt.slotIdx[srcM][m.dst]
+			rt.nextInbox[m.dst][i] = rt.cfg.Combine(rt.nextInbox[m.dst][i], m.val)
+			return 0, 0 // merged: no new wire message
 		}
-		rt.stamp[srcM][dst] = tag
-		rt.slotIdx[srcM][dst] = int32(len(rt.nextInbox[dst]))
+		rt.stamp[srcM][m.dst] = tag
+		rt.slotIdx[srcM][m.dst] = int32(len(rt.nextInbox[m.dst]))
 	}
-	rt.nextInbox[dst] = append(rt.nextInbox[dst], val)
-	rt.deliveredTotal++
-	if srcM != dstM {
-		rt.crossTotal++
+	rt.nextInbox[m.dst] = append(rt.nextInbox[m.dst], m.val)
+	delivered = 1
+	if srcM != rt.owner[m.dst] {
+		cross = 1
 	}
+	return delivered, cross
 }
 
 // chargeSuperstep charges this superstep's modeled costs: per-machine

@@ -20,6 +20,7 @@ import (
 	"graphbench/internal/haloop"
 	"graphbench/internal/hdfs"
 	"graphbench/internal/mapreduce"
+	"graphbench/internal/par"
 	"graphbench/internal/pregel"
 	"graphbench/internal/relational"
 	"graphbench/internal/sim"
@@ -112,10 +113,23 @@ func Vertica() System {
 }
 
 // Runner executes experiments at a fixed dataset scale, caching
-// prepared fixtures.
+// prepared fixtures. Every run owns a private sim.Cluster and engine
+// instance, so the experiment matrix is embarrassingly parallel:
+// Workers bounds how many runs execute concurrently and Shards how
+// many worker goroutines each run's engine loops use. Both knobs only
+// change wall time — modeled results are bit-identical at any setting.
 type Runner struct {
 	Scale float64
 	Seed  int64
+
+	// Workers is the concurrent-run budget of RunGrid and the harness
+	// artifact generators (0 = GOMAXPROCS, 1 = sequential). It is the
+	// -parallel flag of cmd/graphbench.
+	Workers int
+
+	// Shards, when non-zero, is the per-run engine shard count applied
+	// to systems that don't pin one themselves (engine.Options.Shards).
+	Shards int
 
 	mu       sync.Mutex
 	fixtures map[datasets.Name]*engine.Dataset
@@ -167,14 +181,48 @@ func (r *Runner) Workload(kind engine.Kind, name datasets.Name) engine.Workload 
 	}
 }
 
-// Run executes one experiment on a fresh cluster.
+// MatrixShards returns the per-run engine shard count for runs that
+// execute concurrently on the matrix pool: the -shards override when
+// set, otherwise just enough to keep GOMAXPROCS busy once multiplied
+// by the pool's worker count — the two parallelism layers compose to
+// ~GOMAXPROCS goroutines instead of its square.
+func (r *Runner) MatrixShards() int {
+	if r.Shards != 0 {
+		return r.Shards
+	}
+	w := r.Pool().Workers()
+	p := runtime.GOMAXPROCS(0)
+	if w >= p {
+		return 1
+	}
+	return p / w
+}
+
+// MatrixOptions applies the matrix shard default to opt, for harness
+// code that runs engines directly (bypassing Run) on the pool.
+func (r *Runner) MatrixOptions(opt engine.Options) engine.Options {
+	if opt.Shards == 0 {
+		opt.Shards = r.MatrixShards()
+	}
+	return opt
+}
+
+// Run executes one experiment on a fresh cluster. A standalone run has
+// the engine to itself, so its loops default to GOMAXPROCS shards.
 func (r *Runner) Run(s System, name datasets.Name, kind engine.Kind, machines int) *engine.Result {
+	return r.run(s, name, kind, machines, r.Shards)
+}
+
+func (r *Runner) run(s System, name datasets.Name, kind engine.Kind, machines, shards int) *engine.Result {
 	d := r.Dataset(name)
 	w := r.Workload(kind, name)
 	if s.Tweak != nil {
 		w = s.Tweak(w)
 	}
 	opt := s.Opt
+	if opt.Shards == 0 {
+		opt.Shards = shards
+	}
 	// GraphX runs with the paper's tuned partition counts (Table 5)
 	// unless the experiment overrides them.
 	if s.Key == "graphx" && opt.NumPartitions == 0 {
@@ -193,25 +241,23 @@ type Cell struct {
 	Machines int
 }
 
-// RunGrid executes the cells concurrently (each on its own simulated
-// cluster) and returns results in the input order.
+// Pool returns the runner's experiment-matrix worker pool, sized by
+// Workers.
+func (r *Runner) Pool() *par.Pool { return par.New(r.Workers) }
+
+// RunGrid executes the cells concurrently on the runner's pool (each
+// run on its own simulated cluster) and returns results in the input
+// order.
 func (r *Runner) RunGrid(cells []Cell) []*engine.Result {
-	out := make([]*engine.Result, len(cells))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		// Warm the fixture cache serially to keep generation single.
+	// Warm the fixture cache serially to keep generation single.
+	for _, c := range cells {
 		r.Dataset(c.Dataset)
-		wg.Add(1)
-		go func(i int, c Cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = r.Run(c.System, c.Dataset, c.Kind, c.Machines)
-		}(i, c)
 	}
-	wg.Wait()
-	return out
+	shards := r.MatrixShards()
+	return par.Map(r.Pool(), len(cells), func(i int) *engine.Result {
+		c := cells[i]
+		return r.run(c.System, c.Dataset, c.Kind, c.Machines, shards)
+	})
 }
 
 // BestParallel returns the completed result with the smallest total

@@ -131,6 +131,7 @@ func (g *Gelly) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt en
 		MachineOf:       cut.MachineOf,
 		Profile:         &prof,
 		ScanAll:         true, // coGroup re-scans the full dataset
+		Shards:          opt.Shards,
 		RecordIterStats: true,
 	}
 	configureWorkload(&cfg, w, d)

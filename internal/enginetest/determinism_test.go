@@ -1,0 +1,122 @@
+package enginetest
+
+import (
+	"testing"
+
+	"graphbench/internal/blogel"
+	"graphbench/internal/core"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/gas"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+// TestParallelDeterminism locks in the internal/par contract: the
+// sharded runtimes (BSP compute/send, GAS gather/apply, Blogel block
+// mode) merge per-shard state in shard order, so every pool size must
+// produce bit-identical workload outputs AND identical modeled costs.
+// Shards:1 is the sequential golden run (the par pool runs inline on
+// one worker); 2 and 8 exercise uneven sharding below and above the
+// shard count the fixtures' vertex counts divide evenly by; 0 is the
+// GOMAXPROCS default every ordinary run uses.
+func TestParallelDeterminism(t *testing.T) {
+	f := Prepare(t, datasets.UK, 1_000_000)
+
+	makers := []func() engine.Engine{
+		func() engine.Engine { return pregel.New() },
+		func() engine.Engine { return gas.New() },
+		func() engine.Engine { return blogel.NewV() },
+		func() engine.Engine { return blogel.NewB() },
+	}
+	workloads := []engine.Workload{
+		engine.NewPageRank(),
+		engine.NewWCC(),
+		engine.NewSSSP(f.Dataset.Source),
+		engine.NewKHop(f.Dataset.Source),
+	}
+
+	for _, mk := range makers {
+		name := mk().Name()
+		for _, w := range workloads {
+			t.Run(name+"/"+w.Kind.String(), func(t *testing.T) {
+				golden := mk().Run(sim.NewSize(64), f.Dataset, w, engine.Options{Shards: 1})
+				if golden.Status != sim.OK {
+					t.Fatalf("sequential golden run failed: %v (%v)", golden.Status, golden.Err)
+				}
+				for _, shards := range []int{2, 8, 0} {
+					got := mk().Run(sim.NewSize(64), f.Dataset, w, engine.Options{Shards: shards})
+					requireIdenticalRuns(t, shards, golden, got)
+				}
+			})
+		}
+	}
+}
+
+// requireIdenticalRuns asserts two runs are indistinguishable: same
+// status, bit-identical outputs, and identical modeled time, network,
+// and iteration counts.
+func requireIdenticalRuns(t *testing.T, shards int, want, got *engine.Result) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Fatalf("shards=%d: status %v, want %v", shards, got.Status, want.Status)
+	}
+	if got.TotalTime() != want.TotalTime() {
+		t.Errorf("shards=%d: TotalTime %v, want %v", shards, got.TotalTime(), want.TotalTime())
+	}
+	if got.NetBytes != want.NetBytes {
+		t.Errorf("shards=%d: NetBytes %d, want %d", shards, got.NetBytes, want.NetBytes)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("shards=%d: Iterations %d, want %d", shards, got.Iterations, want.Iterations)
+	}
+	if got.MemTotal != want.MemTotal {
+		t.Errorf("shards=%d: MemTotal %d, want %d", shards, got.MemTotal, want.MemTotal)
+	}
+	if len(got.Ranks) != len(want.Ranks) || len(got.Labels) != len(want.Labels) || len(got.Dist) != len(want.Dist) {
+		t.Fatalf("shards=%d: output lengths (%d,%d,%d), want (%d,%d,%d)", shards,
+			len(got.Ranks), len(got.Labels), len(got.Dist),
+			len(want.Ranks), len(want.Labels), len(want.Dist))
+	}
+	for v := range want.Ranks {
+		if got.Ranks[v] != want.Ranks[v] {
+			t.Fatalf("shards=%d: Ranks[%d] = %v, want %v (bit-identical)", shards, v, got.Ranks[v], want.Ranks[v])
+		}
+	}
+	for v := range want.Labels {
+		if got.Labels[v] != want.Labels[v] {
+			t.Fatalf("shards=%d: Labels[%d] = %d, want %d", shards, v, got.Labels[v], want.Labels[v])
+		}
+	}
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("shards=%d: Dist[%d] = %d, want %d", shards, v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+// TestGridDeterminism runs the same experiment grid through
+// core.RunGrid at matrix pool sizes 1, 2 and 8: harness-level
+// concurrency must not perturb modeled results either.
+func TestGridDeterminism(t *testing.T) {
+	var cells []core.Cell
+	for _, key := range []string{"giraph", "blogel-v", "gl-s-r-i", "graphx"} {
+		s, err := core.SystemByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, core.Cell{System: s, Dataset: datasets.Twitter, Kind: engine.PageRank, Machines: 16})
+	}
+	run := func(workers int) []*engine.Result {
+		r := core.NewRunner(600_000, 1)
+		r.Workers = workers
+		return r.RunGrid(cells)
+	}
+	golden := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range cells {
+			requireIdenticalRuns(t, workers, golden[i], got[i])
+		}
+	}
+}

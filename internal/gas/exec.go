@@ -6,6 +6,7 @@ import (
 
 	"graphbench/internal/engine"
 	"graphbench/internal/graph"
+	"graphbench/internal/par"
 	"graphbench/internal/sim"
 )
 
@@ -21,6 +22,7 @@ type execution struct {
 	w       engine.Workload
 	opt     engine.Options
 	res     *engine.Result
+	pool    *par.Pool
 
 	values    []float64
 	active    []bool
@@ -35,6 +37,7 @@ type replicaCounter interface {
 }
 
 func (ex *execution) init() {
+	ex.pool = par.New(ex.opt.Shards)
 	n := ex.g.NumVertices()
 	ex.values = make([]float64, n)
 	ex.active = make([]bool, n)
@@ -121,41 +124,69 @@ func (ex *execution) syncPageRank() error {
 		tol = 0.01
 	}
 
+	// Per-shard accumulators of one gather/apply/scatter sweep. All
+	// counters are integer-valued, so folding them in shard order (or
+	// any order) reproduces the sequential float sums exactly;
+	// maxDelta is a max and equally order-free.
+	type sweepAcc struct {
+		active, gatherEdges, scatterEdges, mirrorMsgs, updates int64
+		maxDelta                                               float64
+	}
+
 	iters := 0
 	for {
 		iters++
-		for v := 0; v < n; v++ {
-			if d := ex.g.OutDegree(graph.VertexID(v)); d > 0 {
-				contrib[v] = ex.values[v] / float64(d)
-			} else {
-				contrib[v] = 0
+		// Scatter contributions: pure per-vertex writes.
+		ex.pool.ForEachShard(n, func(s par.Shard) {
+			for v := s.Lo; v < s.Hi; v++ {
+				if d := ex.g.OutDegree(graph.VertexID(v)); d > 0 {
+					contrib[v] = ex.values[v] / float64(d)
+				} else {
+					contrib[v] = 0
+				}
 			}
-		}
+		})
+		// Gather+apply: shards own disjoint vertex ranges; contrib and
+		// values are read-only here, next/changed writes vertex-owned.
+		changed := make([]bool, n)
+		accs := par.MapShards(ex.pool, n, func(s par.Shard) sweepAcc {
+			var a sweepAcc
+			for v := s.Lo; v < s.Hi; v++ {
+				if approx && !ex.active[v] {
+					next[v] = ex.values[v]
+					continue
+				}
+				a.active++
+				a.gatherEdges += int64(ex.g.InDegree(graph.VertexID(v)))
+				a.mirrorMsgs += 2 * int64(ex.replicasM[v])
+				sum := 0.0
+				for _, u := range ex.g.InNeighbors(graph.VertexID(v)) {
+					sum += contrib[u]
+				}
+				nv := ex.w.Damping + (1-ex.w.Damping)*sum
+				next[v] = nv
+				d := math.Abs(nv - ex.values[v])
+				if d > a.maxDelta {
+					a.maxDelta = d
+				}
+				if d > tol/10 {
+					a.updates++
+					changed[v] = true
+					a.scatterEdges += int64(ex.g.OutDegree(graph.VertexID(v)))
+				}
+			}
+			return a
+		})
 		var activeCount, gatherEdges, scatterEdges, mirrorMsgs, updates float64
 		maxDelta := 0.0
-		changed := make([]bool, n)
-		for v := 0; v < n; v++ {
-			if approx && !ex.active[v] {
-				next[v] = ex.values[v]
-				continue
-			}
-			activeCount++
-			gatherEdges += float64(ex.g.InDegree(graph.VertexID(v)))
-			mirrorMsgs += 2 * float64(ex.replicasM[v])
-			sum := 0.0
-			for _, u := range ex.g.InNeighbors(graph.VertexID(v)) {
-				sum += contrib[u]
-			}
-			nv := ex.w.Damping + (1-ex.w.Damping)*sum
-			next[v] = nv
-			d := math.Abs(nv - ex.values[v])
-			if d > maxDelta {
-				maxDelta = d
-			}
-			if d > tol/10 {
-				updates++
-				changed[v] = true
-				scatterEdges += float64(ex.g.OutDegree(graph.VertexID(v)))
+		for _, a := range accs {
+			activeCount += float64(a.active)
+			gatherEdges += float64(a.gatherEdges)
+			scatterEdges += float64(a.scatterEdges)
+			mirrorMsgs += float64(a.mirrorMsgs)
+			updates += float64(a.updates)
+			if a.maxDelta > maxDelta {
+				maxDelta = a.maxDelta
 			}
 		}
 		ex.values, next = next, ex.values
@@ -201,6 +232,12 @@ func (ex *execution) syncPageRank() error {
 // syncPropagate runs WCC / SSSP / K-hop: frontier-driven min-propagation.
 // WCC gathers across both edge directions (GraphLab sees both ends of an
 // edge, §3.2); SSSP and K-hop gather along in-edges only.
+//
+// The frontier sweep stays sequential: values updated early in a round
+// are visible to later frontier vertices (Gauss–Seidel propagation), so
+// a sharded version would change how far labels travel per round and
+// with it the modeled iteration counts — breaking the bit-identical
+// guarantee the determinism tests enforce.
 func (ex *execution) syncPropagate() error {
 	n := ex.g.NumVertices()
 	frontier := make([]graph.VertexID, 0, n)
@@ -322,7 +359,9 @@ func (ex *execution) finishPropagate(iters int) {
 
 // runAsync executes the asynchronous engine: chaotic Gauss–Seidel
 // sweeps with immediate value visibility, lock-contention slowdown, and
-// the distributed-lock memory accumulation of §5.3 / Figure 10.
+// the distributed-lock memory accumulation of §5.3 / Figure 10. The
+// sweep is inherently sequential — each vertex reads values written
+// moments earlier in the same permutation pass — so it does not shard.
 func (ex *execution) runAsync() error {
 	ex.init()
 	n := ex.g.NumVertices()

@@ -9,6 +9,7 @@ import (
 	"graphbench/internal/engine"
 	"graphbench/internal/graphx"
 	"graphbench/internal/metrics"
+	"graphbench/internal/par"
 	"graphbench/internal/partition"
 	"graphbench/internal/sim"
 	"graphbench/internal/singlethread"
@@ -23,7 +24,7 @@ func Figure1Cores(r *core.Runner) string {
 		d := r.Dataset(datasets.Twitter)
 		w := engine.NewPageRankIters(30)
 		opt := engine.Options{Async: async, UseAllCores: allCores}
-		return s.New().Run(sim.NewSize(16), d, w, opt)
+		return s.New().Run(sim.NewSize(16), d, w, r.MatrixOptions(opt))
 	}
 	configs := []struct {
 		label           string
@@ -36,12 +37,14 @@ func Figure1Cores(r *core.Runner) string {
 	}
 	var b strings.Builder
 	b.WriteString("Figure 1: GraphLab cores for computation (PageRank x30, Twitter, 16 machines)\n")
+	r.Dataset(datasets.Twitter)
+	times := par.Map(r.Pool(), len(configs), func(i int) float64 {
+		return run(configs[i].async, configs[i].allCores).Exec
+	})
 	max := 0.0
-	times := make([]float64, len(configs))
-	for i, c := range configs {
-		times[i] = run(c.async, c.allCores).Exec
-		if times[i] > max {
-			max = times[i]
+	for _, t := range times {
+		if t > max {
+			max = t
 		}
 	}
 	for i, c := range configs {
@@ -63,16 +66,19 @@ func Figure2PartitionSweep(r *core.Runner) string {
 		sweep := []int{64, 128, 256, 512, 1024, def}
 		for _, m := range []int{32, 64, 128} {
 			fmt.Fprintf(&b, "  %s @ %d machines (default=%d partitions):\n", name, m, def)
-			times := make([]float64, len(sweep))
-			max := 0.0
-			for i, p := range sweep {
+			times := par.Map(r.Pool(), len(sweep), func(i int) float64 {
 				w := engine.NewPageRankIters(10)
-				res := s.New().Run(sim.NewSize(m), d, w, engine.Options{NumPartitions: p})
-				if res.Status == sim.OK {
-					times[i] = res.Exec
-					if times[i] > max {
-						max = times[i]
-					}
+				res := s.New().Run(sim.NewSize(m), d, w,
+					r.MatrixOptions(engine.Options{NumPartitions: sweep[i]}))
+				if res.Status != sim.OK {
+					return 0
+				}
+				return res.Exec
+			})
+			max := 0.0
+			for _, t := range times {
+				if t > max {
+					max = t
 				}
 			}
 			for i, p := range sweep {
@@ -98,7 +104,7 @@ func Figure3BlogelNoHDFS(r *core.Runner) string {
 	s, _ := core.SystemByKey("blogel-b")
 	std := r.Run(s, datasets.Twitter, engine.WCC, 16)
 	mod := s.New().Run(sim.NewSize(16), r.Dataset(datasets.Twitter), r.Workload(engine.WCC, datasets.Twitter),
-		engine.Options{SkipHDFSRoundTrip: true})
+		r.MatrixOptions(engine.Options{SkipHDFSRoundTrip: true}))
 	var b strings.Builder
 	b.WriteString("Figure 3: modified Blogel-B (no HDFS round-trip), WCC, Twitter, 16 machines\n")
 	max := std.TotalTime()
@@ -118,9 +124,17 @@ func Figure4ApproxPR(r *core.Runner) string {
 	// Cluster sizes where GraphLab-random can load each dataset: WRN
 	// and UK do not fit small clusters (§5.2).
 	machinesFor := map[datasets.Name]int{datasets.Twitter: 16, datasets.UK: 64, datasets.WRN: 32}
-	for _, name := range []datasets.Name{datasets.Twitter, datasets.UK, datasets.WRN} {
-		d := r.Dataset(name)
-		approx := s.New().Run(sim.NewSize(machinesFor[name]), d, engine.NewPageRank(), engine.Options{Approximate: true})
+	names := []datasets.Name{datasets.Twitter, datasets.UK, datasets.WRN}
+	for _, name := range names {
+		r.Dataset(name)
+	}
+	runs := par.Map(r.Pool(), len(names), func(i int) *engine.Result {
+		name := names[i]
+		return s.New().Run(sim.NewSize(machinesFor[name]), r.Dataset(name),
+			engine.NewPageRank(), r.MatrixOptions(engine.Options{Approximate: true}))
+	})
+	for i, name := range names {
+		approx := runs[i]
 		if approx.Status != sim.OK {
 			fmt.Fprintf(&b, "  %s: %s\n", name, approx.Status)
 			continue
@@ -254,12 +268,16 @@ func Figure10AsyncMemory(r *core.Runner) string {
 	s, _ := core.SystemByKey("gl-s-r-t")
 	var b strings.Builder
 	b.WriteString("Figure 10: GraphLab memory per worker, PageRank on WRN, 128 machines\n")
-	for _, mode := range []struct {
+	modes := []struct {
 		label string
 		async bool
-	}{{"synchronous", false}, {"asynchronous", true}} {
-		res := s.New().Run(sim.NewSize(128), d, engine.NewPageRank(),
-			engine.Options{Async: mode.async, SampleMemory: true})
+	}{{"synchronous", false}, {"asynchronous", true}}
+	runs := par.Map(r.Pool(), len(modes), func(i int) *engine.Result {
+		return s.New().Run(sim.NewSize(128), d, engine.NewPageRank(),
+			r.MatrixOptions(engine.Options{Async: modes[i].async, SampleMemory: true}))
+	})
+	for i, mode := range modes {
+		res := runs[i]
 		fmt.Fprintf(&b, "  %s (status %s):\n", mode.label, res.Status)
 		samples := res.MemTimeline
 		stride := len(samples)/8 + 1
@@ -321,9 +339,9 @@ func Figure12Vertica(r *core.Runner) string {
 		iters int
 	}{{"SSSP", engine.SSSP, 0}, {"PageRank x55", engine.PageRank, 55}} {
 		fmt.Fprintf(&b, "  %s:\n", spec.label)
-		results := make([]*engine.Result, len(systems))
-		max := 0.0
-		for i, s := range systems {
+		r.Dataset(datasets.UK)
+		results := par.Map(r.Pool(), len(systems), func(i int) *engine.Result {
+			s := systems[i]
 			d := r.Dataset(datasets.UK)
 			w := r.Workload(spec.kind, datasets.UK)
 			if spec.iters > 0 {
@@ -333,9 +351,12 @@ func Figure12Vertica(r *core.Runner) string {
 			if s.Key == "graphx" {
 				opt.NumPartitions = graphx.TunedPartitions(d, 32)
 			}
-			results[i] = s.New().Run(sim.NewSize(32), d, w, opt)
-			if results[i].Status == sim.OK && results[i].TotalTime() > max {
-				max = results[i].TotalTime()
+			return s.New().Run(sim.NewSize(32), d, w, r.MatrixOptions(opt))
+		})
+		max := 0.0
+		for _, res := range results {
+			if res.Status == sim.OK && res.TotalTime() > max {
+				max = res.TotalTime()
 			}
 		}
 		for i, s := range systems {
@@ -362,9 +383,13 @@ func Figure13VerticaResources(r *core.Runner) string {
 	var b strings.Builder
 	b.WriteString("Figure 13: resource usage, PageRank x55, UK, 64 machines\n")
 	b.WriteString(fmt.Sprintf("  %-10s %12s %12s %14s %12s\n", "system", "user CPU", "I/O wait", "mem footprint", "network"))
-	for _, s := range systems {
-		d := r.Dataset(datasets.UK)
-		res := s.New().Run(sim.NewSize(64), d, engine.NewPageRankIters(55), s.Opt)
+	r.Dataset(datasets.UK)
+	runs := par.Map(r.Pool(), len(systems), func(i int) *engine.Result {
+		return systems[i].New().Run(sim.NewSize(64), r.Dataset(datasets.UK),
+			engine.NewPageRankIters(55), r.MatrixOptions(systems[i].Opt))
+	})
+	for i, s := range systems {
+		res := runs[i]
 		if res.Status != sim.OK {
 			fmt.Fprintf(&b, "  %-10s %s\n", s.Label, res.Status)
 			continue

@@ -10,6 +10,7 @@ import (
 	"graphbench/internal/graph"
 	"graphbench/internal/graphx"
 	"graphbench/internal/metrics"
+	"graphbench/internal/par"
 	"graphbench/internal/partition"
 	"graphbench/internal/sim"
 	"graphbench/internal/singlethread"
@@ -124,7 +125,7 @@ func Table6IterTime(r *core.Runner) string {
 		if sysKey == "graphx" {
 			opt.NumPartitions = graphx.TunedPartitions(d, machines)
 		}
-		res := s.New().Run(sim.NewSize(machines), d, w, opt)
+		res := s.New().Run(sim.NewSize(machines), d, w, r.MatrixOptions(opt))
 		// The paper measured per-iteration times from the logs of runs
 		// that ultimately failed (none of these finish on WRN); use
 		// whatever iterations completed before the failure.
@@ -138,13 +139,27 @@ func Table6IterTime(r *core.Runner) string {
 		}
 		return fmt.Sprintf("%.1f%s", mid.Seconds, suffix)
 	}
+	// The eight cells are independent timed runs: fill them on the
+	// runner's pool.
+	machines := []int{16, 32}
+	type cellSpec struct {
+		sys  string
+		kind engine.Kind
+		m    int
+	}
+	var specs []cellSpec
+	for _, m := range machines {
+		specs = append(specs,
+			cellSpec{"giraph", engine.SSSP, m}, cellSpec{"giraph", engine.WCC, m},
+			cellSpec{"graphx", engine.SSSP, m}, cellSpec{"graphx", engine.WCC, m})
+	}
+	r.Dataset(datasets.WRN)
+	cellVals := par.Map(r.Pool(), len(specs), func(i int) string {
+		return midIter(specs[i].sys, specs[i].kind, specs[i].m)
+	})
 	var rows [][]string
-	for _, m := range []int{16, 32} {
-		rows = append(rows, []string{
-			fmt.Sprintf("%d", m),
-			midIter("giraph", engine.SSSP, m), midIter("giraph", engine.WCC, m),
-			midIter("graphx", engine.SSSP, m), midIter("graphx", engine.WCC, m),
-		})
+	for i, m := range machines {
+		rows = append(rows, append([]string{fmt.Sprintf("%d", m)}, cellVals[i*4:i*4+4]...))
 	}
 	return "Table 6: Seconds per iteration on WRN (paper @16: Giraph 6/OOM, GraphX 120/420; @32: 3/3.2, 17/30)\n" +
 		table([]string{"Machines", "Giraph SSSP", "Giraph WCC", "GraphX SSSP", "GraphX WCC"}, rows)
@@ -154,9 +169,14 @@ func Table6IterTime(r *core.Runner) string {
 // machines (Table 7).
 func Table7ClueWeb(r *core.Runner) string {
 	s, _ := core.SystemByKey("blogel-v")
+	kinds := engine.AllKinds()
+	r.Dataset(datasets.ClueWeb)
+	results := par.Map(r.Pool(), len(kinds), func(i int) *engine.Result {
+		return r.Run(s, datasets.ClueWeb, kinds[i], 128)
+	})
 	var rows [][]string
-	for _, kind := range engine.AllKinds() {
-		res := r.Run(s, datasets.ClueWeb, kind, 128)
+	for i, kind := range kinds {
+		res := results[i]
 		if res.Status != sim.OK {
 			rows = append(rows, []string{kind.String(), res.Status.String(), "", "", ""})
 			continue
@@ -177,20 +197,23 @@ func Table7ClueWeb(r *core.Runner) string {
 // (Table 8). Failed loads are marked with their status.
 func Table8GiraphMemory(r *core.Runner) string {
 	s, _ := core.SystemByKey("giraph")
-	var rows [][]string
-	for _, name := range []datasets.Name{datasets.Twitter, datasets.UK, datasets.WRN} {
-		row := []string{string(name)}
-		for _, m := range core.ClusterSizes {
-			d := r.Dataset(name)
-			w := engine.NewPageRankIters(3)
-			res := s.New().Run(sim.NewSize(m), d, w, s.Opt)
-			if res.Status != sim.OK {
-				row = append(row, res.Status.String())
-				continue
-			}
-			row = append(row, metrics.FmtBytes(res.MemTotal))
+	names := []datasets.Name{datasets.Twitter, datasets.UK, datasets.WRN}
+	sizes := core.ClusterSizes
+	for _, name := range names {
+		r.Dataset(name)
+	}
+	cells := par.Map(r.Pool(), len(names)*len(sizes), func(i int) string {
+		d := r.Dataset(names[i/len(sizes)])
+		m := sizes[i%len(sizes)]
+		res := s.New().Run(sim.NewSize(m), d, engine.NewPageRankIters(3), r.MatrixOptions(s.Opt))
+		if res.Status != sim.OK {
+			return res.Status.String()
 		}
-		rows = append(rows, row)
+		return metrics.FmtBytes(res.MemTotal)
+	})
+	var rows [][]string
+	for i, name := range names {
+		rows = append(rows, append([]string{string(name)}, cells[i*len(sizes):(i+1)*len(sizes)]...))
 	}
 	return "Table 8: Total Giraph memory across the cluster (paper Twitter: 191.5/323.6/606.4/923.5 GB)\n" +
 		table([]string{"Dataset", "16", "32", "64", "128"}, rows)

@@ -1,0 +1,191 @@
+// Package par is the shared parallel-execution layer: a bounded worker
+// pool, contiguous vertex-range sharding, and order-preserving map
+// helpers. The runtimes (bsp, gas, blogel) shard their hot per-vertex
+// loops over a Plan and merge per-shard accumulators in shard order, so
+// a run's outputs and modeled costs are bit-identical for every worker
+// count — the property internal/enginetest's determinism tests lock in.
+// The harness uses the same pool to run independent experiments of a
+// grid concurrently (each run owns a private sim.Cluster, so the matrix
+// is embarrassingly parallel).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs tasks on a fixed number of workers. The zero value is not
+// usable; construct with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; values <= 0 mean
+// runtime.GOMAXPROCS(0). A one-worker pool runs everything inline on
+// the calling goroutine — the sequential execution mode.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// WorkerPanic carries a panic out of a pool goroutine to the caller of
+// ForEach, preserving the worker's stack trace.
+type WorkerPanic struct {
+	Value any    // the value originally passed to panic
+	Stack []byte // the panicking worker's stack
+}
+
+func (wp *WorkerPanic) String() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", wp.Value, wp.Stack)
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing indices over
+// the pool's workers. It returns after all calls complete. A panic in
+// fn is re-raised on the calling goroutine as a *WorkerPanic (inline
+// single-worker execution panics with the original value). Remaining
+// tasks still run after a panic, so partial side effects are bounded
+// by n either way.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[WorkerPanic]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if wp := panicked.Load(); wp != nil {
+		panic(wp)
+	}
+}
+
+// Shard is one contiguous index range [Lo, Hi) of a Plan.
+type Shard struct {
+	Index  int
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// Plan splits [0, n) into k contiguous shards whose sizes differ by at
+// most one. Shards are never empty: k is capped at n.
+type Plan struct {
+	n, k      int
+	base, rem int // first rem shards have base+1 elements, the rest base
+}
+
+// PlanShards builds a Plan over n indices with (at most) k shards.
+// k <= 0 means one shard; n == 0 yields an empty plan.
+func PlanShards(n, k int) Plan {
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	pl := Plan{n: n, k: k}
+	if k > 0 {
+		pl.base = n / k
+		pl.rem = n % k
+	}
+	return pl
+}
+
+// Count returns the number of shards.
+func (pl Plan) Count() int { return pl.k }
+
+// Shard returns the i-th shard.
+func (pl Plan) Shard(i int) Shard {
+	lo := i * pl.base
+	if i < pl.rem {
+		lo += i
+	} else {
+		lo += pl.rem
+	}
+	hi := lo + pl.base
+	if i < pl.rem {
+		hi++
+	}
+	return Shard{Index: i, Lo: lo, Hi: hi}
+}
+
+// ShardOf returns the index of the shard containing v.
+func (pl Plan) ShardOf(v int) int {
+	wide := pl.rem * (pl.base + 1)
+	if v < wide {
+		return v / (pl.base + 1)
+	}
+	return pl.rem + (v-wide)/pl.base
+}
+
+// ForEachShard splits [0, n) into one shard per pool worker and runs
+// fn on each shard concurrently.
+func (p *Pool) ForEachShard(n int, fn func(s Shard)) {
+	pl := PlanShards(n, p.workers)
+	p.ForEach(pl.Count(), func(i int) { fn(pl.Shard(i)) })
+}
+
+// Map runs fn(i) for every i in [0, n) on the pool and returns the
+// results in index order.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapShards splits [0, n) into one shard per pool worker, runs fn on
+// each shard concurrently, and returns the per-shard results in shard
+// order — the deterministic-merge building block: callers fold the
+// returned slice left to right, which reproduces the sequential
+// accumulation order regardless of worker count.
+func MapShards[T any](p *Pool, n int, fn func(s Shard) T) []T {
+	pl := PlanShards(n, p.workers)
+	return MapPlan(p, pl, fn)
+}
+
+// MapPlan is MapShards over an explicit Plan, for callers that need the
+// same plan for sharding and for routing (e.g. bsp's per-destination
+// message buckets).
+func MapPlan[T any](p *Pool, pl Plan, fn func(s Shard) T) []T {
+	out := make([]T, pl.Count())
+	p.ForEach(pl.Count(), func(i int) { out[i] = fn(pl.Shard(i)) })
+	return out
+}

@@ -1,0 +1,159 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// workerCounts covers the boundary shapes the runtimes hit: sequential,
+// fewer workers than items, n == workers, n < workers, and n not
+// divisible by workers.
+var workerCounts = []int{1, 2, 3, 7, 8, 64}
+
+func TestPlanShardsCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 8, 63, 64, 1000} {
+		for _, k := range workerCounts {
+			pl := PlanShards(n, k)
+			if n == 0 && pl.Count() != 0 {
+				t.Fatalf("PlanShards(0, %d).Count() = %d, want 0", k, pl.Count())
+			}
+			want := k
+			if want > n {
+				want = n
+			}
+			if pl.Count() != want {
+				t.Fatalf("PlanShards(%d, %d).Count() = %d, want %d", n, k, pl.Count(), want)
+			}
+			next := 0
+			for i := 0; i < pl.Count(); i++ {
+				s := pl.Shard(i)
+				if s.Lo != next {
+					t.Fatalf("PlanShards(%d, %d): shard %d starts at %d, want %d", n, k, i, s.Lo, next)
+				}
+				if s.Len() < 1 {
+					t.Fatalf("PlanShards(%d, %d): shard %d is empty", n, k, i)
+				}
+				for v := s.Lo; v < s.Hi; v++ {
+					if got := pl.ShardOf(v); got != i {
+						t.Fatalf("PlanShards(%d, %d).ShardOf(%d) = %d, want %d", n, k, v, got, i)
+					}
+				}
+				next = s.Hi
+			}
+			if next != n {
+				t.Fatalf("PlanShards(%d, %d): shards end at %d, want %d", n, k, next, n)
+			}
+		}
+	}
+}
+
+func TestPlanShardsBalance(t *testing.T) {
+	pl := PlanShards(10, 4)
+	sizes := []int{}
+	for i := 0; i < pl.Count(); i++ {
+		sizes = append(sizes, pl.Shard(i).Len())
+	}
+	for _, s := range sizes {
+		if s < 2 || s > 3 {
+			t.Fatalf("PlanShards(10, 4) sizes %v: want each in [2, 3]", sizes)
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 1000} {
+		for _, w := range workerCounts {
+			counts := make([]int32, n)
+			New(w).ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", w, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) has no workers")
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("New(3).Workers() = %d", got)
+	}
+}
+
+// TestMergeOrderDeterminism is the property every runtime relies on:
+// per-shard results folded in shard order reproduce the sequential
+// order exactly, for any worker count. Run under -race this also
+// checks the shard writes never overlap.
+func TestMergeOrderDeterminism(t *testing.T) {
+	const n = 10_000
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * 31
+	}
+	for _, w := range workerCounts {
+		chunks := MapShards(New(w), n, func(s Shard) []int {
+			out := make([]int, 0, s.Len())
+			for v := s.Lo; v < s.Hi; v++ {
+				out = append(out, want[v])
+			}
+			return out
+		})
+		var got []int
+		for _, c := range chunks {
+			got = append(got, c...)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: merged %d items, want %d", w, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: merged[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got := Map(New(8), 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", w)
+				}
+				switch wp := r.(type) {
+				case *WorkerPanic:
+					if wp.Value != "boom" {
+						t.Fatalf("workers=%d: panic value %v, want boom", w, wp.Value)
+					}
+					if len(wp.Stack) == 0 {
+						t.Fatalf("workers=%d: worker panic lost its stack", w)
+					}
+				case string:
+					if wp != "boom" {
+						t.Fatalf("workers=%d: panic value %v, want boom", w, wp)
+					}
+				default:
+					t.Fatalf("workers=%d: unexpected panic value %T %v", w, r, r)
+				}
+			}()
+			New(w).ForEach(100, func(i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

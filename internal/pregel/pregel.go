@@ -100,6 +100,7 @@ func (g *Giraph) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 		MachineOf:       cut.MachineOf,
 		Profile:         &prof,
 		ScanAll:         true,
+		Shards:          opt.Shards,
 		RecordIterStats: true,
 	}
 	configureWorkload(&cfg, w, d, opt)
