@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"graphbench/internal/blogel"
+	"graphbench/internal/bsp"
 	"graphbench/internal/core"
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
@@ -295,6 +296,50 @@ func BenchmarkAblationBlogelBVsV(b *testing.B) {
 				"  BV: exec %.0fs, total %.0fs\n"+
 				"  BB: exec %.0fs, total %.0fs  (faster execute, slower end-to-end)\n",
 			bv.Exec, bv.TotalTime(), bb.Exec, bb.TotalTime()))
+	}
+}
+
+// BenchmarkMessagePlane isolates the BSP message plane — the CSR
+// superstep inboxes, struct-of-arrays send buckets, and swapped value
+// arenas — on the powerlaw (Twitter-analogue) dataset: a dense
+// combiner-heavy workload (PageRank) and a sparse frontier-driven one
+// (WCC), each at one and at eight shards. Run with -benchmem: allocs/op
+// is the number this PR's zero-allocation work drives down, and
+// scripts/bench.sh records it per-date so the trajectory is tracked.
+func BenchmarkMessagePlane(b *testing.B) {
+	g := datasets.Generate(datasets.Twitter, datasets.Options{Scale: benchScale, Seed: 1})
+	const m = 16
+	cut := partition.EdgeCut{M: m, Seed: 7}
+	base := bsp.Config{
+		Graph: g, Scale: 1, M: m, MachineOf: cut.MachineOf, Profile: &blogel.Profile,
+	}
+	run := func(b *testing.B, cfg bsp.Config) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bsp.Run(sim.NewSize(m), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("PageRank/shards=%d", shards), func(b *testing.B) {
+			cfg := base
+			cfg.Program = &bsp.PageRankProgram{Damping: 0.15}
+			cfg.Combine = bsp.SumCombine
+			cfg.FixedSupersteps = 10
+			cfg.Shards = shards
+			run(b, cfg)
+		})
+		b.Run(fmt.Sprintf("WCC/shards=%d", shards), func(b *testing.B) {
+			cfg := base
+			cfg.Program = bsp.WCCProgram{}
+			cfg.Combine = bsp.MinCombine
+			cfg.CombineFrom = 1
+			cfg.UseInNeighbors = true
+			cfg.Shards = shards
+			run(b, cfg)
+		})
 	}
 }
 

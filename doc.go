@@ -39,4 +39,39 @@
 //     cmd/graphbench (0 = GOMAXPROCS). BenchmarkParallelSpeedup in
 //     bench_test.go tracks the wall-clock win over the sequential
 //     path.
+//
+// # Memory model
+//
+// The message plane is flat, reusable memory: no hot loop allocates per
+// message, per vertex, or per round in steady state. Arena ownership
+// follows the sharding:
+//
+//   - BSP inboxes are two arena triples (values, per-vertex start
+//     offsets, per-vertex lengths). During a superstep the current
+//     inbox arena is read-only for every shard; the twin "next" arena
+//     is written exclusively by destination-shard owners — the count
+//     and deposit passes partition it by vertex range, so shard i
+//     writes only its vertices' counters, offsets, and value slots.
+//     deliver() swaps the triples at the barrier between supersteps;
+//     the swapped-out arena is recycled wholesale by the next merge
+//     (every length re-zeroed, every offset rewritten), never freed.
+//
+//   - Send buckets (parallel dst/srcM/val arrays, one bucket per
+//     (source shard, destination shard) pair) are written only by
+//     their source shard during compute, read only by their
+//     destination shard during merge, and recycled by truncation at
+//     the start of the owner's next compute pass. The two phases are
+//     separated by pool barriers, so ownership transfer needs no
+//     locks.
+//
+//   - GAS and Blogel-B round state (frontier/next queues, HashMin
+//     candidate arrays, block seed lists, proposal and write logs) is
+//     private to one worker or one vertex/block range, reused across
+//     rounds by truncation or swap, and merged in shard order on the
+//     coordinating goroutine after each round's barrier.
+//
+// Allocation-budget tests (bsp, gas, graph) difference long runs
+// against short ones to assert the steady-state cost per round stays a
+// constant handful of objects, and BenchmarkMessagePlane plus
+// scripts/bench.sh track allocs/op per date in BENCH_<date>.json.
 package graphbench

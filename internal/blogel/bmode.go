@@ -2,7 +2,7 @@ package blogel
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"graphbench/internal/engine"
 	"graphbench/internal/graph"
@@ -243,6 +243,11 @@ func (bx *bExec) wcc() error {
 		hmShards[i] = sh
 	}
 
+	// Round buffers, reused: next labels are re-copied and next-active
+	// flags cleared each round, then the pairs swap — no per-round
+	// allocation.
+	next := make([]bool, nb)
+	newLabels := make([]float64, nb)
 	rounds := 0
 	for {
 		rounds++
@@ -277,8 +282,7 @@ func (bx *bExec) wcc() error {
 			}
 		})
 		var msgs, edgeOps float64
-		next := make([]bool, nb)
-		newLabels := make([]float64, nb)
+		clear(next)
 		copy(newLabels, labels)
 		changedAny := false
 		for _, sh := range hmShards {
@@ -292,8 +296,8 @@ func (bx *bExec) wcc() error {
 				}
 			}
 		}
-		labels = newLabels
-		active = next
+		labels, newLabels = newLabels, labels
+		active, next = next, active
 		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: rounds, Active: nb})
 		if err := bx.chargeRound(edgeOps, msgs, true); err != nil {
 			return err
@@ -339,88 +343,113 @@ func (bx *bExec) traverse() error {
 		v graph.VertexID
 		d int32
 	}
-	type bfsAcc struct {
+	// travShard is one worker's persistent round state: proposal and
+	// write logs plus the two in-block BFS queues, all reused across
+	// rounds by truncation.
+	type travShard struct {
 		edgeOps, msgs int64
 		proposals     []proposal
 		written       []graph.VertexID // in-block dist writes this round
+		frontier      []graph.VertexID
+		next          []graph.VertexID
 	}
+	shards := make([]*travShard, bx.pool.Workers())
+	for i := range shards {
+		shards[i] = &travShard{}
+	}
+	// Per-block seed lists replace the old per-round map: slices are
+	// truncated when their block is consumed and refilled by applied
+	// proposals, so rounds allocate nothing once the buffers are warm.
+	seeds := make([][]graph.VertexID, bx.vor.NumBlocks)
+	blocks := make([]int32, 0, 1)
+	nextBlocks := make([]int32, 0, 1)
 
 	dist[bx.d.Source] = 0
 	copy(distPrev, dist)
-	seeds := map[int32][]graph.VertexID{bx.vor.BlockOf[bx.d.Source]: {bx.d.Source}}
-	blocks := []int32{bx.vor.BlockOf[bx.d.Source]}
+	src := bx.vor.BlockOf[bx.d.Source]
+	seeds[src] = append(seeds[src], bx.d.Source)
+	blocks = append(blocks, src)
 	rounds := 0
 	for len(blocks) > 0 {
 		rounds++
-		accs := par.MapShards(bx.pool, len(blocks), func(s par.Shard) bfsAcc {
-			var a bfsAcc
+		pl := par.PlanShards(len(blocks), bx.pool.Workers())
+		bx.pool.ForEach(pl.Count(), func(i int) {
+			sh := shards[i]
+			sh.edgeOps, sh.msgs = 0, 0
+			sh.proposals, sh.written = sh.proposals[:0], sh.written[:0]
+			s := pl.Shard(i)
 			for bi := s.Lo; bi < s.Hi; bi++ {
 				block := blocks[bi]
 				// Serial BFS within the block from the updated vertices.
-				frontier := seeds[block]
-				for len(frontier) > 0 {
-					var next []graph.VertexID
-					for _, v := range frontier {
+				sh.frontier = append(sh.frontier[:0], seeds[block]...)
+				for len(sh.frontier) > 0 {
+					sh.next = sh.next[:0]
+					for _, v := range sh.frontier {
 						if dist[v] >= bound {
 							continue
 						}
 						for _, w := range bx.g.OutNeighbors(v) {
-							a.edgeOps++
+							sh.edgeOps++
 							nd := dist[v] + 1
 							if bx.vor.BlockOf[w] == block {
 								if dist[w] != -1 && dist[w] <= nd {
 									continue
 								}
 								dist[w] = nd
-								a.written = append(a.written, w)
-								next = append(next, w)
+								sh.written = append(sh.written, w)
+								sh.next = append(sh.next, w)
 							} else if distPrev[w] == -1 || nd < distPrev[w] {
 								// Boundary improvement shipped to the
 								// neighboring block for the next round.
-								a.msgs++
-								a.proposals = append(a.proposals, proposal{v: w, d: nd})
+								sh.msgs++
+								sh.proposals = append(sh.proposals, proposal{v: w, d: nd})
 							}
 						}
 					}
-					frontier = next
+					sh.frontier, sh.next = sh.next, sh.frontier
 				}
 			}
-			return a
 		})
+		// This round's seed lists are consumed; truncate them before the
+		// proposal merge refills blocks for the next round.
+		for _, b := range blocks {
+			seeds[b] = seeds[b][:0]
+		}
+		nextBlocks = nextBlocks[:0]
 		var edgeOps, msgs float64
-		nextSeeds := make(map[int32][]graph.VertexID)
-		var nextBlocks []int32
-		for _, a := range accs {
-			edgeOps += float64(a.edgeOps)
-			msgs += float64(a.msgs)
-			for _, p := range a.proposals {
+		for i := 0; i < pl.Count(); i++ {
+			sh := shards[i]
+			edgeOps += float64(sh.edgeOps)
+			msgs += float64(sh.msgs)
+			for _, p := range sh.proposals {
 				if dist[p.v] == -1 || p.d < dist[p.v] {
 					dist[p.v] = p.d
 					blk := bx.vor.BlockOf[p.v]
-					if nextSeeds[blk] == nil {
+					if len(seeds[blk]) == 0 {
 						nextBlocks = append(nextBlocks, blk)
 					}
-					nextSeeds[blk] = append(nextSeeds[blk], p.v)
+					seeds[blk] = append(seeds[blk], p.v)
 				}
 			}
 		}
 		// Sync the snapshot incrementally: only vertices written this
 		// round (in-block BFS writes and applied proposals) changed, so
 		// the round costs O(updates), not O(n).
-		for _, a := range accs {
-			for _, w := range a.written {
+		for i := 0; i < pl.Count(); i++ {
+			sh := shards[i]
+			for _, w := range sh.written {
 				distPrev[w] = dist[w]
 			}
-			for _, p := range a.proposals {
+			for _, p := range sh.proposals {
 				distPrev[p.v] = dist[p.v]
 			}
 		}
-		sort.Slice(nextBlocks, func(i, j int) bool { return nextBlocks[i] < nextBlocks[j] })
+		slices.Sort(nextBlocks)
 		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{Iteration: rounds, Active: len(blocks)})
 		if err := bx.chargeRound(edgeOps, msgs, true); err != nil {
 			return err
 		}
-		blocks, seeds = nextBlocks, nextSeeds
+		blocks, nextBlocks = nextBlocks, blocks
 	}
 	bx.res.Iterations = dilated(rounds, bx.d.DilationFor(bx.w.Kind))
 	bx.res.Dist = dist
@@ -506,8 +535,8 @@ func (bx *bExec) pageRank() error {
 			outW[b] += float64(cnt)
 		}
 	}
+	next := make([]float64, nb) // reused across iterations via swap
 	for it := 0; it < 30; it++ {
-		next := make([]float64, nb)
 		for b := range next {
 			next[b] = bx.w.Damping
 		}
@@ -525,7 +554,7 @@ func (bx *bExec) pageRank() error {
 				maxDelta = d
 			}
 		}
-		blockRank = next
+		blockRank, next = next, blockRank
 		if err := bx.chargeRound(float64(bx.vor.CrossBlockEdges()), float64(bx.vor.CrossBlockEdges()), false); err != nil {
 			return err
 		}

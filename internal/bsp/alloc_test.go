@@ -1,0 +1,105 @@
+package bsp
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/par"
+	"graphbench/internal/partition"
+	"graphbench/internal/sim"
+)
+
+// TestSuperstepAllocBudget locks in the zero-allocation message plane:
+// once the arenas and send buckets are warm, a PageRank superstep must
+// cost only a constant handful of allocations (IterStats disabled),
+// never O(messages). It measures the marginal cost per superstep by
+// differencing a long run against a short one, so per-run setup (graph
+// state, arenas reaching steady capacity) cancels out.
+func TestSuperstepAllocBudget(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := datasets.Generate(datasets.Twitter, datasets.Options{Scale: 600_000, Seed: 1})
+	cut := partition.EdgeCut{M: 4, Seed: 7}
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			_, err := Run(sim.NewSize(4), Config{
+				Graph: g, Scale: 1, M: 4, MachineOf: cut.MachineOf,
+				Profile: &testProfile, Program: &PageRankProgram{Damping: 0.15},
+				Combine: SumCombine, FixedSupersteps: iters, Shards: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+	short, long := run(5), run(45)
+	perStep := (long - short) / 40
+	// The steady-state superstep performs zero message-plane
+	// allocations; the budget leaves headroom for incidental runtime
+	// noise only.
+	const budget = 4
+	if perStep > budget {
+		t.Errorf("PageRank superstep allocates %.1f objects in steady state, budget %d (short run %.0f, long run %.0f)",
+			perStep, budget, short, long)
+	}
+}
+
+// TestSuperstepAllocBudgetTraversal is the same check for the sparse
+// path: WCC supersteps where most vertices are halted must also stay
+// within a constant allocation budget.
+func TestSuperstepAllocBudgetTraversal(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := datasets.Generate(datasets.WRN, datasets.Options{Scale: 2_000_000, Seed: 1})
+	src := datasets.SourceVertex(g, 42)
+	cut := partition.EdgeCut{M: 4, Seed: 7}
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			_, err := Run(sim.NewSize(4), Config{
+				Graph: g, Scale: 1, M: 4, MachineOf: cut.MachineOf,
+				Profile: &testProfile, Program: &SSSPProgram{Source: src},
+				Combine: MinCombine, MaxSupersteps: iters, Shards: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+	short, long := run(5), run(45)
+	perStep := (long - short) / 40
+	const budget = 4
+	if perStep > budget {
+		t.Errorf("SSSP superstep allocates %.1f objects in steady state, budget %d (short run %.0f, long run %.0f)",
+			perStep, budget, short, long)
+	}
+}
+
+// TestQuiescenceStopsAfterArenaSwap verifies the quiescence stop
+// condition against the swapped-arena deliver(): a run whose frontier
+// dies out must observe deliveredTotal == 0 with every vertex halted
+// and stop, rather than spinning on a stale inbox arena.
+func TestQuiescenceStopsAfterArenaSwap(t *testing.T) {
+	g := datasets.Generate(datasets.WRN, datasets.Options{Scale: 2_000_000, Seed: 1})
+	src := datasets.SourceVertex(g, 42)
+	cut := partition.EdgeCut{M: 4, Seed: 7}
+	out, err := Run(sim.NewSize(4), Config{
+		Graph: g, Scale: 1, M: 4, MachineOf: cut.MachineOf,
+		Profile: &testProfile, Program: &SSSPProgram{Source: src},
+		Combine: MinCombine,
+	})
+	if err != nil {
+		t.Fatalf("bsp.Run failed: %v", err)
+	}
+	// BFS reaches quiescence in O(diameter) supersteps; the safety
+	// bound is 2^20, so finishing anywhere near the diameter means the
+	// stop condition fired on real quiescence, not the bound.
+	if out.Supersteps >= DefaultMaxSupersteps {
+		t.Fatalf("run only stopped at the safety bound (%d supersteps)", out.Supersteps)
+	}
+	maxWant := 4 * (1 + int(float64(g.NumVertices()))) // generous: any real stop is far below
+	if out.Supersteps > maxWant {
+		t.Fatalf("suspiciously many supersteps: %d", out.Supersteps)
+	}
+}

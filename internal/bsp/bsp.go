@@ -94,9 +94,10 @@ type Output struct {
 // sends, update counts, the max-delta aggregator — through the compute
 // shard, which merges into the runtime in shard order afterwards.
 type Context struct {
-	ss *shardState
-	rt *runtime
-	v  graph.VertexID
+	ss   *shardState
+	rt   *runtime
+	v    graph.VertexID
+	srcM int32 // machine owning v, stamped once per vertex for sends
 }
 
 // Superstep returns the current superstep, starting at 0.
@@ -123,12 +124,12 @@ func (c *Context) OutDegree() int { return c.rt.cfg.Graph.OutDegree(c.v) }
 func (c *Context) NumVertices() int { return c.rt.cfg.Graph.NumVertices() }
 
 // Send delivers a message to dst for the next superstep.
-func (c *Context) Send(dst graph.VertexID, val float64) { c.ss.send(c.v, dst, val) }
+func (c *Context) Send(dst graph.VertexID, val float64) { c.ss.send(c.srcM, dst, val) }
 
 // SendToOut sends val to every out-neighbor.
 func (c *Context) SendToOut(val float64) {
 	for _, w := range c.rt.cfg.Graph.OutNeighbors(c.v) {
-		c.ss.send(c.v, w, val)
+		c.ss.send(c.srcM, w, val)
 	}
 }
 
@@ -138,7 +139,7 @@ func (c *Context) SendToAllNeighbors(val float64) {
 	c.SendToOut(val)
 	if c.rt.cfg.UseInNeighbors && c.rt.superstep >= 1 {
 		for _, w := range c.rt.cfg.Graph.InNeighbors(c.v) {
-			c.ss.send(c.v, w, val)
+			c.ss.send(c.srcM, w, val)
 		}
 	}
 }
@@ -154,11 +155,18 @@ func (c *Context) AggregateMaxDelta(d float64) {
 	}
 }
 
-// msg is one buffered message of the compute phase, applied to the
-// destination's inbox during the merge phase.
-type msg struct {
-	src, dst graph.VertexID
-	val      float64
+// bucket buffers the messages one compute shard sent to one destination
+// shard, as parallel arrays rather than a slice of message structs: the
+// counting pass streams only dst, the deposit pass streams all three,
+// and the buffers are retained across supersteps (clear-by-truncate),
+// so steady-state supersteps append into warm memory. The source vertex
+// id is not stored — the combiner and cross-machine accounting only
+// need the sender's machine, which the Context resolves once per
+// computed vertex.
+type bucket struct {
+	dst  []graph.VertexID
+	srcM []int32
+	val  []float64
 }
 
 // shardState is the private state of one compute shard: the messages
@@ -168,12 +176,16 @@ type msg struct {
 // sequential send stream per destination.
 type shardState struct {
 	plan     par.Plan
-	out      [][]msg // indexed by destination shard
+	out      []bucket // indexed by destination shard
+	ctx      Context  // reused per superstep: Compute takes *Context, which must not re-escape per call
 	sent     int64
 	active   int64
 	updates  int
 	maxDelta float64
 }
+
+// delivery is one destination shard's merge-pass accounting.
+type delivery struct{ delivered, cross int64 }
 
 type runtime struct {
 	cfg     Config
@@ -186,8 +198,31 @@ type runtime struct {
 	halted []bool
 	owner  []int32 // vertex -> machine
 
-	inbox     [][]float64
-	nextInbox [][]float64
+	// CSR-style superstep inboxes: vertex v's messages for the current
+	// superstep are inVals[inStart[v] : inStart[v]+inLen[v]]. The next
+	// superstep's inbox is laid out in the merge pass from per-shard
+	// message counts and written into the twin arena; deliver() swaps
+	// the two triples, so no per-vertex slice is ever allocated or
+	// nil-ed. Arena indices are int32 (like graph offsets): a synthetic
+	// superstep's raw message count stays far below 2^31.
+	inVals    []float64
+	inStart   []int32
+	inLen     []int32
+	nextVals  []float64
+	nextStart []int32
+	nextLen   []int32
+
+	// Merge-phase scratch, reused across supersteps.
+	shardMsgs []int      // pass 1: raw messages bound for each shard
+	shardBase []int32    // arena base offset per destination shard
+	merged    []delivery // pass 2 results, folded in shard order
+	costs     []sim.StepCost
+
+	// The three phase bodies, built once: passing fresh closures to
+	// ForEach every superstep would heap-allocate them each time.
+	computeFn func(i int)
+	countFn   func(i int)
+	depositFn func(i int)
 
 	superstep int
 	updates   int
@@ -235,12 +270,76 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		plan:      par.PlanShards(n, pool.Workers()),
 		values:    make([]float64, n),
 		halted:    make([]bool, n),
-		inbox:     make([][]float64, n),
-		nextInbox: make([][]float64, n),
+		inStart:   make([]int32, n),
+		inLen:     make([]int32, n),
+		nextStart: make([]int32, n),
+		nextLen:   make([]int32, n),
 		owner:     make([]int32, n),
+		costs:     make([]sim.StepCost, cfg.M),
 	}
+	rt.shardMsgs = make([]int, rt.plan.Count())
+	rt.shardBase = make([]int32, rt.plan.Count())
+	rt.merged = make([]delivery, rt.plan.Count())
 	for i := 0; i < rt.plan.Count(); i++ {
-		rt.shards = append(rt.shards, &shardState{plan: rt.plan, out: make([][]msg, rt.plan.Count())})
+		ss := &shardState{plan: rt.plan, out: make([]bucket, rt.plan.Count())}
+		ss.ctx = Context{ss: ss, rt: rt}
+		rt.shards = append(rt.shards, ss)
+	}
+
+	rt.computeFn = func(i int) {
+		ss := rt.shards[i]
+		ss.sent, ss.active, ss.updates, ss.maxDelta = 0, 0, 0, 0
+		for d := range ss.out {
+			b := &ss.out[d]
+			b.dst, b.srcM, b.val = b.dst[:0], b.srcM[:0], b.val[:0]
+		}
+		s := rt.plan.Shard(i)
+		for v := s.Lo; v < s.Hi; v++ {
+			msgs := rt.inVals[rt.inStart[v] : rt.inStart[v]+rt.inLen[v]]
+			if rt.halted[v] && len(msgs) == 0 {
+				continue
+			}
+			rt.halted[v] = false
+			ss.active++
+			ss.ctx.v = graph.VertexID(v)
+			ss.ctx.srcM = rt.owner[v]
+			rt.cfg.Program.Compute(&ss.ctx, msgs)
+		}
+	}
+	rt.countFn = func(i int) {
+		s := rt.plan.Shard(i)
+		cnt := rt.nextLen
+		for v := s.Lo; v < s.Hi; v++ {
+			cnt[v] = 0
+		}
+		total := 0
+		for _, ss := range rt.shards {
+			dsts := ss.out[s.Index].dst
+			total += len(dsts)
+			for _, w := range dsts {
+				cnt[w]++
+			}
+		}
+		rt.shardMsgs[i] = total
+	}
+	rt.depositFn = func(i int) {
+		s := rt.plan.Shard(i)
+		run := rt.shardBase[i]
+		for v := s.Lo; v < s.Hi; v++ {
+			rt.nextStart[v] = run
+			run += rt.nextLen[v]
+			rt.nextLen[v] = 0
+		}
+		var d delivery
+		for _, ss := range rt.shards {
+			b := &ss.out[s.Index]
+			for k, dst := range b.dst {
+				del, cross := rt.deposit(b.srcM[k], dst, b.val[k])
+				d.delivered += del
+				d.cross += cross
+			}
+		}
+		rt.merged[i] = d
 	}
 	for v := 0; v < n; v++ {
 		rt.values[v] = cfg.Program.Init(graph.VertexID(v))
@@ -290,14 +389,15 @@ func (rt *runtime) fill(out *Output) {
 }
 
 // computePhase executes Compute for the active vertices and returns
-// how many ran. It runs in two sharded passes: compute/send, where each
-// vertex-range shard runs its vertices in order and buffers sends by
-// destination shard; and merge, where each destination shard replays
-// the buffers in source-shard order into the inboxes and combiner
-// state. Per-destination message order therefore equals the sequential
-// order, and every accumulator is either an integer-valued sum or a
-// max, so outputs and modeled costs are bit-identical for any shard
-// count.
+// how many ran. It runs in three sharded passes: compute/send, where
+// each vertex-range shard runs its vertices in order and buffers sends
+// by destination shard; count, where each destination shard sizes its
+// vertices' next-superstep inboxes; and deposit, where each destination
+// shard lays its slice of the arena out in CSR form and replays the
+// buffers in source-shard order into it and the combiner state.
+// Per-destination message order therefore equals the sequential order,
+// and every accumulator is either an integer-valued sum or a max, so
+// outputs and modeled costs are bit-identical for any shard count.
 func (rt *runtime) computePhase() int {
 	rt.updates = 0
 	rt.maxDelta = 0
@@ -307,40 +407,28 @@ func (rt *runtime) computePhase() int {
 	rt.crossTotal = 0
 
 	// Compute/send pass: vertex-range shards, program order per shard.
-	rt.pool.ForEach(rt.plan.Count(), func(i int) {
-		ss := rt.shards[i]
-		ss.sent, ss.active, ss.updates, ss.maxDelta = 0, 0, 0, 0
-		for d := range ss.out {
-			ss.out[d] = ss.out[d][:0]
-		}
-		ctx := Context{ss: ss, rt: rt}
-		s := rt.plan.Shard(i)
-		for v := s.Lo; v < s.Hi; v++ {
-			msgs := rt.inbox[v]
-			if rt.halted[v] && len(msgs) == 0 {
-				continue
-			}
-			rt.halted[v] = false
-			ss.active++
-			ctx.v = graph.VertexID(v)
-			rt.cfg.Program.Compute(&ctx, msgs)
-			rt.inbox[v] = nil
-		}
-	})
+	rt.pool.ForEach(rt.plan.Count(), rt.computeFn)
 
-	// Merge pass: destination shards, source-shard order within each.
-	type delivery struct{ delivered, cross int64 }
-	merged := par.MapPlan(rt.pool, rt.plan, func(s par.Shard) delivery {
-		var d delivery
-		for _, ss := range rt.shards {
-			for _, m := range ss.out[s.Index] {
-				del, cross := rt.deposit(m)
-				d.delivered += del
-				d.cross += cross
-			}
-		}
-		return d
-	})
+	// Count pass: each destination shard tallies the raw messages bound
+	// for each of its vertices; nextLen doubles as the counter array
+	// (each shard touches only its own vertex range).
+	rt.pool.ForEach(rt.plan.Count(), rt.countFn)
+
+	// Arena layout: a prefix sum over shard totals assigns each
+	// destination shard a contiguous region of the value arena, which
+	// grows (retaining capacity) to this superstep's raw send count.
+	total := 0
+	for i, t := range rt.shardMsgs {
+		rt.shardBase[i] = int32(total)
+		total += t
+	}
+	rt.nextVals = par.Grow(rt.nextVals, total)
+
+	// Deposit pass: destination shards, source-shard order within each.
+	// Offsets are finalized from the counts, then messages land in
+	// their vertex's slot range with nextLen as the write cursor —
+	// combined messages fold into already-claimed slots.
+	rt.pool.ForEach(rt.plan.Count(), rt.depositFn)
 
 	active := 0
 	for _, ss := range rt.shards {
@@ -352,7 +440,7 @@ func (rt *runtime) computePhase() int {
 			rt.maxDelta = ss.maxDelta
 		}
 	}
-	for _, d := range merged {
+	for _, d := range rt.merged {
 		rt.deliveredTotal += float64(d.delivered)
 		rt.crossTotal += float64(d.cross)
 	}
@@ -362,31 +450,34 @@ func (rt *runtime) computePhase() int {
 
 // send buffers one message in the sending shard, bucketed by the
 // destination's shard.
-func (ss *shardState) send(src, dst graph.VertexID, val float64) {
+func (ss *shardState) send(srcM int32, dst graph.VertexID, val float64) {
 	ss.sent++
-	d := ss.plan.ShardOf(int(dst))
-	ss.out[d] = append(ss.out[d], msg{src: src, dst: dst, val: val})
+	b := &ss.out[ss.plan.ShardOf(int(dst))]
+	b.dst = append(b.dst, dst)
+	b.srcM = append(b.srcM, srcM)
+	b.val = append(b.val, val)
 }
 
-// deposit applies one buffered message to the destination inbox,
-// running the sender-side combiner exactly as the sequential runtime
-// would. Only the goroutine owning dst's shard calls deposit for it,
-// so the per-destination state needs no locking.
-func (rt *runtime) deposit(m msg) (delivered, cross int64) {
-	srcM := rt.owner[m.src]
+// deposit applies one buffered message to the destination's arena
+// slots, running the sender-side combiner exactly as the sequential
+// runtime would; slotIdx records the combiner's slot as a global arena
+// index. Only the goroutine owning dst's shard calls deposit for it, so
+// the per-destination state needs no locking.
+func (rt *runtime) deposit(srcM int32, dst graph.VertexID, val float64) (delivered, cross int64) {
 	if rt.cfg.Combine != nil && rt.superstep >= rt.cfg.CombineFrom {
 		tag := int32(rt.superstep)
-		if rt.stamp[srcM][m.dst] == tag {
-			i := rt.slotIdx[srcM][m.dst]
-			rt.nextInbox[m.dst][i] = rt.cfg.Combine(rt.nextInbox[m.dst][i], m.val)
+		if rt.stamp[srcM][dst] == tag {
+			i := rt.slotIdx[srcM][dst]
+			rt.nextVals[i] = rt.cfg.Combine(rt.nextVals[i], val)
 			return 0, 0 // merged: no new wire message
 		}
-		rt.stamp[srcM][m.dst] = tag
-		rt.slotIdx[srcM][m.dst] = int32(len(rt.nextInbox[m.dst]))
+		rt.stamp[srcM][dst] = tag
+		rt.slotIdx[srcM][dst] = rt.nextStart[dst] + rt.nextLen[dst]
 	}
-	rt.nextInbox[m.dst] = append(rt.nextInbox[m.dst], m.val)
+	rt.nextVals[rt.nextStart[dst]+rt.nextLen[dst]] = val
+	rt.nextLen[dst]++
 	delivered = 1
-	if srcM != rt.owner[m.dst] {
+	if srcM != rt.owner[dst] {
 		cross = 1
 	}
 	return delivered, cross
@@ -428,7 +519,7 @@ func (rt *runtime) chargeSuperstep() error {
 	// scale. This is Table 6's model: high-diameter runs are dominated
 	// by the per-iteration floor, not by message traffic.
 	dil := rt.cfg.TimeDilation
-	costs := make([]sim.StepCost, rt.cfg.M)
+	costs := rt.costs // reused across supersteps; every field written below
 	for m := 0; m < rt.cfg.M; m++ {
 		compute := p.ScanSeconds(scanned/mf*imb*rt.cfg.Scale, cores)*dil +
 			p.MsgSeconds((rt.sentTotal+rt.deliveredTotal)/mf*imb*rt.cfg.Scale, cores)
@@ -453,11 +544,15 @@ func (rt *runtime) chargeSuperstep() error {
 	return err
 }
 
+// deliver publishes the merged arena as the next superstep's inbox by
+// swapping the two arena triples — O(1), no per-vertex slice headers to
+// nil. The swapped-out arena keeps its capacity and is rebuilt wholesale
+// by the next merge (the count pass zeroes every length, the deposit
+// pass rewrites every offset), so stale contents are never observed.
 func (rt *runtime) deliver() {
-	rt.inbox, rt.nextInbox = rt.nextInbox, rt.inbox
-	for i := range rt.nextInbox {
-		rt.nextInbox[i] = nil
-	}
+	rt.inVals, rt.nextVals = rt.nextVals, rt.inVals
+	rt.inStart, rt.nextStart = rt.nextStart, rt.inStart
+	rt.inLen, rt.nextLen = rt.nextLen, rt.inLen
 }
 
 func (rt *runtime) shouldStop(active int) bool {

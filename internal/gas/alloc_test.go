@@ -1,0 +1,53 @@
+package gas
+
+import (
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/par"
+	"graphbench/internal/partition"
+	"graphbench/internal/sim"
+)
+
+// TestSyncSweepAllocBudget locks in the arena-reuse behaviour of the
+// synchronous PageRank sweep: once the contrib/next/changed buffers
+// exist, each additional gather-apply iteration must cost only a
+// constant handful of allocations, never O(vertices) or O(edges). The
+// marginal cost is measured by differencing a long run against a short
+// one, so per-run setup cancels out.
+func TestSyncSweepAllocBudget(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := datasets.Generate(datasets.WRN, datasets.Options{Scale: 2_000_000, Seed: 1})
+	vc := partition.BuildVertexCut(g, 4, partition.VCRandom, 7)
+	d := &engine.Dataset{Name: "wrn", Scale: 1, NumVertices: g.NumVertices()}
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			ex := &execution{
+				cluster: sim.NewSize(4),
+				prof:    &Profile,
+				d:       d,
+				g:       g,
+				vc:      vc,
+				w:       engine.Workload{Kind: engine.PageRank, Damping: 0.15, MaxIterations: iters},
+				opt:     engine.Options{Shards: 1},
+				res:     &engine.Result{},
+			}
+			if err := ex.runSync(); err != nil {
+				panic(err)
+			}
+		})
+	}
+	short, long := run(5), run(45)
+	perIter := (long - short) / 40
+	// Per iteration: the MapShards result slice, the PerIteration
+	// append (amortized), and runtime noise — but nothing proportional
+	// to the graph.
+	const budget = 8
+	if perIter > budget {
+		t.Errorf("sync PageRank sweep allocates %.1f objects per iteration, budget %d (short run %.0f, long run %.0f)",
+			perIter, budget, short, long)
+	}
+}

@@ -26,8 +26,8 @@ type execution struct {
 
 	values    []float64
 	active    []bool
-	nextSet   []graph.VertexID
-	replicasM []int16 // cached replicas-1 per vertex
+	replicasM []int16        // cached replicas-1 per vertex
+	costs     []sim.StepCost // per-iteration charge buffer, reused
 }
 
 // replicaCounter is the part of partition.VertexCut the execution needs.
@@ -42,6 +42,7 @@ func (ex *execution) init() {
 	ex.values = make([]float64, n)
 	ex.active = make([]bool, n)
 	ex.replicasM = make([]int16, n)
+	ex.costs = make([]sim.StepCost, ex.cluster.Size())
 	for v := 0; v < n; v++ {
 		r := ex.vc.NumReplicas(graph.VertexID(v)) - 1
 		if r < 0 {
@@ -79,7 +80,7 @@ func (ex *execution) chargeIteration(activeCount, gatherEdges, scatterEdges, mir
 	scanSec := p.ScanSeconds(activeCount/m*imb*ex.d.Scale, cores)
 	netBytes := mirrorMsgs / m * imb * p.MsgBytes * ex.d.Scale
 
-	costs := make([]sim.StepCost, c.Size())
+	costs := ex.costs // reused across iterations; every field written below
 	for i := range costs {
 		compute := (scanSec*dil + edgeSec + msgSec) * slowdown
 		compute *= p.PressureFactor(c.Machine(i).MemUsed(), c.Config().MemoryBytes)
@@ -115,6 +116,7 @@ func (ex *execution) syncPageRank() error {
 	n := ex.g.NumVertices()
 	contrib := make([]float64, n)
 	next := make([]float64, n)
+	changed := make([]bool, n) // reused: cleared at the top of each sweep
 	approx := ex.opt.Approximate
 	for v := range ex.active {
 		ex.active[v] = true
@@ -148,10 +150,10 @@ func (ex *execution) syncPageRank() error {
 		})
 		// Gather+apply: shards own disjoint vertex ranges; contrib and
 		// values are read-only here, next/changed writes vertex-owned.
-		changed := make([]bool, n)
 		accs := par.MapShards(ex.pool, n, func(s par.Shard) sweepAcc {
 			var a sweepAcc
 			for v := s.Lo; v < s.Hi; v++ {
+				changed[v] = false
 				if approx && !ex.active[v] {
 					next[v] = ex.values[v]
 					continue
@@ -261,16 +263,17 @@ func (ex *execution) syncPropagate() error {
 
 	iters := 0
 	inFrontier := make([]bool, n)
+	// next is retained across rounds and swapped with frontier — the
+	// frontier queues are the one O(frontier) growth in this loop, so
+	// reusing the two buffers makes steady-state rounds allocation-free.
+	next := make([]graph.VertexID, 0, n)
 	for len(frontier) > 0 {
 		iters++
 		if ex.w.Kind == engine.KHop && iters > ex.w.K {
 			break
 		}
 		var gatherEdges, scatterEdges, mirrorMsgs float64
-		var next []graph.VertexID
-		for i := range inFrontier {
-			inFrontier[i] = false
-		}
+		next = next[:0]
 		for _, v := range frontier {
 			mirrorMsgs += 2 * float64(ex.replicasM[v])
 			var newVal float64
@@ -325,11 +328,13 @@ func (ex *execution) syncPropagate() error {
 			ex.finishPropagate(iters)
 			return err
 		}
-		// Keep only vertices that can still improve.
-		frontier = frontier[:0]
+		// Keep only vertices that can still improve: swap the queue
+		// buffers and reset the membership flags — only members of next
+		// are set, so the clear is O(frontier), not O(n).
 		for _, v := range next {
-			frontier = append(frontier, v)
+			inFrontier[v] = false
 		}
+		frontier, next = next, frontier
 	}
 	ex.finishPropagate(iters)
 	return nil

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"testing"
+
+	"graphbench/internal/par"
+)
+
+// TestBuildAllocBudget locks in the counting-sort Build: constructing a
+// graph must cost a fixed number of allocations (the builder, the edge
+// buffer, and the CSR output arrays), independent of edge count — the
+// old comparator sort allocated through the sort.Interface boxing and
+// its recursion.
+func TestBuildAllocBudget(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const n, e = 2000, 8000
+	edges := make([]Edge, 0, e)
+	state := uint64(1)
+	for i := 0; i < e; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		src := VertexID(state >> 33 % n)
+		state = state*6364136223846793005 + 1442695040888963407
+		dst := VertexID(state >> 33 % n)
+		edges = append(edges, Edge{src, dst})
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		b := NewBuilder(n)
+		b.Reserve(len(edges))
+		for _, ed := range edges {
+			b.AddEdge(ed.Src, ed.Dst)
+		}
+		g := b.Build()
+		if g.NumEdges() != len(edges) {
+			panic("wrong edge count")
+		}
+	})
+	const budget = 12
+	if allocs > budget {
+		t.Errorf("Build allocates %.0f objects for %d edges, budget %d", allocs, e, budget)
+	}
+}

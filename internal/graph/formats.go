@@ -2,10 +2,11 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
-	"strings"
 )
 
 // Format is one of the paper's three dataset file formats (§4.3).
@@ -41,8 +42,11 @@ func (f Format) String() string {
 
 // Encode writes g to w in the given format. The byte layout matches the
 // paper's description so that loaders exercise realistic parsing work.
+// Numbers are formatted through one reused scratch buffer, so encoding
+// allocates nothing per vertex or edge.
 func Encode(g *Graph, f Format, w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	enc := lineEncoder{bw: bw}
 	n := g.NumVertices()
 	switch f {
 	case FormatAdj:
@@ -51,19 +55,19 @@ func Encode(g *Graph, f Format, w io.Writer) error {
 			if len(nbrs) == 0 {
 				continue
 			}
-			writeVertexLine(bw, VertexID(v), -1, nbrs)
+			enc.vertexLine(VertexID(v), -1, nbrs)
 		}
 	case FormatAdjLong:
 		for v := 0; v < n; v++ {
 			nbrs := g.OutNeighbors(VertexID(v))
-			writeVertexLine(bw, VertexID(v), len(nbrs), nbrs)
+			enc.vertexLine(VertexID(v), len(nbrs), nbrs)
 		}
 	case FormatEdge:
 		for v := 0; v < n; v++ {
 			for _, wid := range g.OutNeighbors(VertexID(v)) {
-				bw.WriteString(strconv.Itoa(v))
+				enc.writeInt(v)
 				bw.WriteByte(' ')
-				bw.WriteString(strconv.Itoa(int(wid)))
+				enc.writeInt(int(wid))
 				bw.WriteByte('\n')
 			}
 		}
@@ -73,34 +77,52 @@ func Encode(g *Graph, f Format, w io.Writer) error {
 	return bw.Flush()
 }
 
-func writeVertexLine(bw *bufio.Writer, v VertexID, count int, nbrs []VertexID) {
-	bw.WriteString(strconv.Itoa(int(v)))
+// lineEncoder formats integers into a reused scratch buffer.
+type lineEncoder struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+func (e *lineEncoder) writeInt(x int) {
+	e.scratch = strconv.AppendInt(e.scratch[:0], int64(x), 10)
+	e.bw.Write(e.scratch)
+}
+
+func (e *lineEncoder) vertexLine(v VertexID, count int, nbrs []VertexID) {
+	e.writeInt(int(v))
 	if count >= 0 {
-		bw.WriteByte(' ')
-		bw.WriteString(strconv.Itoa(count))
+		e.bw.WriteByte(' ')
+		e.writeInt(count)
 	}
 	for _, w := range nbrs {
-		bw.WriteByte(' ')
-		bw.WriteString(strconv.Itoa(int(w)))
+		e.bw.WriteByte(' ')
+		e.writeInt(int(w))
 	}
-	bw.WriteByte('\n')
+	e.bw.WriteByte('\n')
 }
 
 // Decode parses a graph in format f from r. numVertices must be the
 // total vertex count: the adj and edge formats may omit sink-only or
 // isolated vertices, which nonetheless exist in the graph.
+//
+// Parsing works directly on the scanner's byte buffer: fields are
+// subslices collected into a reused token list and integers are decoded
+// without going through strings, so the loader allocates nothing per
+// line — the datasets load once per run in every engine, which made the
+// old string-based parse the largest allocation source in the harness.
 func Decode(r io.Reader, f Format, numVertices int) (*Graph, error) {
 	b := NewBuilder(numVertices)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	lineNo := 0
+	var fields [][]byte // subslices of the current line, reused
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		fields := strings.Fields(line)
+		fields = splitFields(fields[:0], line)
 		switch f {
 		case FormatAdj:
 			src, err := parseID(fields[0], numVertices)
@@ -122,7 +144,7 @@ func Decode(r io.Reader, f Format, numVertices int) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
-			count, err := strconv.Atoi(fields[1])
+			count, err := parseInt(fields[1])
 			if err != nil || count != len(fields)-2 {
 				return nil, fmt.Errorf("graph: line %d: neighbor count %q does not match %d neighbors", lineNo, fields[1], len(fields)-2)
 			}
@@ -156,8 +178,59 @@ func Decode(r io.Reader, f Format, numVertices int) (*Graph, error) {
 	return b.Build(), nil
 }
 
-func parseID(s string, n int) (VertexID, error) {
-	id, err := strconv.Atoi(s)
+// splitFields appends the whitespace-separated fields of line to dst as
+// subslices — the allocation-free strings.Fields.
+func splitFields(dst [][]byte, line []byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && asciiSpace(line[i]) {
+			i++
+		}
+		start := i
+		for i < len(line) && !asciiSpace(line[i]) {
+			i++
+		}
+		if i > start {
+			dst = append(dst, line[start:i])
+		}
+	}
+	return dst
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// parseInt decodes a decimal integer from s without allocating.
+func parseInt(s []byte) (int, error) {
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return 0, fmt.Errorf("empty number")
+	}
+	const cutoff = math.MaxInt / 10
+	x := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid syntax")
+		}
+		d := int(c - '0')
+		if x > cutoff || (x == cutoff && d > math.MaxInt%10) {
+			return 0, fmt.Errorf("value out of range")
+		}
+		x = x*10 + d
+	}
+	if neg {
+		x = -x
+	}
+	return x, nil
+}
+
+func parseID(s []byte, n int) (VertexID, error) {
+	id, err := parseInt(s)
 	if err != nil {
 		return 0, fmt.Errorf("bad vertex id %q: %v", s, err)
 	}

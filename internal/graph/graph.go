@@ -13,7 +13,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // VertexID identifies a vertex. IDs are dense: 0 <= id < NumVertices.
@@ -108,20 +108,28 @@ type Stats struct {
 	SelfEdges    int
 }
 
-// Stats computes degree statistics over the graph.
+// Stats computes degree statistics over the graph. Both maxima come
+// from one pass over the raw offset arrays: each degree is the delta of
+// adjacent offsets, so the loop runs bounds-check-free instead of
+// paying two checked subtractions per vertex through the accessors.
 func (g *Graph) Stats() Stats {
 	s := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges(), SelfEdges: g.selfEdges}
 	if s.Vertices == 0 {
 		return s
 	}
-	for v := 0; v < s.Vertices; v++ {
-		if d := g.OutDegree(VertexID(v)); d > s.MaxOutDegree {
-			s.MaxOutDegree = d
+	maxOut, maxIn := int32(0), int32(0)
+	prevOut, prevIn := g.outOffsets[0], g.inOffsets[0]
+	for v := 1; v <= s.Vertices; v++ {
+		if d := g.outOffsets[v] - prevOut; d > maxOut {
+			maxOut = d
 		}
-		if d := g.InDegree(VertexID(v)); d > s.MaxInDegree {
-			s.MaxInDegree = d
+		prevOut = g.outOffsets[v]
+		if d := g.inOffsets[v] - prevIn; d > maxIn {
+			maxIn = d
 		}
+		prevIn = g.inOffsets[v]
 	}
+	s.MaxOutDegree, s.MaxInDegree = int(maxOut), int(maxIn)
 	s.AvgOutDegree = float64(s.Edges) / float64(s.Vertices)
 	return s
 }
@@ -150,6 +158,18 @@ func (b *Builder) SetScaleFactor(s float64) *Builder { b.scale = s; return b }
 // Dedupe removes duplicate edges at Build time when enabled.
 func (b *Builder) Dedupe(on bool) *Builder { b.dedupe = on; return b }
 
+// Reserve preallocates capacity for n edges, so callers that know the
+// final edge count (Undirected, WithoutSelfEdges, loaders with a header)
+// avoid the append growth copies.
+func (b *Builder) Reserve(n int) *Builder {
+	if cap(b.edges) < n {
+		edges := make([]Edge, len(b.edges), n)
+		copy(edges, b.edges)
+		b.edges = edges
+	}
+	return b
+}
+
 // AddEdge appends the directed edge (src, dst). It panics if either
 // endpoint is out of range, since that is a programming error in the
 // generator or loader, not a runtime condition.
@@ -164,46 +184,67 @@ func (b *Builder) AddEdge(src, dst VertexID) {
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
 // Build constructs the CSR graph. The Builder must not be reused after.
+//
+// Edge ordering is (Src, Dst) ascending, exactly as the former
+// comparator sort produced, but via a two-pass counting sort over Src —
+// count degrees, then scatter destinations straight into the CSR edge
+// array — which is O(V+E) with no comparator dispatch. Each vertex's
+// destination run is then sorted in place; runs are typically tiny
+// (average degree), so this is the cheap tail of the work.
 func (b *Builder) Build() *Graph {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].Src != b.edges[j].Src {
-			return b.edges[i].Src < b.edges[j].Src
-		}
-		return b.edges[i].Dst < b.edges[j].Dst
-	})
-	if b.dedupe {
-		out := b.edges[:0]
-		for i, e := range b.edges {
-			if i > 0 && e == b.edges[i-1] {
-				continue
-			}
-			out = append(out, e)
-		}
-		b.edges = out
-	}
-
 	g := &Graph{name: b.name, scale: b.scale}
 	g.outOffsets = make([]int32, b.n+1)
-	g.outEdges = make([]VertexID, len(b.edges))
-	inDeg := make([]int32, b.n)
-	for i, e := range b.edges {
+	for _, e := range b.edges {
 		g.outOffsets[e.Src+1]++
-		g.outEdges[i] = e.Dst
-		inDeg[e.Dst]++
-		if e.Src == e.Dst {
-			g.selfEdges++
-		}
 	}
 	for v := 0; v < b.n; v++ {
 		g.outOffsets[v+1] += g.outOffsets[v]
 	}
+	g.outEdges = make([]VertexID, len(b.edges))
+	cursor := make([]int32, b.n)
+	copy(cursor, g.outOffsets[:b.n])
+	for _, e := range b.edges {
+		g.outEdges[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+	for v := 0; v < b.n; v++ {
+		slices.Sort(g.outEdges[g.outOffsets[v]:g.outOffsets[v+1]])
+	}
 
+	if b.dedupe && b.n > 0 {
+		// Compact each sorted run in place, sliding offsets down.
+		w := int32(0)
+		readLo := g.outOffsets[0]
+		for v := 0; v < b.n; v++ {
+			readHi := g.outOffsets[v+1]
+			g.outOffsets[v] = w
+			for i := readLo; i < readHi; i++ {
+				if i > readLo && g.outEdges[i] == g.outEdges[i-1] {
+					continue
+				}
+				g.outEdges[w] = g.outEdges[i]
+				w++
+			}
+			readLo = readHi
+		}
+		g.outOffsets[b.n] = w
+		g.outEdges = g.outEdges[:w]
+	}
+
+	inDeg := make([]int32, b.n)
+	for v := 0; v < b.n; v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			inDeg[w]++
+			if w == VertexID(v) {
+				g.selfEdges++
+			}
+		}
+	}
 	g.inOffsets = make([]int32, b.n+1)
 	for v := 0; v < b.n; v++ {
 		g.inOffsets[v+1] = g.inOffsets[v] + inDeg[v]
 	}
-	g.inEdges = make([]VertexID, len(b.edges))
-	cursor := make([]int32, b.n)
+	g.inEdges = make([]VertexID, len(g.outEdges))
 	copy(cursor, g.inOffsets[:b.n])
 	for v := 0; v < b.n; v++ {
 		for _, w := range g.OutNeighbors(VertexID(v)) {
@@ -231,6 +272,7 @@ func FromEdges(n int, edges []Edge) *Graph {
 func (g *Graph) Undirected() *Graph {
 	b := NewBuilder(g.NumVertices())
 	b.SetName(g.name).SetScaleFactor(g.ScaleFactor()).Dedupe(true)
+	b.Reserve(2*g.NumEdges() - g.selfEdges) // exact pre-dedupe edge count
 	g.Edges(func(src, dst VertexID) bool {
 		b.AddEdge(src, dst)
 		if src != dst {
@@ -250,6 +292,7 @@ func (g *Graph) WithoutSelfEdges() *Graph {
 	}
 	b := NewBuilder(g.NumVertices())
 	b.SetName(g.name).SetScaleFactor(g.ScaleFactor())
+	b.Reserve(g.NumEdges() - g.selfEdges) // exact final edge count
 	g.Edges(func(src, dst VertexID) bool {
 		if src != dst {
 			b.AddEdge(src, dst)

@@ -346,3 +346,13 @@ func sortEdges(es []Edge) {
 		return es[i].Dst < es[j].Dst
 	})
 }
+
+func TestDecodeRejectsOverflowingIDs(t *testing.T) {
+	// 2^64 wraps to exactly 0 in naive accumulation; the parser must
+	// report it instead of silently inserting edge (0,5).
+	for _, in := range []string{"18446744073709551616 5", "20000000000000000005 5", "99999999999999999999999 5"} {
+		if _, err := Decode(bytes.NewReader([]byte(in)), FormatEdge, 10); err == nil {
+			t.Errorf("Decode accepted overflowing vertex id in %q", in)
+		}
+	}
+}

@@ -189,3 +189,18 @@ func MapPlan[T any](p *Pool, pl Plan, fn func(s Shard) T) []T {
 	p.ForEach(pl.Count(), func(i int) { out[i] = fn(pl.Shard(i)) })
 	return out
 }
+
+// Grow returns s resized to length n, reusing the existing backing
+// array when it is large enough and allocating a fresh one otherwise.
+// Element contents are unspecified; callers overwrite every slot. It is
+// the arena building block of the zero-allocation message plane: hot
+// loops keep a buffer across rounds and Grow it to the round's size, so
+// steady-state rounds allocate nothing.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	// Over-allocate by 25% so a sequence of slowly growing rounds
+	// settles instead of reallocating every time.
+	return make([]T, n, n+n/4)
+}

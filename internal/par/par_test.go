@@ -157,3 +157,23 @@ func TestPanicPropagates(t *testing.T) {
 		}()
 	}
 }
+
+func TestGrowReusesCapacity(t *testing.T) {
+	s := make([]float64, 0, 100)
+	base := &s[:1][0]
+	s = Grow(s, 80)
+	if len(s) != 80 || &s[0] != base {
+		t.Fatalf("Grow(80) reallocated despite cap 100 (len %d)", len(s))
+	}
+	s = Grow(s, 40)
+	if len(s) != 40 || &s[0] != base {
+		t.Fatalf("Grow(40) reallocated despite cap 100 (len %d)", len(s))
+	}
+	s = Grow(s, 200)
+	if len(s) != 200 {
+		t.Fatalf("Grow(200) len %d", len(s))
+	}
+	if cap(s) < 200 {
+		t.Fatalf("Grow(200) cap %d", cap(s))
+	}
+}

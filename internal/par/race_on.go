@@ -1,0 +1,8 @@
+//go:build race
+
+package par
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Its instrumentation changes allocation behaviour, so the
+// allocation-budget regression tests skip when it is on.
+const RaceEnabled = true

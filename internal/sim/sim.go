@@ -83,6 +83,7 @@ type Cluster struct {
 	machines []*Machine
 	samples  []MemSample
 	sampling bool
+	busy     []float64 // RunStep scratch, reused so steps allocate nothing
 }
 
 // MemSample is a point-in-time snapshot of per-machine memory, used for
@@ -243,7 +244,10 @@ func (c *Cluster) RunStep(costs []StepCost) error {
 		panic(fmt.Sprintf("sim: RunStep got %d costs for %d machines", len(costs), len(c.machines)))
 	}
 	slowest := 0.0
-	busy := make([]float64, len(costs))
+	if c.busy == nil {
+		c.busy = make([]float64, len(costs))
+	}
+	busy := c.busy
 	for i, sc := range costs {
 		disk := (sc.DiskReadBytes + sc.DiskWriteBytes) / c.cfg.DiskBW
 		net := maxf(sc.NetSendBytes, sc.NetRecvBytes) / c.cfg.NetBW

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-tracking benchmark suite and record the
+# results as BENCH_<date>.json in the repo root, so every PR from the
+# zero-allocation message plane on leaves a comparable perf snapshot.
+#
+# Usage:
+#   scripts/bench.sh                 # default suite (MessagePlane + Table6)
+#   BENCH='MessagePlane' scripts/bench.sh
+#   BENCHTIME=50x scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-MessagePlane|Table6}"
+BENCHTIME="${BENCHTIME:-20x}"
+out="BENCH_$(date +%Y%m%d).json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run=NONE -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" . | tee "$tmp"
+
+awk -v date="$(date +%Y-%m-%d)" -v pattern="$BENCH" -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"bench\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"results\": [\n", date, pattern, benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
