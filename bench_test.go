@@ -106,6 +106,14 @@ func BenchmarkTable9COST(b *testing.B) {
 	}
 }
 
+func BenchmarkTable10WorkloadScaling(b *testing.B) {
+	r := runner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit("t10", harness.Table10WorkloadScaling(r))
+	}
+}
+
 func BenchmarkFigure1Cores(b *testing.B) {
 	r := runner()
 	b.ResetTimer()

@@ -37,12 +37,12 @@ import (
 
 func main() {
 	var (
-		artifact = flag.String("artifact", "", "table1..table9, fig1..fig13, or 'all'")
+		artifact = flag.String("artifact", "", "table1..table10, fig1..fig13, or 'all'")
 		scale    = flag.Float64("scale", datasets.DefaultScale, "dataset reduction factor")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		runSys   = flag.String("run", "", "system key to run (see -list)")
 		dataset  = flag.String("dataset", "twitter", "dataset: twitter, wrn, uk200705, clueweb")
-		workload = flag.String("workload", "pagerank", "workload: pagerank, wcc, sssp, khop")
+		workload = flag.String("workload", "pagerank", "workload: pagerank, wcc, sssp, khop, triangle, lpa")
 		machines = flag.Int("machines", 16, "cluster size")
 		grid     = flag.Bool("grid", false, "run the full main grid")
 		logPath  = flag.String("log", "", "write run records (JSON lines) to this file")
@@ -83,7 +83,8 @@ func printArtifacts(r *core.Runner, which string, scale float64, seed int64) {
 		"table6": func() string { return harness.Table6IterTime(r) },
 		"table7": func() string { return harness.Table7ClueWeb(r) },
 		"table8": func() string { return harness.Table8GiraphMemory(r) },
-		"table9": func() string { return harness.Table9COST(r) },
+		"table9":  func() string { return harness.Table9COST(r) },
+		"table10": func() string { return harness.Table10WorkloadScaling(r) },
 		"fig1":   func() string { return harness.Figure1Cores(r) },
 		"fig2":   func() string { return harness.Figure2PartitionSweep(r) },
 		"fig3":   func() string { return harness.Figure3BlogelNoHDFS(r) },
@@ -100,8 +101,8 @@ func printArtifacts(r *core.Runner, which string, scale float64, seed int64) {
 	}
 	if which == "all" {
 		order := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
-			"table8", "table9", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "fig13"}
+			"table8", "table9", "table10", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
 		for _, k := range order {
 			fmt.Println(artifacts[k]())
 		}
@@ -116,7 +117,7 @@ func printArtifacts(r *core.Runner, which string, scale float64, seed int64) {
 }
 
 func parseKind(s string) (engine.Kind, error) {
-	for _, k := range engine.AllKinds() {
+	for _, k := range engine.ExtendedKinds() {
 		if k.String() == s {
 			return k, nil
 		}
@@ -160,7 +161,7 @@ func runOne(r *core.Runner, sysKey, dataset, workload string, machines int, logP
 func runGrid(r *core.Runner, logPath string) {
 	var cells []core.Cell
 	for _, name := range []datasets.Name{datasets.Twitter, datasets.UK, datasets.WRN} {
-		for _, kind := range engine.AllKinds() {
+		for _, kind := range engine.ExtendedKinds() {
 			systems := core.MainGridSystems()
 			if kind == engine.PageRank {
 				systems = core.Systems()

@@ -1,9 +1,9 @@
 // Package graphbench is a from-scratch Go reproduction of "Experimental
 // Analysis of Distributed Graph Systems" (Ammar & Özsu, VLDB 2018): the
 // eight systems under study reimplemented as engines over a simulated
-// shared-nothing cluster, the four workloads, synthetic analogues of
-// the four datasets, and a harness that regenerates every table and
-// figure of the paper's evaluation.
+// shared-nothing cluster, the paper's workloads plus extensions,
+// synthetic analogues of the four datasets, and a harness that
+// regenerates every table and figure of the paper's evaluation.
 //
 // See README.md for a tour, DESIGN.md for the architecture and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured
@@ -11,6 +11,37 @@
 //
 //	go test -bench=Table9 -benchtime=1x .
 //	go test -bench=Figure6 -benchtime=1x .
+//
+// # Workloads
+//
+// Six workloads run uniformly across every engine — the paper's
+// methodology (§3.3) of "the same algorithm on every system", extended
+// beyond the paper's four:
+//
+//   - PageRank (§3.1): pr(v) = δ + (1−δ)·Σ pr(u)/outdeg(u), tolerance
+//     or fixed-iteration stopping.
+//   - WCC (§3.2): HashMin label propagation with reverse-edge
+//     discovery; labels canonical to the component's minimum id.
+//   - SSSP and K-hop (§3.3): BFS hop distances, K-hop truncated at 3.
+//   - Triangle counting: the degree-ordered (forward) algorithm —
+//     every engine orients edges by (degree, id) rank via
+//     graph.ForwardOrient, enumerates forward-neighbor pairs (a
+//     quadratic candidate fan-out, the workload's point), and probes
+//     closing edges. Outputs are per-vertex incident-triangle counts;
+//     their sum is three times the global total.
+//   - LPA community detection: synchronous label propagation over the
+//     undirected simple view — each round every vertex adopts the most
+//     frequent neighbor label, ties broken toward the largest label,
+//     for a fixed iteration cap (determinism; synchronous LPA can
+//     oscillate). Final labels are canonical to the community's
+//     smallest member id.
+//
+// Every workload is verified against the single-thread oracles in
+// internal/singlethread: exactly (bit-identical at every shard count,
+// internal/enginetest) for all but PageRank, which compares within
+// summation-order tolerance. The oracles themselves carry
+// property-based tests (triangle sum/relabeling invariants against a
+// naive reference; LPA partition validity and stability).
 //
 // # Concurrency model
 //

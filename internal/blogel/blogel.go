@@ -188,11 +188,20 @@ func configureWorkload(cfg *bsp.Config, w engine.Workload, d *engine.Dataset, op
 	case engine.KHop:
 		cfg.Program = &bsp.KHopProgram{Source: d.Source, K: w.K}
 		cfg.Combine = bsp.MinCombine
+	case engine.Triangle:
+		oriented, rank := graph.ForwardOrient(cfg.Graph)
+		cfg.Graph = oriented
+		cfg.Program = &bsp.TriangleProgram{Rank: rank}
+		cfg.Combine = bsp.SumCombine
+		cfg.CombineFrom = 1
+	case engine.LPA:
+		cfg.Graph = cfg.Graph.Simple()
+		cfg.Program = &bsp.LPAProgram{Rounds: w.LPAIterations()}
 	}
 	if opt.DisableCombiner {
 		cfg.Combine = nil
 	}
-	if w.MaxIterations > 0 && w.Kind != engine.PageRank {
+	if w.MaxIterations > 0 && w.Kind != engine.PageRank && w.Kind != engine.LPA {
 		cfg.MaxSupersteps = w.MaxIterations
 	}
 }
@@ -212,5 +221,9 @@ func fillOutputs(res *engine.Result, w engine.Workload, out *bsp.Output) {
 		res.Labels = bsp.LabelsFromValues(out.Values)
 	case engine.SSSP, engine.KHop:
 		res.Dist = bsp.DistancesFromValues(out.Values)
+	case engine.Triangle:
+		res.Triangles = bsp.TrianglesFromValues(out.Values)
+	case engine.LPA:
+		res.Labels = bsp.CommunityLabelsFromValues(out.Values)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"graphbench/internal/par"
 	"graphbench/internal/partition"
 	"graphbench/internal/sim"
+	"graphbench/internal/singlethread"
 )
 
 // BEngine is Blogel-B, the block-centric mode.
@@ -148,6 +149,10 @@ func (bx *bExec) run() error {
 		return bx.pageRank()
 	case engine.WCC:
 		return bx.wcc()
+	case engine.Triangle:
+		return bx.triangles()
+	case engine.LPA:
+		return bx.lpa()
 	default:
 		return bx.traverse()
 	}
@@ -453,6 +458,140 @@ func (bx *bExec) traverse() error {
 	}
 	bx.res.Iterations = dilated(rounds, bx.d.DilationFor(bx.w.Kind))
 	bx.res.Dist = dist
+	return nil
+}
+
+// triangles runs degree-ordered triangle counting block-centrically:
+// every block enumerates its vertices' forward-neighbor pairs serially;
+// candidate probes whose middle vertex lives in another block are
+// shipped as messages, in-block probes are serial edge work. Block
+// structure cannot change the counts — the algorithm and orientation
+// are exactly the single-thread oracle's — so shards accumulate private
+// count arrays merged by integer sum, bit-identical at any pool size.
+func (bx *bExec) triangles() error {
+	o, rank := graph.ForwardOrient(bx.g)
+	n := o.NumVertices()
+	type triAcc struct {
+		counts          []int64
+		edgeOps, msgs   int64
+		hits            int64
+	}
+	accs := par.MapShards(bx.pool, n, func(s par.Shard) triAcc {
+		a := triAcc{counts: make([]int64, n)}
+		for u := s.Lo; u < s.Hi; u++ {
+			nbrs := o.OutNeighbors(graph.VertexID(u))
+			for i, v := range nbrs {
+				for _, w := range nbrs[i+1:] {
+					lo, hi := v, w
+					if rank[lo] > rank[hi] {
+						lo, hi = hi, lo
+					}
+					a.edgeOps++
+					if bx.vor.BlockOf[lo] != bx.vor.BlockOf[u] {
+						a.msgs++ // candidate shipped to the probing block
+					}
+					if o.HasEdge(lo, hi) {
+						a.hits++
+						a.counts[u]++
+						a.counts[v]++
+						a.counts[w]++
+					}
+				}
+			}
+		}
+		return a
+	})
+	counts := make([]int64, n)
+	var edgeOps, msgs, hits float64
+	for _, a := range accs {
+		for v, c := range a.counts {
+			counts[v] += c
+		}
+		edgeOps += float64(a.edgeOps)
+		msgs += float64(a.msgs)
+		hits += float64(a.hits)
+	}
+	bx.res.Triangles = counts
+	bx.res.Iterations = 1
+	bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{
+		Iteration: 1, Active: bx.vor.NumBlocks, Updates: int(hits),
+	})
+	// Credits to corners in foreign blocks also cross the wire.
+	return bx.chargeRound(edgeOps, msgs+2*hits, false)
+}
+
+// lpa runs synchronous label propagation: the rounds are globally
+// synchronous with a fixed cap, so block structure only changes the
+// cost split — in-block edges are serial label reads, cross-block edges
+// carry boundary label messages — never the labels themselves.
+func (bx *bExec) lpa() error {
+	u := bx.g.Simple()
+	n := u.NumVertices()
+	rounds := bx.w.LPAIterations()
+
+	// Cross-block undirected edges, counted once: each round ships the
+	// boundary labels.
+	var crossE float64
+	u.Edges(func(src, dst graph.VertexID) bool {
+		if bx.vor.BlockOf[src] != bx.vor.BlockOf[dst] {
+			crossE++
+		}
+		return true
+	})
+
+	labels := make([]float64, n)
+	next := make([]float64, n)
+	for v := range labels {
+		labels[v] = float64(v)
+	}
+	pl := par.PlanShards(n, bx.pool.Workers())
+	scratch := make([][]float64, pl.Count())
+	updates := make([]int64, pl.Count())
+
+	finish := func(iters int) {
+		bx.res.Iterations = iters
+		out := make([]graph.VertexID, n)
+		for v, x := range labels {
+			out[v] = graph.VertexID(x)
+		}
+		bx.res.Labels = graph.CanonicalizeLabels(out)
+	}
+
+	for it := 1; it <= rounds; it++ {
+		bx.pool.ForEach(pl.Count(), func(i int) {
+			s := pl.Shard(i)
+			var upd int64
+			buf := scratch[i]
+			for v := s.Lo; v < s.Hi; v++ {
+				nbrs := u.OutNeighbors(graph.VertexID(v))
+				buf = buf[:0]
+				for _, w := range nbrs {
+					buf = append(buf, labels[w])
+				}
+				slices.Sort(buf)
+				nv := singlethread.ModeMaxLabel(buf, labels[v])
+				if nv != labels[v] {
+					upd++
+				}
+				next[v] = nv
+			}
+			scratch[i] = buf
+			updates[i] = upd
+		})
+		var upd float64
+		for _, x := range updates {
+			upd += float64(x)
+		}
+		labels, next = next, labels
+		bx.res.PerIteration = append(bx.res.PerIteration, engine.IterStat{
+			Iteration: it, Active: n, Updates: int(upd),
+		})
+		if err := bx.chargeRound(float64(u.NumEdges()), crossE, false); err != nil {
+			finish(it)
+			return err
+		}
+	}
+	finish(rounds)
 	return nil
 }
 

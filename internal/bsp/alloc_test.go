@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"graphbench/internal/datasets"
+	"graphbench/internal/graph"
 	"graphbench/internal/par"
 	"graphbench/internal/partition"
 	"graphbench/internal/sim"
@@ -73,6 +74,74 @@ func TestSuperstepAllocBudgetTraversal(t *testing.T) {
 	if perStep > budget {
 		t.Errorf("SSSP superstep allocates %.1f objects in steady state, budget %d (short run %.0f, long run %.0f)",
 			perStep, budget, short, long)
+	}
+}
+
+// TestSuperstepAllocBudgetLPA extends the zero-allocation guarantee to
+// the label-propagation workload: each synchronous round sorts its
+// inbox slice in place and re-sends into warm buckets, so the marginal
+// cost per extra round must stay a constant handful of objects — never
+// O(messages), even though every vertex messages every neighbor every
+// round.
+func TestSuperstepAllocBudgetLPA(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := datasets.Generate(datasets.Twitter, datasets.Options{Scale: 600_000, Seed: 1}).Simple()
+	cut := partition.EdgeCut{M: 4, Seed: 7}
+	run := func(rounds int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			_, err := Run(sim.NewSize(4), Config{
+				Graph: g, Scale: 1, M: 4, MachineOf: cut.MachineOf,
+				Profile: &testProfile, Program: &LPAProgram{Rounds: rounds}, Shards: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+	short, long := run(5), run(45)
+	perStep := (long - short) / 40
+	const budget = 4
+	if perStep > budget {
+		t.Errorf("LPA superstep allocates %.1f objects in steady state, budget %d (short run %.0f, long run %.0f)",
+			perStep, budget, short, long)
+	}
+}
+
+// TestTriangleAllocConstantInMessages guards the triangle program's
+// ride on the flat message plane: the candidate fan-out is quadratic in
+// forward degrees (tens of thousands of messages on the dense fixture),
+// but a whole run must stay within a constant allocation budget —
+// per-message boxing would show up as O(candidates) allocations.
+func TestTriangleAllocConstantInMessages(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	cut := partition.EdgeCut{M: 4, Seed: 7}
+	run := func(scale float64) float64 {
+		g := datasets.Generate(datasets.Twitter, datasets.Options{Scale: scale, Seed: 1})
+		oriented, rank := graph.ForwardOrient(g)
+		return testing.AllocsPerRun(3, func() {
+			_, err := Run(sim.NewSize(4), Config{
+				Graph: oriented, Scale: 1, M: 4, MachineOf: cut.MachineOf,
+				Profile: &testProfile, Program: &TriangleProgram{Rank: rank},
+				Combine: SumCombine, CombineFrom: 1, Shards: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+	// The denser fixture carries several times the candidate volume of
+	// the sparser one; allocation counts must not follow.
+	sparse, dense := run(1_200_000), run(400_000)
+	const runBudget = 400 // per-run setup arrays, far below any per-message regime
+	if dense > runBudget {
+		t.Errorf("triangle run allocates %.0f objects, budget %d", dense, runBudget)
+	}
+	if dense > sparse+100 {
+		t.Errorf("triangle allocations grew with message volume: %.0f (dense) vs %.0f (sparse)", dense, sparse)
 	}
 }
 

@@ -120,6 +120,10 @@ func (c *Context) SetValue(x float64) {
 // OutDegree returns the vertex's out-degree.
 func (c *Context) OutDegree() int { return c.rt.cfg.Graph.OutDegree(c.v) }
 
+// OutNeighbors returns the vertex's out-neighbors, sorted ascending.
+// The slice aliases graph storage and must not be modified.
+func (c *Context) OutNeighbors() []graph.VertexID { return c.rt.cfg.Graph.OutNeighbors(c.v) }
+
 // NumVertices returns the graph's vertex count.
 func (c *Context) NumVertices() int { return c.rt.cfg.Graph.NumVertices() }
 

@@ -176,6 +176,10 @@ func (r *Runner) Workload(kind engine.Kind, name datasets.Name) engine.Workload 
 		return engine.NewWCC()
 	case engine.SSSP:
 		return engine.NewSSSP(d.Source)
+	case engine.Triangle:
+		return engine.NewTriangleCount()
+	case engine.LPA:
+		return engine.NewLPA()
 	default:
 		return engine.NewKHop(d.Source)
 	}

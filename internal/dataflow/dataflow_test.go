@@ -21,6 +21,11 @@ func TestAllWorkloadsCorrect(t *testing.T) {
 	enginetest.VerifySSSP(t, f, enginetest.RunOK(t, g, f, 16, engine.NewSSSP(f.Dataset.Source), engine.Options{}))
 	g.Restart()
 	enginetest.VerifyKHop(t, f, enginetest.RunOK(t, g, f, 16, engine.NewKHop(f.Dataset.Source), engine.Options{}), 3)
+	g.Restart()
+	enginetest.VerifyTriangles(t, f, enginetest.RunOK(t, g, f, 16, engine.NewTriangleCount(), engine.Options{}))
+	g.Restart()
+	lpa := engine.NewLPA()
+	enginetest.VerifyLPA(t, f, enginetest.RunOK(t, g, f, 16, lpa, engine.Options{}), lpa)
 }
 
 func TestMemoryLeakAcrossJobs(t *testing.T) {

@@ -13,15 +13,29 @@ import (
 	"graphbench/internal/sim"
 )
 
-// Kind identifies one of the paper's four workloads.
+// Kind identifies a workload: the paper's four (§3) plus the two
+// extension workloads (triangle counting and label-propagation
+// community detection) this repository adds on top of the study.
 type Kind int
 
-// The four workloads of §3.
+// The four workloads of §3, then the extensions.
 const (
 	PageRank Kind = iota
 	WCC
 	SSSP
 	KHop
+	// Triangle is degree-ordered (forward) triangle counting: per-vertex
+	// incident-triangle counts whose sum is three times the global
+	// total. Every engine runs the same forward algorithm over the same
+	// graph.ForwardOrient orientation, so message volume is comparable
+	// across systems.
+	Triangle
+	// LPA is synchronous label-propagation community detection: labels
+	// start at the vertex id, each round every vertex adopts the most
+	// frequent label among its undirected simple neighbors (ties broken
+	// toward the largest label), for a fixed iteration cap. Final labels
+	// are canonicalized to the smallest member id of each community.
+	LPA
 )
 
 // String returns the workload name as used in the paper's figures.
@@ -35,13 +49,23 @@ func (k Kind) String() string {
 		return "sssp"
 	case KHop:
 		return "khop"
+	case Triangle:
+		return "triangle"
+	case LPA:
+		return "lpa"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// AllKinds lists the workloads in the paper's order.
+// AllKinds lists the paper's workloads in the paper's order. Artifacts
+// that reproduce the paper's tables and figures iterate these four;
+// extended experiments use ExtendedKinds.
 func AllKinds() []Kind { return []Kind{PageRank, WCC, SSSP, KHop} }
+
+// ExtendedKinds lists every workload the repository implements: the
+// paper's four followed by the extension workloads.
+func ExtendedKinds() []Kind { return []Kind{PageRank, WCC, SSSP, KHop, Triangle, LPA} }
 
 // Workload is a fully specified workload instance.
 type Workload struct {
@@ -89,6 +113,27 @@ func NewSSSP(source graph.VertexID) Workload {
 // NewKHop returns the paper's K-hop workload (K=3).
 func NewKHop(source graph.VertexID) Workload {
 	return Workload{Kind: KHop, Source: source, K: 3}
+}
+
+// DefaultLPAIterations is the fixed synchronous round cap of the LPA
+// workload. A fixed cap (instead of a convergence test) keeps the
+// workload deterministic: synchronous LPA can oscillate forever on
+// bipartite structures, and every engine must stop at the same round.
+const DefaultLPAIterations = 10
+
+// NewTriangleCount returns the triangle counting workload.
+func NewTriangleCount() Workload { return Workload{Kind: Triangle} }
+
+// NewLPA returns the label-propagation workload with the default
+// iteration cap.
+func NewLPA() Workload { return Workload{Kind: LPA, MaxIterations: DefaultLPAIterations} }
+
+// LPAIterations returns the workload's synchronous round cap.
+func (w Workload) LPAIterations() int {
+	if w.MaxIterations > 0 {
+		return w.MaxIterations
+	}
+	return DefaultLPAIterations
 }
 
 // Options carries per-run tuning that the paper varies per system.
@@ -171,15 +216,27 @@ type Result struct {
 	PerIteration []IterStat
 
 	// Outputs for verification against the single-thread oracles.
-	Ranks  []float64        // PageRank
-	Labels []graph.VertexID // WCC component ids
-	Dist   []int32          // SSSP / K-hop hop distances (-1 unreachable)
+	Ranks     []float64        // PageRank
+	Labels    []graph.VertexID // WCC component ids / LPA community labels
+	Dist      []int32          // SSSP / K-hop hop distances (-1 unreachable)
+	Triangles []int64          // per-vertex incident triangle counts
 
 	MemTimeline []sim.MemSample // when Options.SampleMemory
 }
 
 // TotalTime returns the end-to-end response time.
 func (r *Result) TotalTime() float64 { return r.Load + r.Exec + r.Save + r.Overhead }
+
+// TotalTriangles returns the global triangle count: every triangle is
+// counted once at each of its three corners, so the total is the sum of
+// the per-vertex counts divided by three.
+func (r *Result) TotalTriangles() int64 {
+	var sum int64
+	for _, c := range r.Triangles {
+		sum += c
+	}
+	return sum / 3
+}
 
 // Finish populates the resource fields of r from the cluster's final
 // state and the given error, and returns r for chaining.

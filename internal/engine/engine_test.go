@@ -26,17 +26,46 @@ func TestWorkloadConstructors(t *testing.T) {
 	if NewWCC().Kind != WCC {
 		t.Fatal("NewWCC kind")
 	}
+	if w := NewTriangleCount(); w.Kind != Triangle {
+		t.Fatalf("NewTriangleCount = %+v", w)
+	}
+	lpa := NewLPA()
+	if lpa.Kind != LPA || lpa.MaxIterations != DefaultLPAIterations {
+		t.Fatalf("NewLPA = %+v", lpa)
+	}
+	if lpa.LPAIterations() != DefaultLPAIterations {
+		t.Fatalf("LPAIterations = %d", lpa.LPAIterations())
+	}
+	if (Workload{Kind: LPA}).LPAIterations() != DefaultLPAIterations {
+		t.Fatal("zero cap must fall back to the default")
+	}
 }
 
 func TestKindStrings(t *testing.T) {
-	want := map[Kind]string{PageRank: "pagerank", WCC: "wcc", SSSP: "sssp", KHop: "khop"}
+	want := map[Kind]string{
+		PageRank: "pagerank", WCC: "wcc", SSSP: "sssp", KHop: "khop",
+		Triangle: "triangle", LPA: "lpa",
+	}
 	for k, s := range want {
 		if k.String() != s {
 			t.Errorf("%v.String() = %q", int(k), k.String())
 		}
 	}
 	if len(AllKinds()) != 4 {
-		t.Error("AllKinds incomplete")
+		t.Error("AllKinds must stay the paper's four workloads")
+	}
+	if len(ExtendedKinds()) != 6 {
+		t.Error("ExtendedKinds incomplete")
+	}
+}
+
+func TestTotalTriangles(t *testing.T) {
+	r := &Result{Triangles: []int64{3, 2, 2, 1, 1}}
+	if got := r.TotalTriangles(); got != 3 {
+		t.Fatalf("TotalTriangles = %d, want 3", got)
+	}
+	if (&Result{}).TotalTriangles() != 0 {
+		t.Fatal("empty result must report zero triangles")
 	}
 }
 
@@ -47,6 +76,9 @@ func TestDilationFor(t *testing.T) {
 	}
 	if d.DilationFor(PageRank) != 1 || d.DilationFor(KHop) != 1 {
 		t.Fatal("non-traversal workloads must not dilate")
+	}
+	if d.DilationFor(Triangle) != 1 || d.DilationFor(LPA) != 1 {
+		t.Fatal("extension workloads must not dilate")
 	}
 	empty := &Dataset{}
 	if empty.DilationFor(SSSP) != 1 {

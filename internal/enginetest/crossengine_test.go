@@ -79,6 +79,24 @@ func TestCrossEngineAgreement(t *testing.T) {
 			}
 			VerifyKHop(t, f, res, 3)
 		})
+		t.Run(e.Name()+"/triangle", func(t *testing.T) {
+			res := mk().Run(sim.NewSize(machines), f.Dataset, engine.NewTriangleCount(), engine.Options{})
+			if res.Status != sim.OK {
+				t.Fatalf("status %v (%v)", res.Status, res.Err)
+			}
+			// Triangle counting runs on the undirected simple view, so
+			// GraphLab's self-edge drop cannot perturb it: every engine
+			// must match the oracle exactly.
+			VerifyTriangles(t, f, res)
+		})
+		t.Run(e.Name()+"/lpa", func(t *testing.T) {
+			w := engine.NewLPA()
+			res := mk().Run(sim.NewSize(machines), f.Dataset, w, engine.Options{})
+			if res.Status != sim.OK {
+				t.Fatalf("status %v (%v)", res.Status, res.Err)
+			}
+			VerifyLPA(t, f, res, w)
+		})
 		t.Run(e.Name()+"/pagerank", func(t *testing.T) {
 			w := engine.NewPageRank()
 			res := mk().Run(sim.NewSize(machines), f.Dataset, w, engine.Options{})

@@ -34,6 +34,8 @@ func TestParallelDeterminism(t *testing.T) {
 		engine.NewWCC(),
 		engine.NewSSSP(f.Dataset.Source),
 		engine.NewKHop(f.Dataset.Source),
+		engine.NewTriangleCount(),
+		engine.NewLPA(),
 	}
 
 	for _, mk := range makers {
@@ -43,6 +45,15 @@ func TestParallelDeterminism(t *testing.T) {
 				golden := mk().Run(sim.NewSize(64), f.Dataset, w, engine.Options{Shards: 1})
 				if golden.Status != sim.OK {
 					t.Fatalf("sequential golden run failed: %v (%v)", golden.Status, golden.Err)
+				}
+				// The sequential golden run itself must equal the
+				// single-thread oracle for the extension workloads, so
+				// every pool size below is transitively oracle-identical.
+				switch w.Kind {
+				case engine.Triangle:
+					VerifyTriangles(t, f, golden)
+				case engine.LPA:
+					VerifyLPA(t, f, golden, w)
 				}
 				for _, shards := range []int{2, 8, 0} {
 					got := mk().Run(sim.NewSize(64), f.Dataset, w, engine.Options{Shards: shards})
@@ -91,6 +102,14 @@ func requireIdenticalRuns(t *testing.T, shards int, want, got *engine.Result) {
 	for v := range want.Dist {
 		if got.Dist[v] != want.Dist[v] {
 			t.Fatalf("shards=%d: Dist[%d] = %d, want %d", shards, v, got.Dist[v], want.Dist[v])
+		}
+	}
+	if len(got.Triangles) != len(want.Triangles) {
+		t.Fatalf("shards=%d: Triangles length %d, want %d", shards, len(got.Triangles), len(want.Triangles))
+	}
+	for v := range want.Triangles {
+		if got.Triangles[v] != want.Triangles[v] {
+			t.Fatalf("shards=%d: Triangles[%d] = %d, want %d", shards, v, got.Triangles[v], want.Triangles[v])
 		}
 	}
 }

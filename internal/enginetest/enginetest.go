@@ -1,7 +1,8 @@
 // Package enginetest provides the shared verification harness for the
 // eight engine packages: dataset preparation at test scale and output
 // checks against the single-thread oracles. Every engine's integration
-// tests run the same four workloads through these helpers, which is how
+// tests run the same workloads — the paper's four plus the triangle
+// counting and LPA extensions — through these helpers, which is how
 // the repository enforces the paper's "uniform algorithm across
 // systems" methodology.
 package enginetest
@@ -135,9 +136,49 @@ func verifyDistances(t *testing.T, got, want []int32) {
 	}
 }
 
-// VerifyAllWorkloads runs the standard four workloads at the given
-// cluster size and verifies each against its oracle — the common body
-// of every engine's integration test.
+// VerifyTriangles checks per-vertex incident-triangle counts exactly
+// against the forward-algorithm oracle, plus the sum invariant: the
+// per-vertex counts must sum to exactly three times the global total.
+func VerifyTriangles(t *testing.T, f *Fixture, res *engine.Result) {
+	t.Helper()
+	want, total, _ := singlethread.TriangleCounts(f.Graph)
+	if len(res.Triangles) != len(want) {
+		t.Fatalf("triangle counts length %d, want %d", len(res.Triangles), len(want))
+	}
+	var sum int64
+	for v := range want {
+		if res.Triangles[v] != want[v] {
+			t.Fatalf("triangles[%d] = %d, want %d", v, res.Triangles[v], want[v])
+		}
+		sum += res.Triangles[v]
+	}
+	if sum != 3*total {
+		t.Fatalf("per-vertex counts sum to %d, want 3x%d", sum, total)
+	}
+	if got := res.TotalTriangles(); got != total {
+		t.Fatalf("TotalTriangles = %d, want %d", got, total)
+	}
+}
+
+// VerifyLPA checks the canonical community labels exactly against the
+// synchronous label-propagation oracle at the workload's round cap.
+func VerifyLPA(t *testing.T, f *Fixture, res *engine.Result, w engine.Workload) {
+	t.Helper()
+	want, _ := singlethread.LabelPropagation(f.Graph, w.LPAIterations())
+	if len(res.Labels) != len(want) {
+		t.Fatalf("labels length %d, want %d", len(res.Labels), len(want))
+	}
+	for v := range want {
+		if res.Labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, res.Labels[v], want[v])
+		}
+	}
+}
+
+// VerifyAllWorkloads runs every workload — the paper's four plus the
+// extension workloads — at the given cluster size and verifies each
+// against its oracle; the common body of every engine's integration
+// test.
 func VerifyAllWorkloads(t *testing.T, e engine.Engine, f *Fixture, machines int, prTol float64, opt engine.Options) {
 	t.Helper()
 	w := engine.NewPageRank()
@@ -145,4 +186,7 @@ func VerifyAllWorkloads(t *testing.T, e engine.Engine, f *Fixture, machines int,
 	VerifyWCC(t, f, RunOK(t, e, f, machines, engine.NewWCC(), opt))
 	VerifySSSP(t, f, RunOK(t, e, f, machines, engine.NewSSSP(f.Dataset.Source), opt))
 	VerifyKHop(t, f, RunOK(t, e, f, machines, engine.NewKHop(f.Dataset.Source), opt), 3)
+	VerifyTriangles(t, f, RunOK(t, e, f, machines, engine.NewTriangleCount(), opt))
+	lpa := engine.NewLPA()
+	VerifyLPA(t, f, RunOK(t, e, f, machines, lpa, opt), lpa)
 }

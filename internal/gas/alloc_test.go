@@ -51,3 +51,40 @@ func TestSyncSweepAllocBudget(t *testing.T) {
 			perIter, budget, short, long)
 	}
 }
+
+// TestSyncLPAAllocBudget extends the arena-reuse guarantee to the
+// label-propagation sweep: per-shard label scratch buffers are retained
+// across rounds, so each additional synchronous round must cost only a
+// constant handful of allocations — never O(vertices) or O(edges).
+func TestSyncLPAAllocBudget(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := datasets.Generate(datasets.Twitter, datasets.Options{Scale: 600_000, Seed: 1})
+	vc := partition.BuildVertexCut(g, 4, partition.VCRandom, 7)
+	d := &engine.Dataset{Name: "twitter", Scale: 1, NumVertices: g.NumVertices()}
+	run := func(rounds int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			ex := &execution{
+				cluster: sim.NewSize(4),
+				prof:    &Profile,
+				d:       d,
+				g:       g,
+				vc:      vc,
+				w:       engine.Workload{Kind: engine.LPA, MaxIterations: rounds},
+				opt:     engine.Options{Shards: 1},
+				res:     &engine.Result{},
+			}
+			if err := ex.runSync(); err != nil {
+				panic(err)
+			}
+		})
+	}
+	short, long := run(5), run(45)
+	perIter := (long - short) / 40
+	const budget = 8
+	if perIter > budget {
+		t.Errorf("sync LPA sweep allocates %.1f objects per round, budget %d (short run %.0f, long run %.0f)",
+			perIter, budget, short, long)
+	}
+}

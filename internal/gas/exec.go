@@ -3,11 +3,13 @@ package gas
 import (
 	"math"
 	"math/rand"
+	"slices"
 
 	"graphbench/internal/engine"
 	"graphbench/internal/graph"
 	"graphbench/internal/par"
 	"graphbench/internal/sim"
+	"graphbench/internal/singlethread"
 )
 
 // execution holds one run's state: the GAS engine proper. Gather reads
@@ -52,8 +54,10 @@ func (ex *execution) init() {
 		switch ex.w.Kind {
 		case engine.PageRank:
 			ex.values[v] = 1
-		case engine.WCC:
+		case engine.WCC, engine.LPA:
 			ex.values[v] = float64(v)
+		case engine.Triangle:
+			ex.values[v] = 0
 		default:
 			ex.values[v] = math.Inf(1)
 		}
@@ -102,6 +106,10 @@ func (ex *execution) runSync() error {
 	switch ex.w.Kind {
 	case engine.PageRank:
 		return ex.syncPageRank()
+	case engine.Triangle:
+		return ex.syncTriangles()
+	case engine.LPA:
+		return ex.syncLPA()
 	default:
 		return ex.syncPropagate()
 	}
@@ -362,13 +370,146 @@ func (ex *execution) finishPropagate(iters int) {
 	}
 }
 
+// syncTriangles runs degree-ordered triangle counting as one gather-
+// heavy GAS phase: every vertex gathers its forward neighborhood
+// through mirrors, generates candidate pairs (the quadratic fan-out),
+// probes closing edges, and scatters credits to triangle corners.
+// Shards accumulate into private count arrays merged by integer sum, so
+// any shard count produces bit-identical counts and modeled costs.
+func (ex *execution) syncTriangles() error {
+	o, rank := graph.ForwardOrient(ex.g)
+	n := o.NumVertices()
+	type triAcc struct {
+		counts                   []int64
+		cands, hits, mirrorMsgs int64
+	}
+	accs := par.MapShards(ex.pool, n, func(s par.Shard) triAcc {
+		a := triAcc{counts: make([]int64, n)}
+		for u := s.Lo; u < s.Hi; u++ {
+			a.mirrorMsgs += 2 * int64(ex.replicasM[u])
+			nbrs := o.OutNeighbors(graph.VertexID(u))
+			for i, v := range nbrs {
+				for _, w := range nbrs[i+1:] {
+					lo, hi := v, w
+					if rank[lo] > rank[hi] {
+						lo, hi = hi, lo
+					}
+					a.cands++
+					if o.HasEdge(lo, hi) {
+						a.hits++
+						a.counts[u]++
+						a.counts[v]++
+						a.counts[w]++
+					}
+				}
+			}
+		}
+		return a
+	})
+	counts := make([]int64, n)
+	var cands, hits, mirrorMsgs float64
+	for _, a := range accs {
+		for v, c := range a.counts {
+			counts[v] += c
+		}
+		cands += float64(a.cands)
+		hits += float64(a.hits)
+		mirrorMsgs += float64(a.mirrorMsgs)
+	}
+	ex.res.Triangles = counts
+	ex.res.Iterations = 1
+	ex.res.PerIteration = append(ex.res.PerIteration, engine.IterStat{
+		Iteration: 1, Active: n, Updates: int(hits),
+	})
+	// Gather probes the candidate pairs; scatter ships two credits per
+	// triangle; candidates travel through mirrors like gather values.
+	return ex.chargeIteration(float64(n), cands, 2*hits, mirrorMsgs+cands, 1)
+}
+
+// syncLPA runs synchronous label propagation over the undirected simple
+// view: a fixed number of rounds in which every vertex gathers its
+// neighbors' labels and applies the most-frequent / max-tie-break rule.
+// The sweep shards over vertex ranges; each round reads only the
+// previous round's labels, so outputs are bit-identical at any shard
+// count.
+func (ex *execution) syncLPA() error {
+	u := ex.g.Simple()
+	n := u.NumVertices()
+	rounds := ex.w.LPAIterations()
+	next := make([]float64, n)
+	pl := par.PlanShards(n, ex.pool.Workers())
+	scratch := make([][]float64, pl.Count())
+	type lpaAcc struct{ edges, updates, mirrorMsgs int64 }
+	accs := make([]lpaAcc, pl.Count())
+
+	finish := func(iters int) {
+		ex.res.Iterations = iters
+		labels := make([]graph.VertexID, n)
+		for v, x := range ex.values {
+			labels[v] = graph.VertexID(x)
+		}
+		ex.res.Labels = graph.CanonicalizeLabels(labels)
+	}
+
+	for it := 1; it <= rounds; it++ {
+		ex.pool.ForEach(pl.Count(), func(i int) {
+			s := pl.Shard(i)
+			var a lpaAcc
+			buf := scratch[i]
+			for v := s.Lo; v < s.Hi; v++ {
+				nbrs := u.OutNeighbors(graph.VertexID(v))
+				buf = buf[:0]
+				for _, w := range nbrs {
+					buf = append(buf, ex.values[w])
+				}
+				slices.Sort(buf)
+				nv := singlethread.ModeMaxLabel(buf, ex.values[v])
+				if nv != ex.values[v] {
+					a.updates++
+				}
+				next[v] = nv
+				a.edges += int64(len(nbrs))
+				a.mirrorMsgs += 2 * int64(ex.replicasM[v])
+			}
+			scratch[i] = buf
+			accs[i] = a
+		})
+		var edges, updates, mirrorMsgs float64
+		for _, a := range accs {
+			edges += float64(a.edges)
+			updates += float64(a.updates)
+			mirrorMsgs += float64(a.mirrorMsgs)
+		}
+		ex.values, next = next, ex.values
+		ex.res.PerIteration = append(ex.res.PerIteration, engine.IterStat{
+			Iteration: it, Active: n, Updates: int(updates),
+		})
+		if err := ex.chargeIteration(float64(n), edges, edges, mirrorMsgs, 1); err != nil {
+			finish(it)
+			return err
+		}
+	}
+	finish(rounds)
+	return nil
+}
+
 // runAsync executes the asynchronous engine: chaotic Gauss–Seidel
 // sweeps with immediate value visibility, lock-contention slowdown, and
 // the distributed-lock memory accumulation of §5.3 / Figure 10. The
 // sweep is inherently sequential — each vertex reads values written
 // moments earlier in the same permutation pass — so it does not shard.
+//
+// The paper evaluates the asynchronous engine on PageRank only; for the
+// extension workloads — whose algorithms are defined synchronously —
+// the engine falls back to the synchronous implementations.
 func (ex *execution) runAsync() error {
 	ex.init()
+	switch ex.w.Kind {
+	case engine.Triangle:
+		return ex.syncTriangles()
+	case engine.LPA:
+		return ex.syncLPA()
+	}
 	n := ex.g.NumVertices()
 	rng := rand.New(rand.NewSource(11))
 	order := rng.Perm(n)

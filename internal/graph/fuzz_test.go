@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+)
+
+// fuzzVertices is the vertex budget FuzzDecode parses against: small
+// enough that random bytes often hit the in-range/out-of-range id
+// boundary, large enough for real adjacency structure.
+const fuzzVertices = 32
+
+// FuzzDecode drives the byte-level parser introduced with the
+// zero-allocation message plane: arbitrary input must either fail with
+// an error or produce a graph that round-trips exactly through
+// Encode/Decode in the same format — and must never panic. The seed
+// corpus in testdata/fuzz/FuzzDecode covers each format's grammar plus
+// the malformed shapes the parser rejects.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("0 1 2 3\n5\n31 0\n"))
+	f.Add([]byte("0 2 1 2\n1 0\n2 1 0\n"))
+	f.Add([]byte("# comment\n\n 7 8 \n"))
+	f.Add([]byte("0 99\n"))       // id out of range
+	f.Add([]byte("0 3 1\n"))      // adj-long count mismatch
+	f.Add([]byte("1 -2\n"))       // negative id
+	f.Add([]byte("4294967296 1")) // overflow-sized id
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, format := range []Format{FormatAdj, FormatAdjLong, FormatEdge} {
+			g, err := Decode(bytes.NewReader(data), format, fuzzVertices)
+			if err != nil {
+				continue // rejected input: an error, never a panic
+			}
+			var buf bytes.Buffer
+			if err := Encode(g, format, &buf); err != nil {
+				t.Fatalf("%v: encoding a decoded graph failed: %v", format, err)
+			}
+			g2, err := Decode(bytes.NewReader(buf.Bytes()), format, fuzzVertices)
+			if err != nil {
+				t.Fatalf("%v: re-decoding encoded output failed: %v\nencoded: %q", format, err, buf.Bytes())
+			}
+			if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+				t.Fatalf("%v: round trip changed shape: %d/%d vertices, %d/%d edges",
+					format, g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				if !slices.Equal(g.OutNeighbors(VertexID(v)), g2.OutNeighbors(VertexID(v))) {
+					t.Fatalf("%v: round trip changed adjacency of %d: %v vs %v",
+						format, v, g.OutNeighbors(VertexID(v)), g2.OutNeighbors(VertexID(v)))
+				}
+			}
+			if g2.SelfEdges() != g.SelfEdges() {
+				t.Fatalf("%v: round trip changed self-edge count: %d vs %d", format, g.SelfEdges(), g2.SelfEdges())
+			}
+		}
+	})
+}

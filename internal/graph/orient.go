@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"slices"
+	"sort"
+)
+
+// Simple returns the undirected simple view of g: every edge in both
+// directions, duplicates removed, self-edges dropped. Triangle counting
+// and label propagation are defined over this view, so every engine
+// derives it the same way.
+func (g *Graph) Simple() *Graph {
+	return g.Undirected().WithoutSelfEdges()
+}
+
+// DegreeRank returns the degree-ordered total-order positions over the
+// undirected simple view u: rank[v] < rank[w] iff (deg(v), v) <
+// (deg(w), w). Hubs therefore rank last, which is what bounds forward
+// degrees in the forward triangle algorithm.
+func DegreeRank(u *Graph) []int32 {
+	n := u.NumVertices()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		da, db := u.OutDegree(VertexID(a)), u.OutDegree(VertexID(b))
+		if da != db {
+			return da < db
+		}
+		return a < b
+	})
+	rank := make([]int32, n)
+	for pos, v := range order {
+		rank[v] = int32(pos)
+	}
+	return rank
+}
+
+// ForwardOrient builds the degree-ordered (forward) orientation of g:
+// each undirected simple edge {v, w} becomes the single directed edge
+// from the lower-ranked endpoint to the higher-ranked one, with rank by
+// (degree, id) over the undirected simple view. It returns the oriented
+// graph and the rank array. Every triangle a≺b≺c appears exactly once
+// as the path a→b, a→c with closing edge b→c, which is the invariant
+// the forward counting algorithm exploits — and because every engine
+// orients identically, candidate message volume is comparable across
+// systems.
+func ForwardOrient(g *Graph) (*Graph, []int32) {
+	u := g.Simple()
+	rank := DegreeRank(u)
+	b := NewBuilder(u.NumVertices())
+	b.SetName(u.Name()).SetScaleFactor(u.ScaleFactor())
+	b.Reserve(u.NumEdges() / 2)
+	u.Edges(func(src, dst VertexID) bool {
+		if rank[src] < rank[dst] {
+			b.AddEdge(src, dst)
+		}
+		return true
+	})
+	return b.Build(), rank
+}
+
+// HasEdge reports whether the directed edge (src, dst) exists, by
+// binary search over src's sorted out-neighbor run — the closing-edge
+// probe of the forward triangle algorithm.
+func (g *Graph) HasEdge(src, dst VertexID) bool {
+	_, ok := slices.BinarySearch(g.OutNeighbors(src), dst)
+	return ok
+}
+
+// CanonicalizeLabels rewrites a community labeling so that every class
+// carries the smallest vertex id among its members — mirroring WCC's
+// min-id canonical labels. This makes labelings comparable across
+// engines and guarantees each label is a member vertex's id (the
+// partition-validity property the oracle tests check). Labels must be
+// valid vertex ids. The input slice is not modified.
+func CanonicalizeLabels(labels []VertexID) []VertexID {
+	minOf := make([]VertexID, len(labels))
+	for i := range minOf {
+		minOf[i] = -1
+	}
+	for v, l := range labels {
+		if minOf[l] == -1 {
+			minOf[l] = VertexID(v) // v ascending: first member is the min
+		}
+	}
+	out := make([]VertexID, len(labels))
+	for v, l := range labels {
+		out[v] = minOf[l]
+	}
+	return out
+}

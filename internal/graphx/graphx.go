@@ -16,6 +16,7 @@ import (
 	"graphbench/internal/partition"
 	"graphbench/internal/rdd"
 	"graphbench/internal/sim"
+	"graphbench/internal/singlethread"
 )
 
 // Profile is GraphX's cost profile (Scala on the JVM, Spark runtime).
@@ -163,6 +164,12 @@ func (g *GraphX) chargeLoad(c *sim.Cluster, sc *rdd.Context, d *engine.Dataset, 
 // other systems) while charging each iteration as Spark stages plus
 // lineage growth.
 func (g *GraphX) pregelLoop(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, w engine.Workload, opt engine.Options, res *engine.Result) error {
+	switch w.Kind {
+	case engine.Triangle:
+		return g.triangleStages(sc, d, gr, res)
+	case engine.LPA:
+		return g.lpaStages(sc, d, gr, w, opt, res)
+	}
 	n := gr.NumVertices()
 	dil := d.DilationFor(w.Kind)
 	work := gr
@@ -294,6 +301,84 @@ done:
 	res.Iterations = int(float64(iters)*dil + 0.5)
 	g.fill(res, w, values)
 	return nil
+}
+
+// triangleStages runs degree-ordered triangle counting as three Spark
+// stage groups over the edge RDD: orientation (degree join + filter),
+// candidate generation + closing-edge join (the quadratic shuffle), and
+// credit aggregation back onto the vertex RDD. GraphX's triplet view
+// makes the join explicit; the computation is the oracle's forward
+// algorithm.
+func (g *GraphX) triangleStages(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, res *engine.Result) error {
+	o, rank := graph.ForwardOrient(gr)
+	n := o.NumVertices()
+	// The real computation is the oracle's forward kernel.
+	counts, hits64, cands64 := singlethread.ForwardCountTriangles(o, rank)
+	cands, hits := float64(cands64), float64(hits64)
+	res.Triangles = counts
+	res.Iterations = 1
+	res.PerIteration = append(res.PerIteration, engine.IterStat{Iteration: 1, Active: n, Updates: int(hits)})
+
+	stages := []rdd.StageCost{
+		{ // orientation: degree join over the edge RDD
+			Records:      float64(gr.NumEdges()) + float64(n),
+			ShuffleBytes: float64(gr.NumEdges()) * g.Profile.MsgBytes,
+		},
+		{ // candidate pairs joined against the oriented edge RDD
+			Records:      float64(o.NumEdges()) + cands,
+			ShuffleBytes: cands * g.Profile.MsgBytes,
+		},
+		{ // credit aggregation onto the vertex RDD
+			Records:      3*hits + float64(n),
+			ShuffleBytes: 3*hits*g.Profile.MsgBytes + float64(n)*8,
+		},
+	}
+	for _, st := range stages {
+		if err := sc.RunStage(st); err != nil {
+			return err
+		}
+	}
+	return sc.ExtendLineage(int64(float64(n) * d.Scale * lineageBytesPerVertexIter / float64(sc.Cluster.Size())))
+}
+
+// lpaStages runs synchronous label propagation: every round is the
+// usual Pregel-iteration stage triplet (message generation over the
+// full undirected edge RDD, aggregation, vertex join) — GraphX scans
+// everything each round regardless of how many labels still change.
+func (g *GraphX) lpaStages(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, w engine.Workload, opt engine.Options, res *engine.Result) error {
+	u := gr.Simple()
+	n := u.NumVertices()
+	msgs := float64(u.NumEdges())
+
+	iters := 0
+	labels, err := singlethread.LPAOnSimple(u, w.LPAIterations(), func(it, changed int) error {
+		iters = it
+		perStage := rdd.StageCost{
+			Records:      (float64(n) + msgs) / stagesPerIteration,
+			ShuffleBytes: (msgs*g.Profile.MsgBytes + float64(n)*8) / stagesPerIteration,
+		}
+		iterStart := sc.Cluster.Clock()
+		var stageErr error
+		for s := 0; s < stagesPerIteration; s++ {
+			if stageErr = sc.RunStage(perStage); stageErr != nil {
+				break
+			}
+		}
+		res.PerIteration = append(res.PerIteration, engine.IterStat{
+			Iteration: it, Active: n, Updates: changed,
+			Seconds: sc.Cluster.Clock() - iterStart,
+		})
+		if stageErr != nil {
+			return stageErr
+		}
+		if opt.CheckpointEvery > 0 && it%opt.CheckpointEvery == 0 {
+			return sc.Checkpoint(float64(n)*16 + float64(u.NumEdges())*12)
+		}
+		return sc.ExtendLineage(int64(float64(n) * d.Scale * lineageBytesPerVertexIter / float64(sc.Cluster.Size())))
+	})
+	res.Iterations = iters
+	res.Labels = labels
+	return err
 }
 
 func (g *GraphX) fill(res *engine.Result, w engine.Workload, values []float64) {

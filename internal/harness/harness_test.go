@@ -75,6 +75,20 @@ func TestTable9COST(t *testing.T) {
 	}
 }
 
+func TestTable10WorkloadScaling(t *testing.T) {
+	out := Table10WorkloadScaling(testRunner())
+	for _, w := range []string{"pagerank", "wcc", "sssp", "khop", "triangle", "lpa"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Table 10 missing workload %s:\n%s", w, out)
+		}
+	}
+	// Every Twitter cell completes at this scale: each row must name a
+	// winning system label, never a "none" placeholder.
+	if strings.Contains(out, "none") {
+		t.Errorf("Table 10 has empty cells on Twitter:\n%s", out)
+	}
+}
+
 func TestFigure1(t *testing.T) {
 	out := Figure1Cores(testRunner())
 	if !strings.Contains(out, "sync/4cores") {

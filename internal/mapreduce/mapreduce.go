@@ -17,6 +17,7 @@ import (
 	"graphbench/internal/engine"
 	"graphbench/internal/graph"
 	"graphbench/internal/sim"
+	"graphbench/internal/singlethread"
 )
 
 // Profile is Hadoop's cost profile: 4 mappers / 2 reducers per machine,
@@ -145,10 +146,16 @@ func (h *Hadoop) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 	return res.Finish(c, err)
 }
 
-// iterate drives the per-workload job chains. All four workloads do
-// real computation over the decoded graph; each iteration is charged as
-// a full MapReduce job.
+// iterate drives the per-workload job chains. All workloads do real
+// computation over the decoded graph; each iteration is charged as a
+// full MapReduce job.
 func (h *Hadoop) iterate(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engine.Workload, res *engine.Result) error {
+	switch w.Kind {
+	case engine.Triangle:
+		return h.triangles(c, d, gr, res)
+	case engine.LPA:
+		return h.lpa(c, d, gr, w, res)
+	}
 	n := gr.NumVertices()
 	adjBytes := float64(d.FileBytes(graph.FormatAdj))
 	stateBytes := float64(n) * d.Scale * 16
@@ -304,6 +311,116 @@ done:
 	res.Iterations = int(float64(iters)*dil + 0.5)
 	h.fill(res, w, values)
 	return nil
+}
+
+// triangles runs degree-ordered triangle counting as a three-job chain:
+// orient (map emits degree-tagged edges, reduce builds the forward
+// adjacency), join (map emits each vertex's forward-neighbor pairs —
+// the quadratic shuffle — and reduce probes the closing edges), and
+// credit aggregation (map emits three credits per triangle, reduce sums
+// per vertex). The computation itself is the oracle's forward algorithm.
+func (h *Hadoop) triangles(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, res *engine.Result) error {
+	adjBytes := float64(d.FileBytes(graph.FormatAdj))
+	o, rank := graph.ForwardOrient(gr)
+	n := o.NumVertices()
+	oe := float64(o.NumEdges())
+	stateBytes := float64(n) * d.Scale * 16
+
+	// The real computation is the oracle's forward kernel.
+	counts, hits64, cands64 := singlethread.ForwardCountTriangles(o, rank)
+	cands, hits := float64(cands64), float64(hits64)
+	res.Triangles = counts
+	res.Iterations = 3
+
+	jobs := []jobCost{
+		{ // orient: degree join + forward filter
+			inputBytes:   adjBytes,
+			mapRecords:   (float64(n) + float64(gr.NumEdges())) * d.Scale,
+			interBytes:   2 * float64(gr.NumEdges()) * d.Scale * h.Profile.MsgBytes,
+			interRecords: 2 * float64(gr.NumEdges()) * d.Scale,
+			reduceOut:    adjBytes,
+			dilation:     1,
+		},
+		{ // join: candidate pairs shuffled to their probing vertex
+			inputBytes:   adjBytes,
+			mapRecords:   (float64(n) + oe) * d.Scale,
+			interBytes:   cands * d.Scale * h.Profile.MsgBytes,
+			interRecords: cands * d.Scale,
+			reduceOut:    stateBytes,
+			dilation:     1,
+		},
+		{ // credits: three per triangle, summed per vertex
+			inputBytes:   stateBytes,
+			mapRecords:   hits * d.Scale,
+			interBytes:   3 * hits * d.Scale * h.Profile.MsgBytes,
+			interRecords: 3 * hits * d.Scale,
+			reduceOut:    stateBytes,
+			dilation:     1,
+		},
+	}
+	for _, jc := range jobs {
+		if err := h.charge(c, jc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lpa runs synchronous label propagation: a symmetrize job builds the
+// undirected simple adjacency, then one full map/shuffle/reduce job per
+// round ships every neighbor label to its destination and reduces with
+// the most-frequent / max-tie-break rule. Hadoop scans and shuffles the
+// whole graph every round, cap or no cap — and on large clusters the
+// HaLoop shuffle bug kills the multi-round chain just as it does the
+// traversals (§5.10).
+func (h *Hadoop) lpa(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engine.Workload, res *engine.Result) error {
+	adjBytes := float64(d.FileBytes(graph.FormatAdj))
+	u := gr.Simple()
+	n := u.NumVertices()
+	stateBytes := float64(n) * d.Scale * 16
+
+	// Symmetrize job, like the WCC chain's reverse-edge job.
+	if err := h.charge(c, jobCost{
+		inputBytes:   adjBytes,
+		mapRecords:   (float64(n) + float64(gr.NumEdges())) * d.Scale,
+		interBytes:   2 * float64(gr.NumEdges()) * d.Scale * h.Profile.MsgBytes,
+		interRecords: 2 * float64(gr.NumEdges()) * d.Scale,
+		reduceOut:    2 * adjBytes,
+		dilation:     1,
+	}); err != nil {
+		return err
+	}
+	undBytes := 2 * adjBytes
+
+	msgs := float64(u.NumEdges())
+	iters := 0
+	labels, err := singlethread.LPAOnSimple(u, w.LPAIterations(), func(it, changed int) error {
+		iters = it
+		res.PerIteration = append(res.PerIteration, engine.IterStat{Iteration: it, Active: n, Updates: changed})
+
+		if h.ShuffleBugAt > 0 && c.Size() >= 64 && it >= h.ShuffleBugAt {
+			return &sim.Failure{Status: sim.SHFL,
+				Detail: "mapper output deleted before reducers consumed it"}
+		}
+
+		jc := jobCost{
+			inputBytes:   undBytes + stateBytes,
+			mapRecords:   (float64(n) + msgs) * d.Scale,
+			interBytes:   msgs*d.Scale*h.Profile.MsgBytes + undBytes,
+			interRecords: (msgs + float64(n)) * d.Scale,
+			reduceOut:    undBytes + stateBytes,
+			dilation:     1,
+		}
+		if h.InvariantCache && it > 1 {
+			jc.inputBytes = stateBytes + undBytes*0.6
+			jc.interBytes = msgs * d.Scale * h.Profile.MsgBytes
+			jc.reduceOut = stateBytes + undBytes*0.3
+		}
+		return h.charge(c, jc)
+	})
+	res.Iterations = iters
+	res.Labels = labels
+	return err
 }
 
 func (h *Hadoop) fill(res *engine.Result, w engine.Workload, values []float64) {

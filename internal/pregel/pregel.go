@@ -184,11 +184,25 @@ func configureWorkload(cfg *bsp.Config, w engine.Workload, d *engine.Dataset, op
 	case engine.KHop:
 		cfg.Program = &bsp.KHopProgram{Source: d.Source, K: w.K}
 		cfg.Combine = bsp.MinCombine
+	case engine.Triangle:
+		// The degree-ordered orientation replaces the loaded graph so
+		// candidate message volume matches every other engine's; credits
+		// (sent from superstep 1 on) may be sum-combined.
+		oriented, rank := graph.ForwardOrient(cfg.Graph)
+		cfg.Graph = oriented
+		cfg.Program = &bsp.TriangleProgram{Rank: rank}
+		cfg.Combine = bsp.SumCombine
+		cfg.CombineFrom = 1
+	case engine.LPA:
+		// Synchronous rounds over the undirected simple view; no
+		// combiner — label frequencies matter.
+		cfg.Graph = cfg.Graph.Simple()
+		cfg.Program = &bsp.LPAProgram{Rounds: w.LPAIterations()}
 	}
 	if opt.DisableCombiner {
 		cfg.Combine = nil
 	}
-	if w.MaxIterations > 0 && w.Kind != engine.PageRank {
+	if w.MaxIterations > 0 && w.Kind != engine.PageRank && w.Kind != engine.LPA {
 		cfg.MaxSupersteps = w.MaxIterations
 	}
 }
@@ -210,5 +224,9 @@ func fillOutputs(res *engine.Result, w engine.Workload, out *bsp.Output) {
 		res.Labels = bsp.LabelsFromValues(out.Values)
 	case engine.SSSP, engine.KHop:
 		res.Dist = bsp.DistancesFromValues(out.Values)
+	case engine.Triangle:
+		res.Triangles = bsp.TrianglesFromValues(out.Values)
+	case engine.LPA:
+		res.Labels = bsp.CommunityLabelsFromValues(out.Values)
 	}
 }

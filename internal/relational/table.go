@@ -14,6 +14,13 @@
 // further behind as the cluster grows.
 package relational
 
+import (
+	"slices"
+
+	"graphbench/internal/graph"
+	"graphbench/internal/singlethread"
+)
+
 // Column is a columnar vector. Vertex ids are stored as float64, which
 // is lossless below 2^53.
 type Column []float64
@@ -68,6 +75,69 @@ func JoinSumByDst(src, dst Column, val, weight Column, n int) Column {
 		if w := weight[s]; w > 0 {
 			out[d] += val[s] / w
 		}
+	}
+	return out
+}
+
+// TriangleSelfJoin evaluates the canonical triangle query as a
+// three-way self-join over the forward-oriented edge projection:
+//
+//	SELECT e1.src, e1.dst, e2.dst
+//	FROM oriented e1
+//	JOIN oriented e2 ON e2.src = e1.dst
+//	JOIN oriented e3 ON e3.src = e1.src AND e3.dst = e2.dst
+//
+// Each match is one triangle (discovered exactly once thanks to the
+// degree-ordered orientation) credited to all three corners, so the
+// returned counts are per-vertex incident-triangle counts. joinRows is
+// the e1⋈e2 intermediate cardinality — the rows probed against e3 and
+// the dominant cost of the plan.
+func TriangleSelfJoin(o *graph.Graph) (counts []int64, joinRows int64) {
+	n := o.NumVertices()
+	counts = make([]int64, n)
+	for u := 0; u < n; u++ {
+		for _, v := range o.OutNeighbors(graph.VertexID(u)) {
+			for _, w := range o.OutNeighbors(v) {
+				joinRows++
+				if o.HasEdge(graph.VertexID(u), w) {
+					counts[u]++
+					counts[v]++
+					counts[w]++
+				}
+			}
+		}
+	}
+	return counts, joinRows
+}
+
+// JoinModeByDst computes the LPA round query:
+//
+//	SELECT e.dst, MODE(v.label)  -- ties broken toward the largest label
+//	FROM edges e JOIN vertices v ON e.src = v.id GROUP BY e.dst
+//
+// Vertices with no incoming rows keep their value from keep. vertices
+// are addressed positionally, as in the other join operators.
+func JoinModeByDst(src, dst Column, val, keep Column, n int) Column {
+	offsets := make([]int32, n+1)
+	for _, d := range dst {
+		offsets[int(d)+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	bucketed := make([]float64, len(src))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i := range src {
+		d := int(dst[i])
+		bucketed[cursor[d]] = val[int(src[i])]
+		cursor[d]++
+	}
+	out := make(Column, n)
+	for v := 0; v < n; v++ {
+		run := bucketed[offsets[v]:offsets[v+1]]
+		slices.Sort(run)
+		out[v] = singlethread.ModeMaxLabel(run, keep[v])
 	}
 	return out
 }

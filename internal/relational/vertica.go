@@ -188,6 +188,70 @@ func (e *Vertica) iterate(c *sim.Cluster, d *engine.Dataset, work *graph.Graph,
 		res.Ranks = ranks
 		return nil
 
+	case engine.Triangle:
+		// CREATE TABLE oriented AS SELECT ... : a degree aggregate joined
+		// back onto the edge table, filtered to the forward direction.
+		o, _ := graph.ForwardOrient(work)
+		oRows := float64(o.NumEdges())
+		if err := e.chargeIteration(c, d, 2*eRows, eRows, oRows, 1); err != nil {
+			res.Iterations = 1
+			return err
+		}
+		counts, joinRows := TriangleSelfJoin(o)
+		res.Triangles = counts
+		res.Iterations = 2
+		res.PerIteration = append(res.PerIteration, engine.IterStat{Iteration: 1, Active: n})
+		// The three-way self-join: two scans of the oriented projection,
+		// the e1⋈e2 intermediate re-segmented by its probe key, and the
+		// credit aggregate written back to the vertex table.
+		return e.chargeIteration(c, d, 2*oRows+float64(joinRows), 2*float64(joinRows), float64(n), 1)
+
+	case engine.LPA:
+		u := work.Simple()
+		usrc := make(Column, 0, u.NumEdges())
+		udst := make(Column, 0, u.NumEdges())
+		u.Edges(func(s, t graph.VertexID) bool {
+			usrc = append(usrc, float64(s))
+			udst = append(udst, float64(t))
+			return true
+		})
+		uRows := float64(len(usrc))
+		labels := make(Column, n)
+		for v := range labels {
+			labels[v] = float64(v)
+		}
+		rounds := w.LPAIterations()
+		finish := func(iters int) {
+			res.Iterations = iters
+			out := make([]graph.VertexID, n)
+			for v := range labels {
+				out[v] = graph.VertexID(labels[v])
+			}
+			res.Labels = graph.CanonicalizeLabels(out)
+		}
+		// Symmetrize: CREATE TABLE und AS SELECT both directions.
+		if err := e.chargeIteration(c, d, eRows, uRows, uRows/2, 1); err != nil {
+			finish(0)
+			return err
+		}
+		for it := 1; it <= rounds; it++ {
+			next := JoinModeByDst(usrc, udst, labels, labels, n)
+			changed := 0
+			for v := range next {
+				if next[v] != labels[v] {
+					changed++
+				}
+			}
+			labels = next // CREATE TABLE new AS ... ; swap (§2.6)
+			res.PerIteration = append(res.PerIteration, engine.IterStat{Iteration: it, Active: n, Updates: changed})
+			if err := e.chargeIteration(c, d, uRows, uRows*2.5, float64(n), 1); err != nil {
+				finish(it)
+				return err
+			}
+		}
+		finish(rounds)
+		return nil
+
 	default:
 		// Traversals: the active-vertex temp table optimization. The
 		// join still scans the full edge projection; only the build

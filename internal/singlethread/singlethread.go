@@ -6,7 +6,9 @@
 //
 // These implementations also serve as the correctness oracles for every
 // distributed engine in the repository: engine outputs are compared
-// against them in the integration tests.
+// against them in the integration tests. The extension workloads'
+// oracles — forward triangle counting and synchronous label
+// propagation — live in workloads.go next to this file.
 //
 // Each algorithm returns operation Counters; the harness converts them
 // to modeled seconds with the single-thread cost profile to place the

@@ -1,0 +1,192 @@
+package singlethread
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphbench/internal/graph"
+)
+
+// randomGraph builds a seeded random directed multigraph — duplicate
+// edges and self-edges included, since the workloads are defined over
+// the undirected simple view and must be insensitive to both.
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// TestTrianglePropertySumAndNaive: on random graphs, the forward
+// algorithm's per-vertex counts must sum to exactly 3x the global total
+// and match the naive O(V·d²) reference per vertex.
+func TestTrianglePropertySumAndNaive(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		n := 8 + int(seed)*7
+		m := n * int(2+seed%5)
+		g := randomGraph(n, m, seed)
+		counts, total, _ := TriangleCounts(g)
+		var sum int64
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != 3*total {
+			t.Fatalf("seed %d: per-vertex sum %d != 3x total %d", seed, sum, total)
+		}
+		naive := TriangleCountsNaive(g)
+		for v := range naive {
+			if counts[v] != naive[v] {
+				t.Fatalf("seed %d: counts[%d] = %d, naive reference %d", seed, v, counts[v], naive[v])
+			}
+		}
+	}
+}
+
+// TestTrianglePropertyRelabelInvariance: permuting vertex ids permutes
+// the per-vertex counts and leaves the total unchanged — triangle
+// counting is a graph invariant, whatever the degree-order tie-breaks
+// do under the new ids.
+func TestTrianglePropertyRelabelInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		n := 10 + int(seed)*9
+		g := randomGraph(n, n*4, seed)
+		counts, total, _ := TriangleCounts(g)
+
+		rng := rand.New(rand.NewSource(seed * 101))
+		perm := rng.Perm(n)
+		b := graph.NewBuilder(n)
+		g.Edges(func(src, dst graph.VertexID) bool {
+			b.AddEdge(graph.VertexID(perm[src]), graph.VertexID(perm[dst]))
+			return true
+		})
+		counts2, total2, _ := TriangleCounts(b.Build())
+		if total2 != total {
+			t.Fatalf("seed %d: total %d after relabeling, want %d", seed, total2, total)
+		}
+		for v := range counts {
+			if counts2[perm[v]] != counts[v] {
+				t.Fatalf("seed %d: counts[π(%d)] = %d, want %d", seed, v, counts2[perm[v]], counts[v])
+			}
+		}
+	}
+}
+
+// TestLPAPropertyPartitionValid: the canonical labeling is a valid
+// partition — every label is the id of a vertex that belongs to that
+// community (specifically its smallest member), and labels are in
+// range. Stability: a second run over the same input is bit-identical.
+func TestLPAPropertyPartitionValid(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		n := 12 + int(seed)*11
+		m := n * int(1+seed%4)
+		g := randomGraph(n, m, seed)
+		labels, _ := LabelPropagation(g, 10)
+		if len(labels) != n {
+			t.Fatalf("seed %d: %d labels for %d vertices", seed, len(labels), n)
+		}
+		for v, l := range labels {
+			if l < 0 || int(l) >= n {
+				t.Fatalf("seed %d: label[%d] = %d out of range", seed, v, l)
+			}
+			if labels[l] != l {
+				t.Fatalf("seed %d: label %d is not a member of its own community (label[%d] = %d)",
+					seed, l, l, labels[l])
+			}
+			if l > graph.VertexID(v) {
+				t.Fatalf("seed %d: label[%d] = %d exceeds the vertex id — not the smallest member", seed, v, l)
+			}
+		}
+		again, _ := LabelPropagation(g, 10)
+		for v := range labels {
+			if again[v] != labels[v] {
+				t.Fatalf("seed %d: second run diverged at %d: %d vs %d", seed, v, again[v], labels[v])
+			}
+		}
+	}
+}
+
+// TestLPAFindsCommunities: two dense cliques joined by one bridge edge
+// must resolve into exactly two communities — the qualitative behaviour
+// the workload exists to exercise.
+func TestLPAFindsCommunities(t *testing.T) {
+	const k = 8
+	b := graph.NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			b.AddEdge(graph.VertexID(k+i), graph.VertexID(k+j))
+		}
+	}
+	b.AddEdge(0, k)
+	labels, _ := LabelPropagation(b.Build(), 10)
+	for v := 1; v < k; v++ {
+		if labels[v] != labels[0] {
+			t.Fatalf("clique A split: label[%d] = %d, label[0] = %d", v, labels[v], labels[0])
+		}
+	}
+	for v := k + 1; v < 2*k; v++ {
+		if labels[v] != labels[k] {
+			t.Fatalf("clique B split: label[%d] = %d, label[%d] = %d", v, labels[v], k, labels[k])
+		}
+	}
+	if labels[0] == labels[k] {
+		t.Fatal("bridge edge merged the two cliques into one community")
+	}
+}
+
+// TestModeMaxLabel pins the tie-break rule every engine shares.
+func TestModeMaxLabel(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		keep float64
+		want float64
+	}{
+		{nil, 7, 7},
+		{[]float64{3}, 7, 3},
+		{[]float64{1, 1, 2}, 7, 1},
+		{[]float64{1, 2, 2}, 7, 2},
+		{[]float64{1, 1, 2, 2}, 7, 2}, // frequency tie -> larger label
+		{[]float64{0, 0, 0, 5, 5}, 7, 0},
+		{[]float64{2, 2, 4, 4, 9}, 7, 4},
+	}
+	for _, c := range cases {
+		if got := ModeMaxLabel(c.in, c.keep); got != c.want {
+			t.Errorf("ModeMaxLabel(%v, %v) = %v, want %v", c.in, c.keep, got, c.want)
+		}
+	}
+}
+
+// TestTriangleCountsKnownGraphs checks hand-computable cases.
+func TestTriangleCountsKnownGraphs(t *testing.T) {
+	// K4: 4 triangles, each vertex on 3 of them.
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	counts, total, _ := TriangleCounts(b.Build())
+	if total != 4 {
+		t.Fatalf("K4 total = %d, want 4", total)
+	}
+	for v, c := range counts {
+		if c != 3 {
+			t.Fatalf("K4 counts[%d] = %d, want 3", v, c)
+		}
+	}
+
+	// A 4-cycle has no triangles; self-edges and duplicates don't create
+	// any.
+	b = graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	if _, total, _ := TriangleCounts(b.Build()); total != 0 {
+		t.Fatalf("C4 total = %d, want 0", total)
+	}
+}
