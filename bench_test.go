@@ -18,6 +18,7 @@ import (
 	"graphbench/internal/core"
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
+	"graphbench/internal/graph"
 	"graphbench/internal/graphx"
 	"graphbench/internal/haloop"
 	"graphbench/internal/harness"
@@ -29,6 +30,18 @@ import (
 // benchScale keeps full-grid artifacts fast; resource accounting is
 // scale-invariant, so results match the default-scale harness.
 const benchScale = 400_000
+
+// messagePlaneScale sizes the skewed power-law fixture shared by
+// BenchmarkMessagePlane and BenchmarkParallelSpeedup/Sharded: ~20k
+// vertices and ~750k edges, large enough that a superstep's working
+// set (inbox arena, combiner stamps, send buckets) spills the fast
+// caches — the regime the message plane exists for.
+const messagePlaneScale = 2000
+
+// messagePlaneGraph generates that fixture once per process.
+var messagePlaneGraph = sync.OnceValue(func() *graph.Graph {
+	return datasets.Generate(datasets.Twitter, datasets.Options{Scale: messagePlaneScale, Seed: 1})
+})
 
 var printed sync.Map
 
@@ -312,10 +325,18 @@ func BenchmarkAblationBlogelBVsV(b *testing.B) {
 // arenas — on the powerlaw (Twitter-analogue) dataset: a dense
 // combiner-heavy workload (PageRank) and a sparse frontier-driven one
 // (WCC), each at one and at eight shards. Run with -benchmem: allocs/op
-// is the number this PR's zero-allocation work drives down, and
-// scripts/bench.sh records it per-date so the trajectory is tracked.
+// is the number the zero-allocation message plane drives down, and
+// scripts/bench.sh records it per-date so the trajectory is tracked
+// (use --compare to diff against a previous snapshot).
+//
+// The fixture runs at messagePlaneScale rather than benchScale: cache
+// pressure is the regime where the sharded path's radix-partitioned
+// merge (each destination shard touches only its own vertex range)
+// pays for its bucket bookkeeping. shards=8 must beat shards=1 here
+// even on one core, which the persistent worker runtime's
+// zero-dispatch-overhead execution makes hold.
 func BenchmarkMessagePlane(b *testing.B) {
-	g := datasets.Generate(datasets.Twitter, datasets.Options{Scale: benchScale, Seed: 1})
+	g := messagePlaneGraph()
 	const m = 16
 	cut := partition.EdgeCut{M: m, Seed: 7}
 	base := bsp.Config{
@@ -351,46 +372,81 @@ func BenchmarkMessagePlane(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelSpeedup measures the parallel execution subsystem
-// on one Table 9 row (Twitter PageRank, every main-grid system at 16
-// machines): the same cells run once sequentially (one matrix worker,
-// one shard per engine) and once fully parallel (GOMAXPROCS workers
-// and shards). Determinism guarantees both produce identical modeled
-// results; the benchmark reports the wall-clock ratio so later scaling
-// PRs have a perf trajectory to compare against.
+// BenchmarkParallelSpeedup measures the parallel execution subsystem at
+// both of its layers.
+//
+// Grid runs one Table 9 row (Twitter PageRank, every main-grid system
+// at 16 machines) once sequentially (one matrix worker, one shard per
+// engine) and once fully parallel (GOMAXPROCS workers and shards).
+// Determinism guarantees both produce identical modeled results; the
+// benchmark reports the wall-clock ratio so later scaling PRs have a
+// perf trajectory to compare against.
+//
+// Sharded measures the engine-level layer on its own: BSP PageRank on
+// the skewed power-law (Twitter-analogue) input of BenchmarkMessagePlane
+// at shards=1, 8, and GOMAXPROCS, so the edge-balanced plan's win over
+// the heavy-shard serialization is visible per shard count. On a
+// single-core machine the sharded runs measure pure runtime overhead
+// plus the merge pass's partitioned locality; with more cores they
+// measure real speedup — either way shards>1 must not lose to shards=1.
 func BenchmarkParallelSpeedup(b *testing.B) {
-	var cells []core.Cell
-	for _, s := range core.MainGridSystems() {
-		cells = append(cells, core.Cell{System: s, Dataset: datasets.Twitter, Kind: engine.PageRank, Machines: 16})
-	}
-	time16 := func(r *core.Runner) (time.Duration, []*engine.Result) {
-		r.Dataset(datasets.Twitter) // fixture generation outside the clock
-		start := time.Now()
-		res := r.RunGrid(cells)
-		return time.Since(start), res
-	}
-	for i := 0; i < b.N; i++ {
-		seq := runner()
-		seq.Workers, seq.Shards = 1, 1
-		seqDur, seqRes := time16(seq)
-
-		par := runner() // Workers/Shards zero: GOMAXPROCS at both layers
-		parDur, parRes := time16(par)
-
-		for j := range cells {
-			if seqRes[j].TotalTime() != parRes[j].TotalTime() || seqRes[j].NetBytes != parRes[j].NetBytes {
-				b.Fatalf("cell %d: parallel run diverged from sequential (modeled %v/%v vs %v/%v)",
-					j, parRes[j].TotalTime(), parRes[j].NetBytes, seqRes[j].TotalTime(), seqRes[j].NetBytes)
-			}
+	b.Run("Grid", func(b *testing.B) {
+		var cells []core.Cell
+		for _, s := range core.MainGridSystems() {
+			cells = append(cells, core.Cell{System: s, Dataset: datasets.Twitter, Kind: engine.PageRank, Machines: 16})
 		}
-		speedup := seqDur.Seconds() / parDur.Seconds()
-		b.ReportMetric(speedup, "speedup")
-		emit("speedup", fmt.Sprintf(
-			"Parallel speedup (Table 9 row: Twitter PageRank, %d systems @ 16 machines)\n"+
-				"  sequential %v, parallel %v: %.1fx on %d cores\n",
-			len(cells), seqDur.Round(time.Millisecond), parDur.Round(time.Millisecond),
-			speedup, runtime.GOMAXPROCS(0)))
-	}
+		time16 := func(r *core.Runner) (time.Duration, []*engine.Result) {
+			r.Dataset(datasets.Twitter) // fixture generation outside the clock
+			start := time.Now()
+			res := r.RunGrid(cells)
+			return time.Since(start), res
+		}
+		for i := 0; i < b.N; i++ {
+			seq := runner()
+			seq.Workers, seq.Shards = 1, 1
+			seqDur, seqRes := time16(seq)
+
+			par := runner() // Workers/Shards zero: GOMAXPROCS at both layers
+			parDur, parRes := time16(par)
+
+			for j := range cells {
+				if seqRes[j].TotalTime() != parRes[j].TotalTime() || seqRes[j].NetBytes != parRes[j].NetBytes {
+					b.Fatalf("cell %d: parallel run diverged from sequential (modeled %v/%v vs %v/%v)",
+						j, parRes[j].TotalTime(), parRes[j].NetBytes, seqRes[j].TotalTime(), seqRes[j].NetBytes)
+				}
+			}
+			speedup := seqDur.Seconds() / parDur.Seconds()
+			b.ReportMetric(speedup, "speedup")
+			emit("speedup", fmt.Sprintf(
+				"Parallel speedup (Table 9 row: Twitter PageRank, %d systems @ 16 machines)\n"+
+					"  sequential %v, parallel %v: %.1fx on %d cores\n",
+				len(cells), seqDur.Round(time.Millisecond), parDur.Round(time.Millisecond),
+				speedup, runtime.GOMAXPROCS(0)))
+		}
+	})
+	b.Run("Sharded", func(b *testing.B) {
+		g := messagePlaneGraph()
+		const m = 16
+		cut := partition.EdgeCut{M: m, Seed: 7}
+		shardCounts := []int{1, 8}
+		if p := runtime.GOMAXPROCS(0); p != 1 && p != 8 {
+			shardCounts = append(shardCounts, p)
+		}
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("PageRank/shards=%d", shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := bsp.Run(sim.NewSize(m), bsp.Config{
+						Graph: g, Scale: 1, M: m, MachineOf: cut.MachineOf, Profile: &blogel.Profile,
+						Program: &bsp.PageRankProgram{Damping: 0.15}, Combine: bsp.SumCombine,
+						FixedSupersteps: 10, Shards: shards,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
 }
 
 // BenchmarkScalability reports strong-scaling behaviour (§5.12): the

@@ -48,28 +48,54 @@
 // Execution is parallel at two layers, both built on internal/par and
 // both deterministic:
 //
+//   - The persistent worker runtime. A par.Pool launches its helper
+//     goroutines once — par.New, owned by core.Runner for the
+//     experiment matrix and by each engine run for its shard loops —
+//     and every subsequent dispatch reuses them: ForEach writes the
+//     job into the pool's reusable slot, wakes each parked helper with
+//     one channel token, and the dispatching goroutine itself works
+//     tickets alongside them, so a steady-state dispatch allocates
+//     nothing (no goroutine spawns, no WaitGroup, no closure boxing —
+//     the engines hoist their phase bodies into closures built once
+//     per run). Helper count is capped at GOMAXPROCS; Workers() keeps
+//     the configured shard granularity, so an 8-shard plan executes
+//     bit-identically on any machine, down to a single core where the
+//     whole dispatch runs inline on the caller. Pools are closed by
+//     their owner at the end of the run (or by a finalizer when
+//     abandoned). A panic in a task is re-raised at the dispatch site
+//     as a *par.WorkerPanic, and stops the remaining tickets promptly:
+//     no task starts after the panic is recorded, so partial side
+//     effects are bounded by parallelism, not job size.
+//
 //   - Runtime sharding. The hot per-vertex loops — bsp.Run's
-//     compute/send phase, the GAS gather/apply sweeps, and Blogel's
-//     block-mode rounds — split the vertex (or block) range into
-//     contiguous shards, one per worker. Each shard accumulates
-//     privately (message buffers, counters, max-delta), and shard
-//     results merge in shard order: messages replay per destination in
-//     the exact sequential order, counters are integer-valued sums,
-//     aggregators are maxima. Outputs and modeled costs are therefore
-//     bit-identical for every shard count (engine.Options.Shards,
-//     0 = GOMAXPROCS, 1 = sequential), which
-//     internal/enginetest's determinism tests enforce. Loops whose
-//     sequential semantics are Gauss–Seidel (GraphLab's async engine,
-//     the frontier propagation sweep) intentionally stay sequential:
-//     sharding them would change the modeled execution.
+//     compute/send and merge phases, the GAS gather/apply sweeps, and
+//     Blogel's block-mode rounds — split the vertex (or block) range
+//     into contiguous shards over a par.Plan. Plans are edge-balanced
+//     (par.PlanPrefix over graph.WorkPrefix, the prefix-summed
+//     degrees): shard boundaries are drawn at weight quantiles, so a
+//     power-law hub does not serialize the pass behind one heavy
+//     shard. Each shard accumulates privately (message buffers,
+//     counters, max-delta), and shard results merge in shard order:
+//     messages replay per destination in the exact sequential order,
+//     counters are integer-valued sums, aggregators are maxima.
+//     Outputs and modeled costs are therefore bit-identical for every
+//     shard count (engine.Options.Shards, 0 = GOMAXPROCS,
+//     1 = sequential), which internal/enginetest's determinism tests
+//     enforce. A BSP superstep pays exactly two dispatch barriers:
+//     compute/send, then a fused count+layout+deposit merge whose
+//     arena regions are assigned between the two from the send
+//     buckets' lengths. Loops whose sequential semantics are Gauss–Seidel
+//     (GraphLab's async engine, the frontier propagation sweep)
+//     intentionally stay sequential: sharding them would change the
+//     modeled execution.
 //
 //   - The experiment matrix. Every run owns a private sim.Cluster and
 //     engine instance, so core.RunGrid and the harness artifact
-//     generators execute independent runs concurrently on a pool
-//     sized by core.Runner.Workers — the -parallel flag of
-//     cmd/graphbench (0 = GOMAXPROCS). BenchmarkParallelSpeedup in
-//     bench_test.go tracks the wall-clock win over the sequential
-//     path.
+//     generators execute independent runs concurrently on the
+//     runner's persistent pool, sized by core.Runner.Workers — the
+//     -parallel flag of cmd/graphbench (0 = GOMAXPROCS).
+//     BenchmarkParallelSpeedup in bench_test.go tracks the wall-clock
+//     win over the sequential path at both layers.
 //
 // # Memory model
 //
@@ -80,9 +106,9 @@
 //   - BSP inboxes are two arena triples (values, per-vertex start
 //     offsets, per-vertex lengths). During a superstep the current
 //     inbox arena is read-only for every shard; the twin "next" arena
-//     is written exclusively by destination-shard owners — the count
-//     and deposit passes partition it by vertex range, so shard i
-//     writes only its vertices' counters, offsets, and value slots.
+//     is written exclusively by destination-shard owners — the fused
+//     merge pass partitions it by vertex range, so shard i writes only
+//     its vertices' counters, offsets, and value slots.
 //     deliver() swaps the triples at the barrier between supersteps;
 //     the swapped-out arena is recycled wholesale by the next merge
 //     (every length re-zeroed, every offset rewritten), never freed.

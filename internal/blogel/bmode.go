@@ -67,10 +67,12 @@ func (e *BEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 	}
 	res.Load = c.Clock() - mark
 
-	// Execute block-centric computation.
+	// Execute block-centric computation. The persistent pool lives for
+	// exactly this run.
 	mark = c.Clock()
 	bx := &bExec{cluster: c, prof: &prof, d: d, g: gr, vor: vor, w: w, res: res,
 		pool: par.New(opt.Shards)}
+	defer bx.pool.Close()
 	execErr := bx.run()
 	res.Exec = c.Clock() - mark
 	if execErr != nil {
@@ -232,13 +234,19 @@ func (bx *bExec) wcc() error {
 	}
 	// Per-shard HashMin state, reused across rounds: a candidate-label
 	// array plus the list of touched entries, so a round costs only
-	// the edges of its active blocks, not Theta(workers·nb).
+	// the edges of its active blocks, not Theta(workers·nb). Shards
+	// are cut by block-adjacency degree, so a hub block doesn't
+	// serialize the round behind one shard.
 	type hashMinShard struct {
 		edgeOps, msgs int64
 		cand          []float64
 		touched       []int32
 	}
-	pl := par.PlanShards(nb, bx.pool.Workers())
+	blockWeights := make([]int64, nb)
+	for b := range adj {
+		blockWeights[b] = int64(1 + len(adj[b]))
+	}
+	pl := par.PlanWeighted(bx.pool.Workers(), blockWeights)
 	hmShards := make([]*hashMinShard, pl.Count())
 	for i := range hmShards {
 		sh := &hashMinShard{cand: make([]float64, nb)}
@@ -246,6 +254,38 @@ func (bx *bExec) wcc() error {
 			sh.cand[o] = math.Inf(1)
 		}
 		hmShards[i] = sh
+	}
+
+	// The round body, built once — steady-state rounds dispatch into
+	// warm memory with zero allocations. Each shard of source blocks
+	// collects candidate labels privately; the merge applies them in
+	// shard order, keeping the minimum per destination. The sequential
+	// loop's effect is the same per-destination minimum, so the round —
+	// including which blocks activate — is identical for any shard
+	// count.
+	roundFn := func(i int) {
+		sh := hmShards[i]
+		sh.edgeOps, sh.msgs = 0, 0
+		for _, o := range sh.touched {
+			sh.cand[o] = math.Inf(1)
+		}
+		sh.touched = sh.touched[:0]
+		s := pl.Shard(i)
+		for b := s.Lo; b < s.Hi; b++ {
+			if !active[b] {
+				continue
+			}
+			sh.edgeOps += int64(len(adj[b]))
+			sh.msgs += int64(len(adj[b]))
+			for _, o := range adj[b] {
+				if labels[b] < sh.cand[o] {
+					if math.IsInf(sh.cand[o], 1) {
+						sh.touched = append(sh.touched, o)
+					}
+					sh.cand[o] = labels[b]
+				}
+			}
+		}
 	}
 
 	// Round buffers, reused: next labels are re-copied and next-active
@@ -256,36 +296,7 @@ func (bx *bExec) wcc() error {
 	rounds := 0
 	for {
 		rounds++
-		// Sharded HashMin round: each shard of source blocks collects
-		// candidate labels privately; the merge applies them in shard
-		// order, keeping the minimum per destination. The sequential
-		// loop's effect is the same per-destination minimum, so the
-		// round — including which blocks activate — is identical for
-		// any shard count.
-		bx.pool.ForEach(pl.Count(), func(i int) {
-			sh := hmShards[i]
-			sh.edgeOps, sh.msgs = 0, 0
-			for _, o := range sh.touched {
-				sh.cand[o] = math.Inf(1)
-			}
-			sh.touched = sh.touched[:0]
-			s := pl.Shard(i)
-			for b := s.Lo; b < s.Hi; b++ {
-				if !active[b] {
-					continue
-				}
-				sh.edgeOps += int64(len(adj[b]))
-				sh.msgs += int64(len(adj[b]))
-				for _, o := range adj[b] {
-					if labels[b] < sh.cand[o] {
-						if math.IsInf(sh.cand[o], 1) {
-							sh.touched = append(sh.touched, o)
-						}
-						sh.cand[o] = labels[b]
-					}
-				}
-			}
-		})
+		bx.pool.ForEach(pl.Count(), roundFn)
 		var msgs, edgeOps float64
 		clear(next)
 		copy(newLabels, labels)
@@ -358,10 +369,7 @@ func (bx *bExec) traverse() error {
 		frontier      []graph.VertexID
 		next          []graph.VertexID
 	}
-	shards := make([]*travShard, bx.pool.Workers())
-	for i := range shards {
-		shards[i] = &travShard{}
-	}
+	shards := par.ScratchFor[travShard](bx.pool)
 	// Per-block seed lists replace the old per-round map: slices are
 	// truncated when their block is consumed and refilled by applied
 	// proposals, so rounds allocate nothing once the buffers are warm.
@@ -374,47 +382,53 @@ func (bx *bExec) traverse() error {
 	src := bx.vor.BlockOf[bx.d.Source]
 	seeds[src] = append(seeds[src], bx.d.Source)
 	blocks = append(blocks, src)
+
+	// The round body, built once: pl and blocks are rebound each round
+	// and seen through the closure, so steady-state rounds dispatch
+	// with zero allocations.
+	var pl par.Plan
+	roundFn := func(i int) {
+		sh := shards.At(i)
+		sh.edgeOps, sh.msgs = 0, 0
+		sh.proposals, sh.written = sh.proposals[:0], sh.written[:0]
+		s := pl.Shard(i)
+		for bi := s.Lo; bi < s.Hi; bi++ {
+			block := blocks[bi]
+			// Serial BFS within the block from the updated vertices.
+			sh.frontier = append(sh.frontier[:0], seeds[block]...)
+			for len(sh.frontier) > 0 {
+				sh.next = sh.next[:0]
+				for _, v := range sh.frontier {
+					if dist[v] >= bound {
+						continue
+					}
+					for _, w := range bx.g.OutNeighbors(v) {
+						sh.edgeOps++
+						nd := dist[v] + 1
+						if bx.vor.BlockOf[w] == block {
+							if dist[w] != -1 && dist[w] <= nd {
+								continue
+							}
+							dist[w] = nd
+							sh.written = append(sh.written, w)
+							sh.next = append(sh.next, w)
+						} else if distPrev[w] == -1 || nd < distPrev[w] {
+							// Boundary improvement shipped to the
+							// neighboring block for the next round.
+							sh.msgs++
+							sh.proposals = append(sh.proposals, proposal{v: w, d: nd})
+						}
+					}
+				}
+				sh.frontier, sh.next = sh.next, sh.frontier
+			}
+		}
+	}
 	rounds := 0
 	for len(blocks) > 0 {
 		rounds++
-		pl := par.PlanShards(len(blocks), bx.pool.Workers())
-		bx.pool.ForEach(pl.Count(), func(i int) {
-			sh := shards[i]
-			sh.edgeOps, sh.msgs = 0, 0
-			sh.proposals, sh.written = sh.proposals[:0], sh.written[:0]
-			s := pl.Shard(i)
-			for bi := s.Lo; bi < s.Hi; bi++ {
-				block := blocks[bi]
-				// Serial BFS within the block from the updated vertices.
-				sh.frontier = append(sh.frontier[:0], seeds[block]...)
-				for len(sh.frontier) > 0 {
-					sh.next = sh.next[:0]
-					for _, v := range sh.frontier {
-						if dist[v] >= bound {
-							continue
-						}
-						for _, w := range bx.g.OutNeighbors(v) {
-							sh.edgeOps++
-							nd := dist[v] + 1
-							if bx.vor.BlockOf[w] == block {
-								if dist[w] != -1 && dist[w] <= nd {
-									continue
-								}
-								dist[w] = nd
-								sh.written = append(sh.written, w)
-								sh.next = append(sh.next, w)
-							} else if distPrev[w] == -1 || nd < distPrev[w] {
-								// Boundary improvement shipped to the
-								// neighboring block for the next round.
-								sh.msgs++
-								sh.proposals = append(sh.proposals, proposal{v: w, d: nd})
-							}
-						}
-					}
-					sh.frontier, sh.next = sh.next, sh.frontier
-				}
-			}
-		})
+		pl = par.PlanShards(len(blocks), bx.pool.Workers())
+		bx.pool.ForEach(pl.Count(), roundFn)
 		// This round's seed lists are consumed; truncate them before the
 		// proposal merge refills blocks for the next round.
 		for _, b := range blocks {
@@ -423,7 +437,7 @@ func (bx *bExec) traverse() error {
 		nextBlocks = nextBlocks[:0]
 		var edgeOps, msgs float64
 		for i := 0; i < pl.Count(); i++ {
-			sh := shards[i]
+			sh := shards.At(i)
 			edgeOps += float64(sh.edgeOps)
 			msgs += float64(sh.msgs)
 			for _, p := range sh.proposals {
@@ -441,7 +455,7 @@ func (bx *bExec) traverse() error {
 		// round (in-block BFS writes and applied proposals) changed, so
 		// the round costs O(updates), not O(n).
 		for i := 0; i < pl.Count(); i++ {
-			sh := shards[i]
+			sh := shards.At(i)
 			for _, w := range sh.written {
 				distPrev[w] = dist[w]
 			}
@@ -472,11 +486,14 @@ func (bx *bExec) triangles() error {
 	o, rank := graph.ForwardOrient(bx.g)
 	n := o.NumVertices()
 	type triAcc struct {
-		counts          []int64
-		edgeOps, msgs   int64
-		hits            int64
+		counts        []int64
+		edgeOps, msgs int64
+		hits          int64
 	}
-	accs := par.MapShards(bx.pool, n, func(s par.Shard) triAcc {
+	// Shard by the oriented graph's degree weights: candidate fan-out
+	// concentrates on forward-heavy vertices.
+	pl := par.PlanPrefix(o.WorkPrefix(), bx.pool.Workers())
+	accs := par.MapPlan(bx.pool, pl, func(s par.Shard) triAcc {
 		a := triAcc{counts: make([]int64, n)}
 		for u := s.Lo; u < s.Hi; u++ {
 			nbrs := o.OutNeighbors(graph.VertexID(u))
@@ -544,7 +561,9 @@ func (bx *bExec) lpa() error {
 	for v := range labels {
 		labels[v] = float64(v)
 	}
-	pl := par.PlanShards(n, bx.pool.Workers())
+	// Shard by the simple view's degrees; the round body is built once,
+	// so steady-state rounds dispatch with zero allocations.
+	pl := par.PlanPrefix(u.WorkPrefix(), bx.pool.Workers())
 	scratch := make([][]float64, pl.Count())
 	updates := make([]int64, pl.Count())
 
@@ -557,27 +576,29 @@ func (bx *bExec) lpa() error {
 		bx.res.Labels = graph.CanonicalizeLabels(out)
 	}
 
-	for it := 1; it <= rounds; it++ {
-		bx.pool.ForEach(pl.Count(), func(i int) {
-			s := pl.Shard(i)
-			var upd int64
-			buf := scratch[i]
-			for v := s.Lo; v < s.Hi; v++ {
-				nbrs := u.OutNeighbors(graph.VertexID(v))
-				buf = buf[:0]
-				for _, w := range nbrs {
-					buf = append(buf, labels[w])
-				}
-				slices.Sort(buf)
-				nv := singlethread.ModeMaxLabel(buf, labels[v])
-				if nv != labels[v] {
-					upd++
-				}
-				next[v] = nv
+	roundFn := func(i int) {
+		s := pl.Shard(i)
+		var upd int64
+		buf := scratch[i]
+		for v := s.Lo; v < s.Hi; v++ {
+			nbrs := u.OutNeighbors(graph.VertexID(v))
+			buf = buf[:0]
+			for _, w := range nbrs {
+				buf = append(buf, labels[w])
 			}
-			scratch[i] = buf
-			updates[i] = upd
-		})
+			slices.Sort(buf)
+			nv := singlethread.ModeMaxLabel(buf, labels[v])
+			if nv != labels[v] {
+				upd++
+			}
+			next[v] = nv
+		}
+		scratch[i] = buf
+		updates[i] = upd
+	}
+
+	for it := 1; it <= rounds; it++ {
+		bx.pool.ForEach(pl.Count(), roundFn)
 		var upd float64
 		for _, x := range updates {
 			upd += float64(x)
@@ -609,46 +630,55 @@ func (bx *bExec) pageRank() error {
 		tol = 0.01
 	}
 
-	// Step 1a: local PageRank within blocks (internal edges only).
+	// Step 1a: local PageRank within blocks (internal edges only). The
+	// vertex sweeps shard over the degree-balanced plan with phase
+	// bodies and a per-shard delta slab built once, so steady-state
+	// iterations dispatch with zero allocations.
+	pl := par.PlanPrefix(bx.g.WorkPrefix(), bx.pool.Workers())
+	deltas := make([]float64, pl.Count())
 	local := make([]float64, n)
 	for i := range local {
 		local[i] = 1
 	}
 	contrib := make([]float64, n)
+	localScatterFn := func(i int) {
+		s := pl.Shard(i)
+		for v := s.Lo; v < s.Hi; v++ {
+			internal := 0
+			for _, w := range bx.g.OutNeighbors(graph.VertexID(v)) {
+				if bx.vor.BlockOf[w] == bx.vor.BlockOf[v] {
+					internal++
+				}
+			}
+			if internal > 0 {
+				contrib[v] = local[v] / float64(internal)
+			} else {
+				contrib[v] = 0
+			}
+		}
+	}
+	localGatherFn := func(i int) {
+		s := pl.Shard(i)
+		maxDelta := 0.0
+		for v := s.Lo; v < s.Hi; v++ {
+			sum := 0.0
+			for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
+				if bx.vor.BlockOf[u] == bx.vor.BlockOf[v] {
+					sum += contrib[u]
+				}
+			}
+			nv := bx.w.Damping + (1-bx.w.Damping)*sum
+			if d := math.Abs(nv - local[v]); d > maxDelta {
+				maxDelta = d
+			}
+			local[v] = nv
+		}
+		deltas[i] = maxDelta
+	}
 	localIters := 0
 	for ; localIters < 30; localIters++ {
-		bx.pool.ForEachShard(n, func(s par.Shard) {
-			for v := s.Lo; v < s.Hi; v++ {
-				internal := 0
-				for _, w := range bx.g.OutNeighbors(graph.VertexID(v)) {
-					if bx.vor.BlockOf[w] == bx.vor.BlockOf[v] {
-						internal++
-					}
-				}
-				if internal > 0 {
-					contrib[v] = local[v] / float64(internal)
-				} else {
-					contrib[v] = 0
-				}
-			}
-		})
-		deltas := par.MapShards(bx.pool, n, func(s par.Shard) float64 {
-			maxDelta := 0.0
-			for v := s.Lo; v < s.Hi; v++ {
-				sum := 0.0
-				for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
-					if bx.vor.BlockOf[u] == bx.vor.BlockOf[v] {
-						sum += contrib[u]
-					}
-				}
-				nv := bx.w.Damping + (1-bx.w.Damping)*sum
-				if d := math.Abs(nv - local[v]); d > maxDelta {
-					maxDelta = d
-				}
-				local[v] = nv
-			}
-			return maxDelta
-		})
+		bx.pool.ForEach(pl.Count(), localScatterFn)
+		bx.pool.ForEach(pl.Count(), localGatherFn)
 		maxDelta := 0.0
 		for _, d := range deltas {
 			if d > maxDelta {
@@ -702,38 +732,43 @@ func (bx *bExec) pageRank() error {
 		}
 	}
 
-	// Step 2: vertex-centric PageRank seeded with pr(v)·pr(b).
+	// Step 2: vertex-centric PageRank seeded with pr(v)·pr(b), on the
+	// same plan, delta slab, and hoisted-phase pattern as step 1a.
 	ranks := make([]float64, n)
 	for v := 0; v < n; v++ {
 		ranks[v] = local[v] * blockRank[bx.vor.BlockOf[v]]
 	}
+	globalScatterFn := func(i int) {
+		s := pl.Shard(i)
+		for v := s.Lo; v < s.Hi; v++ {
+			if d := bx.g.OutDegree(graph.VertexID(v)); d > 0 {
+				contrib[v] = ranks[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+	}
+	globalGatherFn := func(i int) {
+		s := pl.Shard(i)
+		maxDelta := 0.0
+		for v := s.Lo; v < s.Hi; v++ {
+			sum := 0.0
+			for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
+				sum += contrib[u]
+			}
+			nv := bx.w.Damping + (1-bx.w.Damping)*sum
+			if d := math.Abs(nv - ranks[v]); d > maxDelta {
+				maxDelta = d
+			}
+			ranks[v] = nv
+		}
+		deltas[i] = maxDelta
+	}
 	iters := 0
 	for {
 		iters++
-		bx.pool.ForEachShard(n, func(s par.Shard) {
-			for v := s.Lo; v < s.Hi; v++ {
-				if d := bx.g.OutDegree(graph.VertexID(v)); d > 0 {
-					contrib[v] = ranks[v] / float64(d)
-				} else {
-					contrib[v] = 0
-				}
-			}
-		})
-		deltas := par.MapShards(bx.pool, n, func(s par.Shard) float64 {
-			maxDelta := 0.0
-			for v := s.Lo; v < s.Hi; v++ {
-				sum := 0.0
-				for _, u := range bx.g.InNeighbors(graph.VertexID(v)) {
-					sum += contrib[u]
-				}
-				nv := bx.w.Damping + (1-bx.w.Damping)*sum
-				if d := math.Abs(nv - ranks[v]); d > maxDelta {
-					maxDelta = d
-				}
-				ranks[v] = nv
-			}
-			return maxDelta
-		})
+		bx.pool.ForEach(pl.Count(), globalScatterFn)
+		bx.pool.ForEach(pl.Count(), globalGatherFn)
 		maxDelta := 0.0
 		for _, d := range deltas {
 			if d > maxDelta {

@@ -58,12 +58,15 @@ type Config struct {
 	// paper-scale superstep (i.e. divided back by the dilation).
 	TimeDilation float64
 
-	// Shards is the number of vertex-range shards (and worker
-	// goroutines) the compute/send phase runs on: 0 means GOMAXPROCS,
-	// 1 forces sequential execution. Any value produces bit-identical
-	// outputs and modeled costs — sends are recorded per (source
-	// shard, destination shard) bucket and replayed in shard order, so
-	// every destination observes the exact sequential message stream.
+	// Shards is the number of vertex-range shards the compute/send and
+	// merge phases run on: 0 means GOMAXPROCS, 1 forces sequential
+	// execution. Shards are cut from the degree prefix sums
+	// (edge-balanced, par.PlanPrefix) and executed by a persistent
+	// worker pool whose goroutine count is capped at GOMAXPROCS. Any
+	// value produces bit-identical outputs and modeled costs — sends
+	// are recorded per (source shard, destination shard) bucket and
+	// replayed in shard order, so every destination observes the exact
+	// sequential message stream.
 	Shards int
 
 	// StopDeltaBelow stops after a superstep whose aggregated max
@@ -179,7 +182,7 @@ type bucket struct {
 // order, so concatenating them across source shards reproduces the
 // sequential send stream per destination.
 type shardState struct {
-	plan     par.Plan
+	shardOf  []int32  // vertex -> destination shard, shared read-only
 	out      []bucket // indexed by destination shard
 	ctx      Context  // reused per superstep: Compute takes *Context, which must not re-escape per call
 	sent     int64
@@ -195,8 +198,9 @@ type runtime struct {
 	cfg     Config
 	cluster *sim.Cluster
 	pool    *par.Pool
-	plan    par.Plan      // vertex-range shards
+	plan    par.Plan      // vertex-range shards, edge-balanced
 	shards  []*shardState // one per plan shard
+	shardOf []int32       // vertex -> shard, the send path's O(1) router
 
 	values []float64
 	halted []bool
@@ -217,16 +221,14 @@ type runtime struct {
 	nextLen   []int32
 
 	// Merge-phase scratch, reused across supersteps.
-	shardMsgs []int      // pass 1: raw messages bound for each shard
 	shardBase []int32    // arena base offset per destination shard
-	merged    []delivery // pass 2 results, folded in shard order
+	merged    []delivery // merge results, folded in shard order
 	costs     []sim.StepCost
 
-	// The three phase bodies, built once: passing fresh closures to
+	// The two phase bodies, built once: passing fresh closures to
 	// ForEach every superstep would heap-allocate them each time.
 	computeFn func(i int)
-	countFn   func(i int)
-	depositFn func(i int)
+	mergeFn   func(i int)
 
 	superstep int
 	updates   int
@@ -267,11 +269,12 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 	}
 	n := cfg.Graph.NumVertices()
 	pool := par.New(cfg.Shards)
+	defer pool.Close()
 	rt := &runtime{
 		cfg:       cfg,
 		cluster:   cluster,
 		pool:      pool,
-		plan:      par.PlanShards(n, pool.Workers()),
+		plan:      par.PlanPrefix(cfg.Graph.WorkPrefix(), pool.Workers()),
 		values:    make([]float64, n),
 		halted:    make([]bool, n),
 		inStart:   make([]int32, n),
@@ -281,11 +284,11 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		owner:     make([]int32, n),
 		costs:     make([]sim.StepCost, cfg.M),
 	}
-	rt.shardMsgs = make([]int, rt.plan.Count())
+	rt.shardOf = rt.plan.FillShardOf(make([]int32, n))
 	rt.shardBase = make([]int32, rt.plan.Count())
 	rt.merged = make([]delivery, rt.plan.Count())
 	for i := 0; i < rt.plan.Count(); i++ {
-		ss := &shardState{plan: rt.plan, out: make([]bucket, rt.plan.Count())}
+		ss := &shardState{shardOf: rt.shardOf, out: make([]bucket, rt.plan.Count())}
 		ss.ctx = Context{ss: ss, rt: rt}
 		rt.shards = append(rt.shards, ss)
 	}
@@ -310,30 +313,31 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 			rt.cfg.Program.Compute(&ss.ctx, msgs)
 		}
 	}
-	rt.countFn = func(i int) {
+	rt.mergeFn = func(i int) {
+		// Count sub-pass: tally the raw messages bound for each of this
+		// destination shard's vertices; nextLen doubles as the counter
+		// array (each shard touches only its own vertex range).
 		s := rt.plan.Shard(i)
 		cnt := rt.nextLen
 		for v := s.Lo; v < s.Hi; v++ {
 			cnt[v] = 0
 		}
-		total := 0
 		for _, ss := range rt.shards {
-			dsts := ss.out[s.Index].dst
-			total += len(dsts)
-			for _, w := range dsts {
+			for _, w := range ss.out[s.Index].dst {
 				cnt[w]++
 			}
 		}
-		rt.shardMsgs[i] = total
-	}
-	rt.depositFn = func(i int) {
-		s := rt.plan.Shard(i)
+		// Layout sub-pass: finalize CSR offsets from the counts within
+		// the shard's pre-assigned arena region, resetting nextLen to
+		// act as the deposit write cursor.
 		run := rt.shardBase[i]
 		for v := s.Lo; v < s.Hi; v++ {
 			rt.nextStart[v] = run
 			run += rt.nextLen[v]
 			rt.nextLen[v] = 0
 		}
+		// Deposit sub-pass: replay the buffers in source-shard order
+		// into the arena and the combiner state.
 		var d delivery
 		for _, ss := range rt.shards {
 			b := &ss.out[s.Index]
@@ -393,15 +397,18 @@ func (rt *runtime) fill(out *Output) {
 }
 
 // computePhase executes Compute for the active vertices and returns
-// how many ran. It runs in three sharded passes: compute/send, where
-// each vertex-range shard runs its vertices in order and buffers sends
-// by destination shard; count, where each destination shard sizes its
-// vertices' next-superstep inboxes; and deposit, where each destination
-// shard lays its slice of the arena out in CSR form and replays the
-// buffers in source-shard order into it and the combiner state.
-// Per-destination message order therefore equals the sequential order,
-// and every accumulator is either an integer-valued sum or a max, so
-// outputs and modeled costs are bit-identical for any shard count.
+// how many ran. It runs in two sharded dispatches — the only two
+// barriers a superstep pays: compute/send, where each vertex-range
+// shard runs its vertices in order and buffers sends by destination
+// shard; and a fused merge, where each destination shard counts its
+// vertices' incoming messages, lays its slice of the arena out in CSR
+// form, and replays the buffers in source-shard order into it and the
+// combiner state. The arena regions the merge shards write into are
+// assigned between the two dispatches from the already-known bucket
+// lengths — an O(shards²) scan on the coordinator, no per-vertex pass.
+// Per-destination message order equals the sequential order, and every
+// accumulator is either an integer-valued sum or a max, so outputs and
+// modeled costs are bit-identical for any shard count.
 func (rt *runtime) computePhase() int {
 	rt.updates = 0
 	rt.maxDelta = 0
@@ -413,26 +420,22 @@ func (rt *runtime) computePhase() int {
 	// Compute/send pass: vertex-range shards, program order per shard.
 	rt.pool.ForEach(rt.plan.Count(), rt.computeFn)
 
-	// Count pass: each destination shard tallies the raw messages bound
-	// for each of its vertices; nextLen doubles as the counter array
-	// (each shard touches only its own vertex range).
-	rt.pool.ForEach(rt.plan.Count(), rt.countFn)
-
-	// Arena layout: a prefix sum over shard totals assigns each
-	// destination shard a contiguous region of the value arena, which
-	// grows (retaining capacity) to this superstep's raw send count.
+	// Arena layout: each destination shard's region of the value arena
+	// is the sum of the bucket lengths bound for it; the arena grows
+	// (retaining capacity) to this superstep's raw send count.
 	total := 0
-	for i, t := range rt.shardMsgs {
-		rt.shardBase[i] = int32(total)
-		total += t
+	for d := range rt.shardBase {
+		rt.shardBase[d] = int32(total)
+		for _, ss := range rt.shards {
+			total += len(ss.out[d].dst)
+		}
 	}
 	rt.nextVals = par.Grow(rt.nextVals, total)
 
-	// Deposit pass: destination shards, source-shard order within each.
-	// Offsets are finalized from the counts, then messages land in
-	// their vertex's slot range with nextLen as the write cursor —
-	// combined messages fold into already-claimed slots.
-	rt.pool.ForEach(rt.plan.Count(), rt.depositFn)
+	// Fused count+layout+deposit pass: destination shards, source-shard
+	// order within each — combined messages fold into already-claimed
+	// slots.
+	rt.pool.ForEach(rt.plan.Count(), rt.mergeFn)
 
 	active := 0
 	for _, ss := range rt.shards {
@@ -453,10 +456,11 @@ func (rt *runtime) computePhase() int {
 }
 
 // send buffers one message in the sending shard, bucketed by the
-// destination's shard.
+// destination's shard — one array load on the precomputed router, not a
+// division or binary search per message.
 func (ss *shardState) send(srcM int32, dst graph.VertexID, val float64) {
 	ss.sent++
-	b := &ss.out[ss.plan.ShardOf(int(dst))]
+	b := &ss.out[ss.shardOf[dst]]
 	b.dst = append(b.dst, dst)
 	b.srcM = append(b.srcM, srcM)
 	b.val = append(b.val, val)

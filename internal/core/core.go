@@ -133,6 +133,7 @@ type Runner struct {
 
 	mu       sync.Mutex
 	fixtures map[datasets.Name]*engine.Dataset
+	pool     *par.Pool
 }
 
 // NewRunner returns a Runner at the given reduction scale (0 means
@@ -246,8 +247,20 @@ type Cell struct {
 }
 
 // Pool returns the runner's experiment-matrix worker pool, sized by
-// Workers.
-func (r *Runner) Pool() *par.Pool { return par.New(r.Workers) }
+// Workers and created on first use: the persistent workers are shared
+// by every grid and artifact generator the runner serves, so repeated
+// harness calls dispatch onto warm goroutines instead of spawning.
+// Workers must therefore be set before the first Pool, RunGrid, or
+// harness call. The pool is shut down by its finalizer when the runner
+// is abandoned.
+func (r *Runner) Pool() *par.Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pool == nil {
+		r.pool = par.New(r.Workers)
+	}
+	return r.pool
+}
 
 // RunGrid executes the cells concurrently on the runner's pool (each
 // run on its own simulated cluster) and returns results in the input

@@ -172,11 +172,13 @@ type Options struct {
 	// SampleMemory enables the per-step memory timelines of Figure 10.
 	SampleMemory bool
 
-	// Shards is the number of vertex-range shards (worker goroutines)
-	// the engine's hot loops run on: 0 means GOMAXPROCS, 1 forces
-	// sequential execution. Shard results are merged in shard order,
-	// so every value produces bit-identical outputs and modeled costs
-	// (enforced by internal/enginetest's determinism tests).
+	// Shards is the number of vertex-range shards the engine's hot
+	// loops run on: 0 means GOMAXPROCS, 1 forces sequential execution.
+	// Shards execute on a persistent worker pool (goroutine count
+	// capped at GOMAXPROCS) over edge-balanced plans, and shard
+	// results are merged in shard order, so every value produces
+	// bit-identical outputs and modeled costs (enforced by
+	// internal/enginetest's determinism tests).
 	Shards int
 }
 

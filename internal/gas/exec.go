@@ -25,6 +25,7 @@ type execution struct {
 	opt     engine.Options
 	res     *engine.Result
 	pool    *par.Pool
+	plan    par.Plan // edge-balanced vertex shards over g
 
 	values    []float64
 	active    []bool
@@ -40,6 +41,7 @@ type replicaCounter interface {
 
 func (ex *execution) init() {
 	ex.pool = par.New(ex.opt.Shards)
+	ex.plan = par.PlanPrefix(ex.g.WorkPrefix(), ex.pool.Workers())
 	n := ex.g.NumVertices()
 	ex.values = make([]float64, n)
 	ex.active = make([]bool, n)
@@ -100,9 +102,11 @@ func (ex *execution) chargeIteration(activeCount, gatherEdges, scatterEdges, mir
 	return c.Advance(p.SuperstepFixed * dil)
 }
 
-// runSync executes the synchronous GAS engine.
+// runSync executes the synchronous GAS engine. It owns the pool's
+// lifecycle: the persistent workers live for exactly one engine run.
 func (ex *execution) runSync() error {
 	ex.init()
+	defer ex.pool.Close()
 	switch ex.w.Kind {
 	case engine.PageRank:
 		return ex.syncPageRank()
@@ -137,56 +141,65 @@ func (ex *execution) syncPageRank() error {
 	// Per-shard accumulators of one gather/apply/scatter sweep. All
 	// counters are integer-valued, so folding them in shard order (or
 	// any order) reproduces the sequential float sums exactly;
-	// maxDelta is a max and equally order-free.
+	// maxDelta is a max and equally order-free. The slab and the two
+	// phase bodies are built once and reused every iteration, so a
+	// steady-state sweep dispatches into warm memory with zero
+	// allocations.
 	type sweepAcc struct {
 		active, gatherEdges, scatterEdges, mirrorMsgs, updates int64
 		maxDelta                                               float64
+	}
+	accs := make([]sweepAcc, ex.plan.Count())
+
+	// Scatter contributions: pure per-vertex writes.
+	scatterFn := func(i int) {
+		s := ex.plan.Shard(i)
+		for v := s.Lo; v < s.Hi; v++ {
+			if d := ex.g.OutDegree(graph.VertexID(v)); d > 0 {
+				contrib[v] = ex.values[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+	}
+	// Gather+apply: shards own disjoint vertex ranges; contrib and
+	// values are read-only here, next/changed writes vertex-owned.
+	gatherFn := func(i int) {
+		s := ex.plan.Shard(i)
+		var a sweepAcc
+		for v := s.Lo; v < s.Hi; v++ {
+			changed[v] = false
+			if approx && !ex.active[v] {
+				next[v] = ex.values[v]
+				continue
+			}
+			a.active++
+			a.gatherEdges += int64(ex.g.InDegree(graph.VertexID(v)))
+			a.mirrorMsgs += 2 * int64(ex.replicasM[v])
+			sum := 0.0
+			for _, u := range ex.g.InNeighbors(graph.VertexID(v)) {
+				sum += contrib[u]
+			}
+			nv := ex.w.Damping + (1-ex.w.Damping)*sum
+			next[v] = nv
+			d := math.Abs(nv - ex.values[v])
+			if d > a.maxDelta {
+				a.maxDelta = d
+			}
+			if d > tol/10 {
+				a.updates++
+				changed[v] = true
+				a.scatterEdges += int64(ex.g.OutDegree(graph.VertexID(v)))
+			}
+		}
+		accs[i] = a
 	}
 
 	iters := 0
 	for {
 		iters++
-		// Scatter contributions: pure per-vertex writes.
-		ex.pool.ForEachShard(n, func(s par.Shard) {
-			for v := s.Lo; v < s.Hi; v++ {
-				if d := ex.g.OutDegree(graph.VertexID(v)); d > 0 {
-					contrib[v] = ex.values[v] / float64(d)
-				} else {
-					contrib[v] = 0
-				}
-			}
-		})
-		// Gather+apply: shards own disjoint vertex ranges; contrib and
-		// values are read-only here, next/changed writes vertex-owned.
-		accs := par.MapShards(ex.pool, n, func(s par.Shard) sweepAcc {
-			var a sweepAcc
-			for v := s.Lo; v < s.Hi; v++ {
-				changed[v] = false
-				if approx && !ex.active[v] {
-					next[v] = ex.values[v]
-					continue
-				}
-				a.active++
-				a.gatherEdges += int64(ex.g.InDegree(graph.VertexID(v)))
-				a.mirrorMsgs += 2 * int64(ex.replicasM[v])
-				sum := 0.0
-				for _, u := range ex.g.InNeighbors(graph.VertexID(v)) {
-					sum += contrib[u]
-				}
-				nv := ex.w.Damping + (1-ex.w.Damping)*sum
-				next[v] = nv
-				d := math.Abs(nv - ex.values[v])
-				if d > a.maxDelta {
-					a.maxDelta = d
-				}
-				if d > tol/10 {
-					a.updates++
-					changed[v] = true
-					a.scatterEdges += int64(ex.g.OutDegree(graph.VertexID(v)))
-				}
-			}
-			return a
-		})
+		ex.pool.ForEach(ex.plan.Count(), scatterFn)
+		ex.pool.ForEach(ex.plan.Count(), gatherFn)
 		var activeCount, gatherEdges, scatterEdges, mirrorMsgs, updates float64
 		maxDelta := 0.0
 		for _, a := range accs {
@@ -380,10 +393,13 @@ func (ex *execution) syncTriangles() error {
 	o, rank := graph.ForwardOrient(ex.g)
 	n := o.NumVertices()
 	type triAcc struct {
-		counts                   []int64
+		counts                  []int64
 		cands, hits, mirrorMsgs int64
 	}
-	accs := par.MapShards(ex.pool, n, func(s par.Shard) triAcc {
+	// Shard by the oriented graph's degree weights: the quadratic
+	// candidate fan-out concentrates on the forward-heavy vertices.
+	pl := par.PlanPrefix(o.WorkPrefix(), ex.pool.Workers())
+	accs := par.MapPlan(ex.pool, pl, func(s par.Shard) triAcc {
 		a := triAcc{counts: make([]int64, n)}
 		for u := s.Lo; u < s.Hi; u++ {
 			a.mirrorMsgs += 2 * int64(ex.replicasM[u])
@@ -437,8 +453,11 @@ func (ex *execution) syncLPA() error {
 	n := u.NumVertices()
 	rounds := ex.w.LPAIterations()
 	next := make([]float64, n)
-	pl := par.PlanShards(n, ex.pool.Workers())
-	scratch := make([][]float64, pl.Count())
+	// Shard by the simple view's degrees (label gathering is edge
+	// work); the round body is built once, so steady-state rounds
+	// dispatch with zero allocations.
+	pl := par.PlanPrefix(u.WorkPrefix(), ex.pool.Workers())
+	scratch := par.ScratchFor[[]float64](ex.pool)
 	type lpaAcc struct{ edges, updates, mirrorMsgs int64 }
 	accs := make([]lpaAcc, pl.Count())
 
@@ -451,29 +470,31 @@ func (ex *execution) syncLPA() error {
 		ex.res.Labels = graph.CanonicalizeLabels(labels)
 	}
 
-	for it := 1; it <= rounds; it++ {
-		ex.pool.ForEach(pl.Count(), func(i int) {
-			s := pl.Shard(i)
-			var a lpaAcc
-			buf := scratch[i]
-			for v := s.Lo; v < s.Hi; v++ {
-				nbrs := u.OutNeighbors(graph.VertexID(v))
-				buf = buf[:0]
-				for _, w := range nbrs {
-					buf = append(buf, ex.values[w])
-				}
-				slices.Sort(buf)
-				nv := singlethread.ModeMaxLabel(buf, ex.values[v])
-				if nv != ex.values[v] {
-					a.updates++
-				}
-				next[v] = nv
-				a.edges += int64(len(nbrs))
-				a.mirrorMsgs += 2 * int64(ex.replicasM[v])
+	roundFn := func(i int) {
+		s := pl.Shard(i)
+		var a lpaAcc
+		buf := *scratch.At(i)
+		for v := s.Lo; v < s.Hi; v++ {
+			nbrs := u.OutNeighbors(graph.VertexID(v))
+			buf = buf[:0]
+			for _, w := range nbrs {
+				buf = append(buf, ex.values[w])
 			}
-			scratch[i] = buf
-			accs[i] = a
-		})
+			slices.Sort(buf)
+			nv := singlethread.ModeMaxLabel(buf, ex.values[v])
+			if nv != ex.values[v] {
+				a.updates++
+			}
+			next[v] = nv
+			a.edges += int64(len(nbrs))
+			a.mirrorMsgs += 2 * int64(ex.replicasM[v])
+		}
+		*scratch.At(i) = buf
+		accs[i] = a
+	}
+
+	for it := 1; it <= rounds; it++ {
+		ex.pool.ForEach(pl.Count(), roundFn)
 		var edges, updates, mirrorMsgs float64
 		for _, a := range accs {
 			edges += float64(a.edges)
@@ -504,6 +525,7 @@ func (ex *execution) syncLPA() error {
 // the engine falls back to the synchronous implementations.
 func (ex *execution) runAsync() error {
 	ex.init()
+	defer ex.pool.Close()
 	switch ex.w.Kind {
 	case engine.Triangle:
 		return ex.syncTriangles()

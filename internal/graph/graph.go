@@ -14,6 +14,7 @@ package graph
 import (
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // VertexID identifies a vertex. IDs are dense: 0 <= id < NumVertices.
@@ -37,6 +38,9 @@ type Graph struct {
 
 	selfEdges int
 	scale     float64
+
+	workOnce   sync.Once
+	workPrefix []int64
 }
 
 // Name returns the dataset name ("twitter", "wrn", ...), possibly empty.
@@ -96,6 +100,27 @@ func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
 			}
 		}
 	}
+}
+
+// WorkPrefix returns the prefix-summed per-vertex work weights used by
+// the runtimes' edge-balanced shard plans (par.PlanPrefix): entry v is
+// the total weight of vertices [0, v), where a vertex weighs
+// 1 + outdeg + indeg — one unit of scan work plus one per incident edge
+// in either direction, covering sends along out-edges and inbox volume
+// arriving along in-edges. Both degree terms come straight from the CSR
+// offset arrays (which are themselves degree prefix sums), so the array
+// is filled in one O(V) pass, computed on first use and cached: the
+// graph is immutable, and every engine run over it shares the result.
+func (g *Graph) WorkPrefix() []int64 {
+	g.workOnce.Do(func() {
+		n := g.NumVertices()
+		p := make([]int64, n+1)
+		for v := 1; v <= n; v++ {
+			p[v] = int64(v) + int64(g.outOffsets[v]) + int64(g.inOffsets[v])
+		}
+		g.workPrefix = p
+	})
+	return g.workPrefix
 }
 
 // Stats summarizes degree structure; see Table 3 of the paper.
