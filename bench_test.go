@@ -7,7 +7,9 @@ package graphbench_test
 // evaluation.
 
 import (
+	"bytes"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -25,6 +27,7 @@ import (
 	"graphbench/internal/partition"
 	"graphbench/internal/pregel"
 	"graphbench/internal/sim"
+	"graphbench/internal/snapshot"
 )
 
 // benchScale keeps full-grid artifacts fast; resource accounting is
@@ -474,5 +477,49 @@ func BenchmarkScalability(b *testing.B) {
 			out += line + "\n"
 		}
 		emit("ab6", out)
+	}
+}
+
+// snapshotFixture generates the scale-default Twitter fixture shared
+// by the snapshot-vs-text load benchmarks — the graph every engine
+// loads at the start of a default harness run.
+var snapshotFixture = sync.OnceValue(func() *graph.Graph {
+	return datasets.Generate(datasets.Twitter, datasets.Options{Scale: datasets.DefaultScale, Seed: 1})
+})
+
+// BenchmarkSnapshotLoad measures opening a cached binary CSR snapshot
+// of the scale-default Twitter fixture: one arena read (mmap on
+// linux), a checksum, and linear validation scans. The acceptance bar
+// for the snapshot subsystem is ≥10× BenchmarkTextDecode.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "twitter"+snapshot.Ext)
+	if err := snapshot.Save(path, snapshotFixture()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTextDecode measures the line-by-line path the snapshot
+// replaces: parsing the same fixture from the adjacency text format
+// and rebuilding the CSR.
+func BenchmarkTextDecode(b *testing.B) {
+	g := snapshotFixture()
+	var buf bytes.Buffer
+	if err := graph.Encode(g, graph.FormatAdj, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Decode(bytes.NewReader(data), graph.FormatAdj, g.NumVertices()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

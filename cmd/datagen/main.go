@@ -1,10 +1,13 @@
 // Command datagen emits the synthetic dataset analogues in any of the
-// paper's three file formats (adj, adj-long, edge).
+// paper's three text formats (adj, adj-long, edge) or as a binary CSR
+// snapshot (csrbin, internal/snapshot) — the container cmd/graphbench
+// reloads zero-copy via -snapshot-dir instead of regenerating.
 //
 // Usage:
 //
 //	datagen -dataset twitter -scale 100000 -format adj -out twitter.adj
 //	datagen -dataset wrn -format edge           # to stdout
+//	datagen -dataset twitter -format csrbin -out twitter.csrbin
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 
 	"graphbench/internal/datasets"
 	"graphbench/internal/graph"
+	"graphbench/internal/snapshot"
 )
 
 func main() {
@@ -22,13 +26,14 @@ func main() {
 		dataset = flag.String("dataset", "twitter", "twitter, wrn, uk200705, clueweb")
 		scale   = flag.Float64("scale", datasets.DefaultScale, "reduction factor")
 		seed    = flag.Int64("seed", 1, "generation seed")
-		format  = flag.String("format", "adj", "adj, adj-long, edge")
+		format  = flag.String("format", "adj", "adj, adj-long, edge, or csrbin (binary CSR snapshot)")
 		out     = flag.String("out", "", "output file (default stdout)")
 		stats   = flag.Bool("stats", false, "print dataset statistics instead of data")
 	)
 	flag.Parse()
 
 	var f graph.Format
+	csrbin := false
 	switch *format {
 	case "adj":
 		f = graph.FormatAdj
@@ -36,6 +41,8 @@ func main() {
 		f = graph.FormatAdjLong
 	case "edge":
 		f = graph.FormatEdge
+	case "csrbin":
+		csrbin = true
 	default:
 		fmt.Fprintf(os.Stderr, "datagen: unknown format %q\n", *format)
 		os.Exit(2)
@@ -60,7 +67,13 @@ func main() {
 		defer file.Close()
 		w = file
 	}
-	if err := graph.Encode(g, f, w); err != nil {
+	var err error
+	if csrbin {
+		err = snapshot.Write(w, g)
+	} else {
+		err = graph.Encode(g, f, w)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}

@@ -9,6 +9,14 @@
 //	graphbench -run giraph -dataset twitter -workload pagerank -machines 32
 //	graphbench -grid -log runs.jsonl           # full grid to a log file
 //	graphbench -grid -parallel 1               # sequential (debug/baseline)
+//	graphbench -grid -snapshot-dir .cache      # reuse binary CSR fixtures
+//
+// With -snapshot-dir (or $GRAPHBENCH_SNAPSHOT_DIR) the dataset
+// fixtures are persisted as binary CSR snapshots (internal/snapshot)
+// keyed by (name, scale, seed, format version): the first run
+// generates and saves, later runs load zero-copy instead of
+// regenerating. Results and modeled costs are bit-identical either
+// way.
 //
 // Concurrency: every run owns a private simulated cluster, so the
 // experiment matrix executes runs concurrently on a pool sized by
@@ -49,6 +57,10 @@ func main() {
 		list     = flag.Bool("list", false, "list system keys")
 		parallel = flag.Int("parallel", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = sequential)")
 		shards   = flag.Int("shards", 0, "vertex shards per engine run (0 = GOMAXPROCS, 1 = sequential)")
+		snapDir  = flag.String("snapshot-dir", "",
+			"cache dataset fixtures as binary CSR snapshots in this directory\n"+
+				"(keyed by name/scale/seed/format version; later runs load instead of\n"+
+				"regenerating; default $GRAPHBENCH_SNAPSHOT_DIR)")
 	)
 	flag.Parse()
 
@@ -60,6 +72,9 @@ func main() {
 	r := core.NewRunner(*scale, *seed)
 	r.Workers = *parallel
 	r.Shards = *shards
+	if *snapDir != "" {
+		r.SnapshotDir = *snapDir
+	}
 	switch {
 	case *artifact != "":
 		printArtifacts(r, *artifact, *scale, *seed)
@@ -75,29 +90,29 @@ func main() {
 
 func printArtifacts(r *core.Runner, which string, scale float64, seed int64) {
 	artifacts := map[string]func() string{
-		"table1": harness.Table1Systems,
-		"table2": harness.Table2Dimensions,
-		"table3": func() string { return harness.Table3Datasets(scale, seed) },
-		"table4": func() string { return harness.Table4Replication(scale, seed) },
-		"table5": func() string { return harness.Table5Partitions(r) },
-		"table6": func() string { return harness.Table6IterTime(r) },
-		"table7": func() string { return harness.Table7ClueWeb(r) },
-		"table8": func() string { return harness.Table8GiraphMemory(r) },
+		"table1":  harness.Table1Systems,
+		"table2":  harness.Table2Dimensions,
+		"table3":  func() string { return harness.Table3Datasets(scale, seed) },
+		"table4":  func() string { return harness.Table4Replication(scale, seed) },
+		"table5":  func() string { return harness.Table5Partitions(r) },
+		"table6":  func() string { return harness.Table6IterTime(r) },
+		"table7":  func() string { return harness.Table7ClueWeb(r) },
+		"table8":  func() string { return harness.Table8GiraphMemory(r) },
 		"table9":  func() string { return harness.Table9COST(r) },
 		"table10": func() string { return harness.Table10WorkloadScaling(r) },
-		"fig1":   func() string { return harness.Figure1Cores(r) },
-		"fig2":   func() string { return harness.Figure2PartitionSweep(r) },
-		"fig3":   func() string { return harness.Figure3BlogelNoHDFS(r) },
-		"fig4":   func() string { return harness.Figure4ApproxPR(r) },
-		"fig5":   func() string { return harness.Figure5Twitter(r) },
-		"fig6":   func() string { return harness.Figure6PageRank(r) },
-		"fig7":   func() string { return harness.Figure7KHop(r) },
-		"fig8":   func() string { return harness.Figure8SSSP(r) },
-		"fig9":   func() string { return harness.Figure9WCC(r) },
-		"fig10":  func() string { return harness.Figure10AsyncMemory(r) },
-		"fig11":  func() string { return harness.Figure11Imbalance(seed) },
-		"fig12":  func() string { return harness.Figure12Vertica(r) },
-		"fig13":  func() string { return harness.Figure13VerticaResources(r) },
+		"fig1":    func() string { return harness.Figure1Cores(r) },
+		"fig2":    func() string { return harness.Figure2PartitionSweep(r) },
+		"fig3":    func() string { return harness.Figure3BlogelNoHDFS(r) },
+		"fig4":    func() string { return harness.Figure4ApproxPR(r) },
+		"fig5":    func() string { return harness.Figure5Twitter(r) },
+		"fig6":    func() string { return harness.Figure6PageRank(r) },
+		"fig7":    func() string { return harness.Figure7KHop(r) },
+		"fig8":    func() string { return harness.Figure8SSSP(r) },
+		"fig9":    func() string { return harness.Figure9WCC(r) },
+		"fig10":   func() string { return harness.Figure10AsyncMemory(r) },
+		"fig11":   func() string { return harness.Figure11Imbalance(seed) },
+		"fig12":   func() string { return harness.Figure12Vertica(r) },
+		"fig13":   func() string { return harness.Figure13VerticaResources(r) },
 	}
 	if which == "all" {
 		order := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",

@@ -131,4 +131,49 @@
 // against short ones to assert the steady-state cost per round stays a
 // constant handful of objects, and BenchmarkMessagePlane plus
 // scripts/bench.sh track allocs/op per date in BENCH_<date>.json.
+//
+// # Snapshots and the dataset cache
+//
+// Dataset fixtures round-trip through internal/snapshot: a versioned,
+// checksummed, little-endian binary container that persists the
+// already-built CSR arrays, so loading is O(sections) arena slicing
+// plus linear validation instead of O(E) text parsing — the load-phase
+// I/O wall the paper's billion-edge datasets put in front of every
+// engine. The layout (format version 1):
+//
+//	┌────────────────────────────────────────────────────────────┐
+//	│ header: magic, version, flags, V, E, self-edges, scale     │
+//	│ section table: {kind, offset, bytes} per section           │
+//	├────────────────────────────────────────────────────────────┤
+//	│ name │ out-offsets │ out-edges │ in-offsets │ in-edges │   │
+//	│ work-prefix sums          (each section 8-byte aligned)    │
+//	├────────────────────────────────────────────────────────────┤
+//	│ trailer: CRC-32C of everything above + end magic           │
+//	└────────────────────────────────────────────────────────────┘
+//
+// A loader slurps the file into one arena — syscall.Mmap on linux
+// (build-tagged; the mapping is released when the graph is collected),
+// os.ReadFile elsewhere — and on little-endian hosts aliases each CSR
+// array in place; graph.FromCSR then validates every invariant the
+// engines rely on (offset monotonicity, id ranges, sorted neighbor
+// runs, transpose degrees, self-edge and work-prefix consistency)
+// before adopting the arrays without copying. Arbitrary bytes decode
+// to an error, never a panic (FuzzSnapshotDecode).
+//
+// Versioning: snapshot.Version is bumped on any layout or semantics
+// change, and readers reject other versions — a snapshot is a cache
+// entry, not an archival format; the writer regenerates it. Unknown
+// section kinds are ignored, leaving room for additive extensions.
+//
+// datasets.Cache layers a content-keyed store on top: entries live
+// under a cache directory keyed by (dataset name, scale, seed, format
+// version), so any parameter or format change misses cleanly, and a
+// hit is bit-identical to regeneration because generation is
+// deterministic in the key. core.Runner consults the cache when
+// SnapshotDir (or $GRAPHBENCH_SNAPSHOT_DIR, which CI points at a
+// restored cache) is set; cmd/graphbench exposes it as -snapshot-dir
+// and cmd/datagen writes standalone containers via -format csrbin.
+// Engines never learn how a graph arrived, and the grid-level
+// acceptance test asserts generated, cold-cache, and snapshot-loaded
+// runs produce bit-identical results and modeled costs.
 package graphbench

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
 	"graphbench/internal/gas"
+	"graphbench/internal/graph"
 	"graphbench/internal/graphx"
 	"graphbench/internal/haloop"
 	"graphbench/internal/hdfs"
@@ -131,29 +133,53 @@ type Runner struct {
 	// to systems that don't pin one themselves (engine.Options.Shards).
 	Shards int
 
+	// SnapshotDir, when non-empty, caches generated dataset fixtures
+	// as binary CSR snapshots (internal/snapshot) in that directory,
+	// keyed by (name, scale, seed, format version): the first run
+	// generates and saves, later runs — and CI jobs restoring the
+	// directory — load the snapshot instead of regenerating. Loads are
+	// bit-identical to generation, so results and modeled costs do not
+	// depend on which path a fixture arrived by. NewRunner seeds it
+	// from $GRAPHBENCH_SNAPSHOT_DIR; cmd/graphbench's -snapshot-dir
+	// overrides. Set before the first Dataset call.
+	SnapshotDir string
+
 	mu       sync.Mutex
 	fixtures map[datasets.Name]*engine.Dataset
 	pool     *par.Pool
 }
 
 // NewRunner returns a Runner at the given reduction scale (0 means
-// datasets.DefaultScale).
+// datasets.DefaultScale). The snapshot cache directory defaults to
+// $GRAPHBENCH_SNAPSHOT_DIR, so CI can point every runner at a restored
+// fixture cache without threading a flag through each entry point.
 func NewRunner(scale float64, seed int64) *Runner {
 	if scale <= 0 {
 		scale = datasets.DefaultScale
 	}
-	return &Runner{Scale: scale, Seed: seed, fixtures: make(map[datasets.Name]*engine.Dataset)}
+	return &Runner{
+		Scale:       scale,
+		Seed:        seed,
+		SnapshotDir: os.Getenv("GRAPHBENCH_SNAPSHOT_DIR"),
+		fixtures:    make(map[datasets.Name]*engine.Dataset),
+	}
 }
 
 // Dataset returns the prepared fixture for name, generating it on
-// first use.
+// first use — or loading its cached snapshot when SnapshotDir is set.
 func (r *Runner) Dataset(name datasets.Name) *engine.Dataset {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if d, ok := r.fixtures[name]; ok {
 		return d
 	}
-	g := datasets.Generate(name, datasets.Options{Scale: r.Scale, Seed: r.Seed})
+	opt := datasets.Options{Scale: r.Scale, Seed: r.Seed}
+	var g *graph.Graph
+	if r.SnapshotDir != "" {
+		g = datasets.NewCache(r.SnapshotDir).Generate(name, opt)
+	} else {
+		g = datasets.Generate(name, opt)
+	}
 	fs := hdfs.New()
 	src := datasets.SourceVertex(g, 42)
 	d, err := engine.Prepare(fs, g, "data/"+string(name), 64, src)

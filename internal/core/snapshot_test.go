@@ -1,0 +1,78 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+)
+
+// TestSnapshotGridBitIdentical is the acceptance check for the
+// snapshot subsystem at the experiment-grid level: the same grid run
+// over generated fixtures, snapshot-saving fixtures (cold cache), and
+// snapshot-loaded fixtures (warm cache) must produce bit-identical
+// results and modeled costs. Engines never learn how a graph arrived,
+// so any divergence means the container changed the CSR.
+func TestSnapshotGridBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cells := func() []Cell {
+		var cs []Cell
+		for _, sysKey := range []string{"giraph", "blogel-b", "graphx"} {
+			s, err := SystemByKey(sysKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []datasets.Name{datasets.Twitter, datasets.WRN} {
+				for _, kind := range []engine.Kind{engine.PageRank, engine.WCC, engine.SSSP} {
+					cs = append(cs, Cell{System: s, Dataset: name, Kind: kind, Machines: 32})
+				}
+			}
+		}
+		return cs
+	}
+
+	const scale, seed = 2_000_000, 1
+	run := func(snapshotDir string) []*engine.Result {
+		r := NewRunner(scale, seed)
+		r.SnapshotDir = snapshotDir
+		r.Workers = 2
+		return r.RunGrid(cells())
+	}
+
+	generated := run("")
+	cold := run(dir) // generates fixtures, saves snapshots
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) == 0 {
+		t.Fatalf("cold run left no snapshots in %s (err %v)", dir, err)
+	}
+	warm := run(dir) // loads the snapshots written by the cold run
+
+	for i := range generated {
+		if !reflect.DeepEqual(generated[i], cold[i]) {
+			t.Errorf("cell %d: cold-cache result differs from generated:\n  gen:  %+v\n  cold: %+v",
+				i, generated[i], cold[i])
+		}
+		if !reflect.DeepEqual(generated[i], warm[i]) {
+			t.Errorf("cell %d: snapshot-loaded result differs from generated:\n  gen:  %+v\n  warm: %+v",
+				i, generated[i], warm[i])
+		}
+	}
+}
+
+// TestRunnerSnapshotDirFromEnv checks the CI wiring: a runner created
+// under GRAPHBENCH_SNAPSHOT_DIR picks the cache directory up without
+// any flag plumbing.
+func TestRunnerSnapshotDirFromEnv(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GRAPHBENCH_SNAPSHOT_DIR", dir)
+	r := NewRunner(2_000_000, 1)
+	if r.SnapshotDir != dir {
+		t.Fatalf("SnapshotDir = %q, want %q", r.SnapshotDir, dir)
+	}
+	r.Dataset(datasets.Twitter)
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("dataset preparation did not populate the snapshot cache (err %v)", err)
+	}
+}

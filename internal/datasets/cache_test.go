@@ -1,0 +1,115 @@
+package datasets
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"graphbench/internal/graph"
+	"graphbench/internal/snapshot"
+)
+
+// cacheScale keeps the cached fixtures tiny (a few hundred edges) so
+// the tests exercise the full generate→save→load cycle in milliseconds.
+const cacheScale = 5_000_000
+
+func sameGraph(a, b *graph.Graph) bool {
+	ca, cb := a.RawCSR(), b.RawCSR()
+	return ca.Name == cb.Name && ca.Scale == cb.Scale && ca.SelfEdges == cb.SelfEdges &&
+		slices.Equal(ca.OutOffsets, cb.OutOffsets) && slices.Equal(ca.OutEdges, cb.OutEdges) &&
+		slices.Equal(ca.InOffsets, cb.InOffsets) && slices.Equal(ca.InEdges, cb.InEdges)
+}
+
+func TestCacheHitIsBitIdenticalToGeneration(t *testing.T) {
+	c := NewCache(t.TempDir())
+	opt := Options{Scale: cacheScale, Seed: 7}
+	fresh := Generate(Twitter, opt)
+
+	cold := c.Generate(Twitter, opt) // miss: generates + saves
+	if !sameGraph(fresh, cold) {
+		t.Fatal("cold cache generation differs from plain generation")
+	}
+	if _, err := os.Stat(c.Path(Twitter, opt)); err != nil {
+		t.Fatalf("cold generation did not write the snapshot: %v", err)
+	}
+	warm := c.Generate(Twitter, opt) // hit: loads the snapshot
+	if !sameGraph(fresh, warm) {
+		t.Fatal("snapshot-loaded graph differs from plain generation")
+	}
+}
+
+// TestCacheHitLoadsSnapshot proves the snapshot takes precedence over
+// regeneration: a hand-planted snapshot at the cache key (same name
+// and scale, different structure) is what Generate returns.
+func TestCacheHitLoadsSnapshot(t *testing.T) {
+	c := NewCache(t.TempDir())
+	opt := Options{Scale: cacheScale, Seed: 7}
+	planted := graph.NewBuilder(3).SetName(string(Twitter)).SetScaleFactor(cacheScale)
+	planted.AddEdge(0, 1)
+	planted.AddEdge(1, 2)
+	if err := snapshot.Save(c.Path(Twitter, opt), planted.Build()); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Generate(Twitter, opt)
+	if got.NumVertices() != 3 || got.NumEdges() != 2 {
+		t.Fatalf("cache ignored the planted snapshot: got %d vertices, %d edges",
+			got.NumVertices(), got.NumEdges())
+	}
+}
+
+func TestCacheCorruptSnapshotFallsBackAndHeals(t *testing.T) {
+	c := NewCache(t.TempDir())
+	opt := Options{Scale: cacheScale, Seed: 3}
+	path := c.Path(WRN, opt)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Generate(WRN, opt)
+	if !sameGraph(Generate(WRN, opt), got) {
+		t.Fatal("corrupt snapshot changed the generated graph")
+	}
+	// The entry must have been rewritten with a valid snapshot.
+	if g, err := snapshot.Load(path); err != nil {
+		t.Fatalf("cache did not heal the corrupt entry: %v", err)
+	} else if !sameGraph(got, g) {
+		t.Fatal("healed entry differs from the returned graph")
+	}
+}
+
+func TestCachePathKeying(t *testing.T) {
+	c := NewCache("dir")
+	base := c.Path(Twitter, Options{Scale: 100, Seed: 1})
+	for _, other := range []string{
+		c.Path(UK, Options{Scale: 100, Seed: 1}),
+		c.Path(Twitter, Options{Scale: 200, Seed: 1}),
+		c.Path(Twitter, Options{Scale: 100, Seed: 2}),
+	} {
+		if other == base {
+			t.Fatalf("distinct keys share cache path %s", base)
+		}
+	}
+	if got, want := c.Path(Twitter, Options{}), c.Path(Twitter, Options{Scale: DefaultScale}); got != want {
+		t.Fatalf("zero scale should key as DefaultScale: %s vs %s", got, want)
+	}
+	if !strings.HasSuffix(base, snapshot.Ext) {
+		t.Fatalf("cache path %s lacks the %s extension", base, snapshot.Ext)
+	}
+}
+
+func TestCacheCatalog(t *testing.T) {
+	c := NewCache(t.TempDir())
+	cat := c.Catalog(cacheScale, 1)
+	if len(cat) != len(AllNames()) {
+		t.Fatalf("catalog has %d entries, want %d", len(cat), len(AllNames()))
+	}
+	for _, n := range AllNames() {
+		if !sameGraph(Generate(n, Options{Scale: cacheScale, Seed: 1}), cat[n]) {
+			t.Fatalf("cached catalog entry %s differs from generation", n)
+		}
+	}
+}

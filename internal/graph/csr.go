@@ -1,0 +1,168 @@
+package graph
+
+import "fmt"
+
+// CSR exposes the raw arrays of a Graph for binary persistence
+// (internal/snapshot). The slices alias the graph's internal storage
+// and must not be modified.
+type CSR struct {
+	Name      string
+	Scale     float64
+	SelfEdges int
+
+	OutOffsets []int32
+	OutEdges   []VertexID
+	InOffsets  []int32
+	InEdges    []VertexID
+
+	// WorkPrefix is the cached per-vertex work prefix sum (see
+	// Graph.WorkPrefix). Optional on input to FromCSR; always set on
+	// RawCSR output so snapshots persist it and loads skip the O(V)
+	// recompute.
+	WorkPrefix []int64
+}
+
+// RawCSR returns the graph's raw CSR arrays, computing the work prefix
+// if it has not been needed yet. The slices alias internal storage.
+func (g *Graph) RawCSR() CSR {
+	out := g.outOffsets
+	if out == nil {
+		out = []int32{0} // zero-value Graph: normalize to an explicit empty CSR
+	}
+	in := g.inOffsets
+	if in == nil {
+		in = []int32{0}
+	}
+	return CSR{
+		Name:       g.name,
+		Scale:      g.ScaleFactor(),
+		SelfEdges:  g.selfEdges,
+		OutOffsets: out,
+		OutEdges:   g.outEdges,
+		InOffsets:  in,
+		InEdges:    g.inEdges,
+		WorkPrefix: g.WorkPrefix(),
+	}
+}
+
+// FromCSR constructs a Graph that adopts the given arrays without
+// copying them — the zero-copy half of snapshot loading. The caller
+// must not modify the slices afterwards.
+//
+// Because the arrays may come from an untrusted file, FromCSR validates
+// every invariant the engines rely on: offset arrays start at 0, are
+// nondecreasing, and end at the edge count; every edge endpoint is in
+// range; per-vertex neighbor runs are sorted (Builder.Build guarantees
+// this, and the triangle/dedupe paths depend on it); in-degrees implied
+// by InOffsets match the out-edge transpose; the self-edge count
+// matches; and WorkPrefix, when present, equals the recomputed prefix.
+// The checks are single linear passes over the arrays — far cheaper
+// than the text parse they replace.
+func FromCSR(c CSR) (*Graph, error) {
+	n := len(c.OutOffsets) - 1
+	if n < 0 {
+		return nil, fmt.Errorf("graph: csr: empty out-offset array")
+	}
+	if len(c.InOffsets) != n+1 {
+		return nil, fmt.Errorf("graph: csr: in-offset length %d, want %d", len(c.InOffsets), n+1)
+	}
+	if len(c.InEdges) != len(c.OutEdges) {
+		return nil, fmt.Errorf("graph: csr: %d in-edges vs %d out-edges", len(c.InEdges), len(c.OutEdges))
+	}
+	if err := checkOffsets("out", c.OutOffsets, len(c.OutEdges)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("in", c.InOffsets, len(c.InEdges)); err != nil {
+		return nil, err
+	}
+	// One pass over the out-edges checks ranges, run sortedness, the
+	// self-edge count, and tallies the in-degrees of the transpose;
+	// one pass over the in-edges checks ranges and sortedness.
+	inDeg := make([]int32, n+1)
+	selfEdges, err := checkRuns("out", c.OutOffsets, c.OutEdges, n, inDeg)
+	if err != nil {
+		return nil, err
+	}
+	if selfEdges != c.SelfEdges {
+		return nil, fmt.Errorf("graph: csr: self-edge count %d, out-edges contain %d", c.SelfEdges, selfEdges)
+	}
+	if _, err := checkRuns("in", c.InOffsets, c.InEdges, n, nil); err != nil {
+		return nil, err
+	}
+	// The in-offsets must describe the transpose of the out-edges:
+	// vertex v's in-degree is the number of out-edges targeting v.
+	for v := 0; v < n; v++ {
+		if d := c.InOffsets[v+1] - c.InOffsets[v]; d != inDeg[v] {
+			return nil, fmt.Errorf("graph: csr: vertex %d in-degree %d, out-edge transpose has %d", v, d, inDeg[v])
+		}
+	}
+	if c.WorkPrefix != nil {
+		if len(c.WorkPrefix) != n+1 {
+			return nil, fmt.Errorf("graph: csr: work-prefix length %d, want %d", len(c.WorkPrefix), n+1)
+		}
+		for v := 0; v <= n; v++ {
+			if want := int64(v) + int64(c.OutOffsets[v]) + int64(c.InOffsets[v]); c.WorkPrefix[v] != want {
+				return nil, fmt.Errorf("graph: csr: work-prefix[%d] = %d, want %d", v, c.WorkPrefix[v], want)
+			}
+		}
+	}
+	g := &Graph{
+		name:       c.Name,
+		scale:      c.Scale,
+		selfEdges:  c.SelfEdges,
+		outOffsets: c.OutOffsets,
+		outEdges:   c.OutEdges,
+		inOffsets:  c.InOffsets,
+		inEdges:    c.InEdges,
+	}
+	if c.WorkPrefix != nil {
+		g.workOnce.Do(func() { g.workPrefix = c.WorkPrefix })
+	}
+	return g, nil
+}
+
+func checkOffsets(which string, off []int32, edges int) error {
+	if off[0] != 0 {
+		return fmt.Errorf("graph: csr: %s-offsets start at %d, want 0", which, off[0])
+	}
+	for v := 1; v < len(off); v++ {
+		if off[v] < off[v-1] {
+			return fmt.Errorf("graph: csr: %s-offsets decrease at vertex %d", which, v)
+		}
+	}
+	if int(off[len(off)-1]) != edges {
+		return fmt.Errorf("graph: csr: %s-offsets end at %d, want %d edges", which, off[len(off)-1], edges)
+	}
+	return nil
+}
+
+// checkRuns validates every neighbor id is in range and every
+// per-vertex run is sorted nondecreasing. When deg is non-nil it also
+// tallies per-target degrees (for the transpose check) and returns the
+// number of self-referencing entries. Load-path validation is these
+// two linear passes over the hot arrays, so the inner loop is kept
+// minimal: the unsigned compare fuses the negative and upper-bound
+// checks, and sortedness rides the value already in hand.
+func checkRuns(which string, off []int32, edges []VertexID, n int, deg []int32) (int, error) {
+	self, limit := 0, uint32(n)
+	for v := 0; v < n; v++ {
+		prev := int32(-1)
+		for _, e := range edges[off[v]:off[v+1]] {
+			w := int32(e)
+			if uint32(w) >= limit {
+				return 0, fmt.Errorf("graph: csr: %s-edge of vertex %d targets %d, out of range [0,%d)", which, v, w, n)
+			}
+			if w < prev {
+				return 0, fmt.Errorf("graph: csr: %s-neighbor run of vertex %d not sorted", which, v)
+			}
+			prev = w
+			if deg != nil {
+				deg[w]++
+				if int(w) == v {
+					self++
+				}
+			}
+		}
+	}
+	return self, nil
+}

@@ -1,0 +1,103 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"runtime"
+	"unsafe"
+
+	"graphbench/internal/graph"
+)
+
+// hostLittleEndian reports whether the native byte order matches the
+// container's little-endian layout. When it does (every platform this
+// repo targets), sections are aliased in place; otherwise they are
+// copy-decoded element by element.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// asInt32s reinterprets b as []int32 without copying when the host is
+// little-endian and the section is aligned (the writer 8-aligns every
+// array section, and arenas are at least 8-aligned).
+func asInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func asInt64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// asVertexIDs reinterprets []int32 as []graph.VertexID — the types
+// share the int32 representation.
+func asVertexIDs(s []int32) []graph.VertexID {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*graph.VertexID)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// int32Bytes views s as its little-endian byte encoding, aliasing on
+// little-endian hosts (the writer only reads the result).
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+	}
+	b := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+func vidBytes(s []graph.VertexID) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return int32Bytes(unsafe.Slice((*int32)(unsafe.Pointer(&s[0])), len(s)))
+}
+
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+	}
+	b := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+// arenaCleanup releases a graph's backing arena (the mmap mapping)
+// once the graph becomes unreachable. Slices handed out by the graph
+// (OutNeighbors etc.) alias its storage and must not outlive it, which
+// is already the package contract.
+func arenaCleanup(g *graph.Graph, release func()) {
+	runtime.AddCleanup(g, func(r func()) { r() }, release)
+}

@@ -1,0 +1,42 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// readArena returns the file's bytes as one arena. On linux it
+// memory-maps the file read-only — the zero-copy fast path: no read(2)
+// copy, pages fault in on demand, and repeated loads of a cached
+// fixture share the page cache. The returned release func unmaps the
+// arena (hooked to the graph's lifetime by Load); it is nil when the
+// arena is ordinary heap memory. Mapping failures (pseudo-files, empty
+// files, exotic filesystems) fall back to os.ReadFile.
+func readArena(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		data, err := os.ReadFile(path)
+		return data, nil, err
+	}
+	// MAP_POPULATE prefaults the whole file in the mmap call: the
+	// checksum and validation scans touch every page immediately
+	// anyway, so one readahead beats a page fault per 4 KiB.
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ,
+		syscall.MAP_PRIVATE|syscall.MAP_POPULATE)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package snapshot
+
+import "os"
+
+// readArena returns the file's bytes as one heap arena — the portable
+// fallback for platforms without the mmap fast path. The release func
+// is always nil: the arena is garbage-collected with the graph.
+func readArena(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	return data, nil, err
+}

@@ -1,0 +1,58 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"graphbench/internal/snapshot"
+)
+
+// FuzzSnapshotDecode drives the container parser with arbitrary bytes:
+// input must either fail with an error or yield a graph that writes
+// back to a container decoding to the identical CSR — and must never
+// panic or allocate unboundedly (section sizes are slices of the input,
+// never allocations derived from header counts). The seed corpus
+// covers valid containers plus each corruption class the decoder
+// rejects.
+func FuzzSnapshotDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(4))
+	for _, shape := range []struct{ n, e int }{{1, 0}, {4, 9}, {32, 150}} {
+		g := randomMultigraph(rng, shape.n, shape.e, "seed", 100)
+		var buf bytes.Buffer
+		if err := snapshot.Write(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(slices.Clone(valid))
+		f.Add(slices.Clone(valid[:len(valid)/2])) // truncated
+		f.Add(slices.Clone(valid[:56]))           // header only
+		corrupt := slices.Clone(valid)
+		corrupt[len(corrupt)/3] ^= 0x40
+		f.Add(corrupt) // checksum mismatch
+	}
+	f.Add([]byte{})
+	f.Add([]byte("GBCSRSNP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := snapshot.Decode(data)
+		if err != nil {
+			return // rejected input: an error, never a panic
+		}
+		var buf bytes.Buffer
+		if err := snapshot.Write(&buf, g); err != nil {
+			t.Fatalf("re-encoding a decoded graph failed: %v", err)
+		}
+		g2, err := snapshot.Decode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-decoding written output failed: %v", err)
+		}
+		c, c2 := g.RawCSR(), g2.RawCSR()
+		if c.Name != c2.Name || c.Scale != c2.Scale || c.SelfEdges != c2.SelfEdges ||
+			!slices.Equal(c.OutOffsets, c2.OutOffsets) || !slices.Equal(c.OutEdges, c2.OutEdges) ||
+			!slices.Equal(c.InOffsets, c2.InOffsets) || !slices.Equal(c.InEdges, c2.InEdges) ||
+			!slices.Equal(c.WorkPrefix, c2.WorkPrefix) {
+			t.Fatalf("round trip through Write changed the CSR")
+		}
+	})
+}

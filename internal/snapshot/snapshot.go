@@ -1,0 +1,327 @@
+// Package snapshot persists built graphs as versioned, checksummed
+// binary CSR containers, so paper-scale fixtures load in O(sections)
+// arena slices instead of O(E) text parsing — the I/O wall GraphD
+// attacks with streamed binary adjacency (PAPERS.md).
+//
+// # Container layout (version 1, all fields little-endian)
+//
+//	offset  size  field
+//	0       8     magic "GBCSRSNP"
+//	8       4     format version (uint32)
+//	12      4     flags (bit 0: work-prefix section present)
+//	16      8     vertex count (uint64)
+//	24      8     edge count (uint64)
+//	32      8     self-edge count (uint64)
+//	40      8     scale factor (float64 bits)
+//	48      4     section count (uint32)
+//	52      4     reserved
+//	56      24×k  section table: {kind u32, pad u32, offset u64, bytes u64}
+//	...           section payloads, each starting at an 8-aligned offset
+//	end-8   4     CRC-32C (Castagnoli) of every preceding byte
+//	end-4   4     end magic "GBSE"
+//
+// Sections persist the already-built CSR arrays of graph.CSR: the
+// dataset name (raw UTF-8), out-offsets/out-edges, in-offsets/in-edges
+// (int32), and the cached work-prefix sums (int64). Offsets live in the
+// header's section table, so a loader slurps the file into one arena
+// (mmap on linux, os.ReadFile elsewhere) and aliases each array
+// in place; on little-endian hosts no per-element work happens at all
+// beyond validation.
+//
+// # Versioning and compatibility
+//
+// Version is bumped whenever the byte layout, the section set, or the
+// semantics of a section change. Readers reject other versions — a
+// snapshot is a cache entry, not an archival format, and the writer is
+// always available to regenerate it (datasets.Cache keys file names by
+// this version, so a bump simply misses the cache). Unknown section
+// kinds are ignored, which leaves room for additive extensions within
+// a version.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"graphbench/internal/graph"
+)
+
+// Version is the container format version. datasets.Cache keys cache
+// file names by it, so bumping it invalidates every cached snapshot.
+const Version = 1
+
+// Ext is the conventional file extension for snapshot files.
+const Ext = ".csrbin"
+
+const (
+	magic    = "GBCSRSNP"
+	endMagic = "GBSE"
+
+	flagWorkPrefix = 1 << 0
+
+	headerSize = 56
+	entrySize  = 24
+	trailerLen = 8
+
+	secName       = 1
+	secOutOffsets = 2
+	secOutEdges   = 3
+	secInOffsets  = 4
+	secInEdges    = 5
+	secWorkPrefix = 6
+
+	// maxSections bounds the table a reader will walk; version 1
+	// writes exactly 6.
+	maxSections = 64
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Write streams g as a snapshot container to w in one pass (the
+// checksum lives in a trailer, so no seeking is needed).
+func Write(w io.Writer, g *graph.Graph) error {
+	c := g.RawCSR()
+	n := uint64(len(c.OutOffsets) - 1)
+
+	type section struct {
+		kind    uint32
+		payload []byte
+	}
+	sections := []section{
+		{secName, []byte(c.Name)},
+		{secOutOffsets, int32Bytes(c.OutOffsets)},
+		{secOutEdges, vidBytes(c.OutEdges)},
+		{secInOffsets, int32Bytes(c.InOffsets)},
+		{secInEdges, vidBytes(c.InEdges)},
+		{secWorkPrefix, int64Bytes(c.WorkPrefix)},
+	}
+
+	header := make([]byte, headerSize+entrySize*len(sections))
+	copy(header, magic)
+	le := binary.LittleEndian
+	le.PutUint32(header[8:], Version)
+	le.PutUint32(header[12:], flagWorkPrefix)
+	le.PutUint64(header[16:], n)
+	le.PutUint64(header[24:], uint64(len(c.OutEdges)))
+	le.PutUint64(header[32:], uint64(c.SelfEdges))
+	le.PutUint64(header[40:], math.Float64bits(c.Scale))
+	le.PutUint32(header[48:], uint32(len(sections)))
+
+	offset := uint64(len(header))
+	for i, s := range sections {
+		offset = align8(offset)
+		e := header[headerSize+entrySize*i:]
+		le.PutUint32(e, s.kind)
+		le.PutUint64(e[8:], offset)
+		le.PutUint64(e[16:], uint64(len(s.payload)))
+		offset += uint64(len(s.payload))
+	}
+
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write(header); err != nil {
+		return err
+	}
+	var pad [8]byte
+	written := uint64(len(header))
+	for _, s := range sections {
+		if p := align8(written) - written; p > 0 {
+			if _, err := cw.Write(pad[:p]); err != nil {
+				return err
+			}
+			written += p
+		}
+		if _, err := cw.Write(s.payload); err != nil {
+			return err
+		}
+		written += uint64(len(s.payload))
+	}
+	var trailer [trailerLen]byte
+	le.PutUint32(trailer[:], cw.sum)
+	copy(trailer[4:], endMagic)
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// Save writes g's snapshot to path atomically (temp file + rename in
+// the same directory), creating parent directories as needed. Partial
+// writes are never visible to concurrent loaders.
+func Save(path string, g *graph.Graph) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, g); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads the snapshot at path and reconstructs the graph. On linux
+// the file is memory-mapped and the CSR arrays alias the mapping
+// (released when the Graph is garbage-collected); elsewhere, or when
+// mapping fails, the file is read into one heap arena. Either way the
+// arrays are aliased in place on little-endian hosts — load cost is
+// the checksum plus validation scans, not per-element parsing.
+func Load(path string) (*graph.Graph, error) {
+	data, release, err := readArena(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := Decode(data)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
+	if release != nil {
+		arenaCleanup(g, release)
+	}
+	return g, nil
+}
+
+// Decode reconstructs a graph from snapshot container bytes. The
+// returned graph's arrays alias data (on little-endian hosts), which
+// must therefore stay live and unmodified for the graph's lifetime.
+// Arbitrary input yields an error, never a panic.
+func Decode(data []byte) (*graph.Graph, error) {
+	le := binary.LittleEndian
+	if len(data) < headerSize+trailerLen {
+		return nil, fmt.Errorf("snapshot: truncated: %d bytes", len(data))
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic")
+	}
+	if v := le.Uint32(data[8:]); v != Version {
+		return nil, fmt.Errorf("snapshot: format version %d, reader supports %d", v, Version)
+	}
+	if string(data[len(data)-4:]) != endMagic {
+		return nil, fmt.Errorf("snapshot: bad end magic (truncated file?)")
+	}
+	body := data[:len(data)-trailerLen]
+	if sum := crc32.Checksum(body, castagnoli); sum != le.Uint32(data[len(data)-trailerLen:]) {
+		return nil, fmt.Errorf("snapshot: checksum mismatch (corrupt file)")
+	}
+
+	flags := le.Uint32(data[12:])
+	nv := le.Uint64(data[16:])
+	ne := le.Uint64(data[24:])
+	selfEdges := le.Uint64(data[32:])
+	scale := math.Float64frombits(le.Uint64(data[40:]))
+	nsec := le.Uint32(data[48:])
+	if nv > math.MaxInt32 || ne > math.MaxInt32 || selfEdges > ne {
+		return nil, fmt.Errorf("snapshot: implausible counts: %d vertices, %d edges, %d self-edges", nv, ne, selfEdges)
+	}
+	if nsec > maxSections {
+		return nil, fmt.Errorf("snapshot: %d sections exceeds limit %d", nsec, maxSections)
+	}
+	tableEnd := uint64(headerSize) + entrySize*uint64(nsec)
+	if tableEnd > uint64(len(body)) {
+		return nil, fmt.Errorf("snapshot: section table overruns file")
+	}
+
+	sections := make(map[uint32][]byte, nsec)
+	for i := uint64(0); i < uint64(nsec); i++ {
+		e := data[headerSize+entrySize*i:]
+		kind := le.Uint32(e)
+		off := le.Uint64(e[8:])
+		length := le.Uint64(e[16:])
+		if off < tableEnd || off > uint64(len(body)) || length > uint64(len(body))-off {
+			return nil, fmt.Errorf("snapshot: section %d out of bounds (offset %d, %d bytes)", kind, off, length)
+		}
+		if kind != secName && off%8 != 0 {
+			return nil, fmt.Errorf("snapshot: section %d misaligned at offset %d", kind, off)
+		}
+		if _, dup := sections[kind]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate section %d", kind)
+		}
+		sections[kind] = data[off : off+length]
+	}
+
+	outOffsets, err := int32Section(sections, secOutOffsets, nv+1)
+	if err != nil {
+		return nil, err
+	}
+	outEdges, err := int32Section(sections, secOutEdges, ne)
+	if err != nil {
+		return nil, err
+	}
+	inOffsets, err := int32Section(sections, secInOffsets, nv+1)
+	if err != nil {
+		return nil, err
+	}
+	inEdges, err := int32Section(sections, secInEdges, ne)
+	if err != nil {
+		return nil, err
+	}
+	c := graph.CSR{
+		Name:       string(sections[secName]),
+		Scale:      scale,
+		SelfEdges:  int(selfEdges),
+		OutOffsets: outOffsets,
+		OutEdges:   asVertexIDs(outEdges),
+		InOffsets:  inOffsets,
+		InEdges:    asVertexIDs(inEdges),
+	}
+	if flags&flagWorkPrefix != 0 {
+		if c.WorkPrefix, err = int64Section(sections, secWorkPrefix, nv+1); err != nil {
+			return nil, err
+		}
+	}
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("snapshot: invalid scale factor %v", scale)
+	}
+	g, err := graph.FromCSR(c)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func int32Section(sections map[uint32][]byte, kind uint32, count uint64) ([]int32, error) {
+	b, ok := sections[kind]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: missing section %d", kind)
+	}
+	if uint64(len(b)) != 4*count {
+		return nil, fmt.Errorf("snapshot: section %d is %d bytes, want %d", kind, len(b), 4*count)
+	}
+	return asInt32s(b), nil
+}
+
+func int64Section(sections map[uint32][]byte, kind uint32, count uint64) ([]int64, error) {
+	b, ok := sections[kind]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: missing section %d", kind)
+	}
+	if uint64(len(b)) != 8*count {
+		return nil, fmt.Errorf("snapshot: section %d is %d bytes, want %d", kind, len(b), 8*count)
+	}
+	return asInt64s(b), nil
+}
+
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.sum = crc32.Update(c.sum, castagnoli, p)
+	return c.w.Write(p)
+}
+
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }

@@ -1,0 +1,182 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"graphbench/internal/graph"
+	"graphbench/internal/snapshot"
+)
+
+// randomMultigraph builds a graph with duplicate edges and self-loops —
+// the shapes the generators produce — so round-trip tests cover the
+// full invariant surface (sorted runs with dupes, self-edge counting).
+func randomMultigraph(rng *rand.Rand, n, e int, name string, scale float64) *graph.Graph {
+	b := graph.NewBuilder(n).SetName(name).SetScaleFactor(scale)
+	for i := 0; i < e; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// assertIdentical fails unless got reproduces every CSR array and
+// metadata field of want exactly.
+func assertIdentical(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	w, g := want.RawCSR(), got.RawCSR()
+	if g.Name != w.Name || g.Scale != w.Scale || g.SelfEdges != w.SelfEdges {
+		t.Fatalf("metadata changed: (%q, %g, %d) vs (%q, %g, %d)",
+			w.Name, w.Scale, w.SelfEdges, g.Name, g.Scale, g.SelfEdges)
+	}
+	if !slices.Equal(g.OutOffsets, w.OutOffsets) || !slices.Equal(g.OutEdges, w.OutEdges) {
+		t.Fatalf("out-CSR arrays changed")
+	}
+	if !slices.Equal(g.InOffsets, w.InOffsets) || !slices.Equal(g.InEdges, w.InEdges) {
+		t.Fatalf("in-CSR arrays changed")
+	}
+	if !slices.Equal(g.WorkPrefix, w.WorkPrefix) {
+		t.Fatalf("work prefix changed")
+	}
+	if want.Stats() != got.Stats() {
+		t.Fatalf("stats changed: %+v vs %+v", want.Stats(), got.Stats())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ n, e int }{
+		{1, 0}, {1, 5}, {2, 3}, {17, 60}, {100, 1000}, {500, 200},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 5; trial++ {
+			g := randomMultigraph(rng, c.n, c.e, "rand", 1+rng.Float64()*1e6)
+			var buf bytes.Buffer
+			if err := snapshot.Write(&buf, g); err != nil {
+				t.Fatalf("n=%d e=%d: write: %v", c.n, c.e, err)
+			}
+			got, err := snapshot.Decode(buf.Bytes())
+			if err != nil {
+				t.Fatalf("n=%d e=%d: decode: %v", c.n, c.e, err)
+			}
+			assertIdentical(t, g, got)
+		}
+	}
+}
+
+func TestRoundTripEmptyAndZeroValue(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.NewBuilder(0).Build(), {}} {
+		var buf bytes.Buffer
+		if err := snapshot.Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := snapshot.Decode(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumVertices() != 0 || got.NumEdges() != 0 {
+			t.Fatalf("empty graph round-tripped to %d vertices, %d edges",
+				got.NumVertices(), got.NumEdges())
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomMultigraph(rng, 64, 400, "twitter", 100000)
+	path := filepath.Join(t.TempDir(), "nested", "dir", "twitter"+snapshot.Ext)
+	if err := snapshot.Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // repeated loads (mmap path) must agree
+		got, err := snapshot.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, g, got)
+	}
+	// No temp files left behind by the atomic save.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("save left %d directory entries, want 1", len(entries))
+	}
+}
+
+// snapshotBytes returns a valid container for corruption tests.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	g := randomMultigraph(rand.New(rand.NewSource(3)), 32, 150, "t", 10)
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fixCRC recomputes the trailer checksum after a deliberate mutation,
+// so corruption reaches the structural validators instead of the
+// checksum gate.
+func fixCRC(data []byte) {
+	sum := crc32.Checksum(data[:len(data)-8], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[len(data)-8:], sum)
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := snapshotBytes(t)
+	mutate := func(fn func(d []byte)) []byte {
+		d := slices.Clone(valid)
+		fn(d)
+		return d
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"header only":  valid[:56],
+		"bad magic":    mutate(func(d []byte) { d[0] ^= 0xff }),
+		"bad version":  mutate(func(d []byte) { d[8] = 99 }),
+		"flipped byte": mutate(func(d []byte) { d[len(d)/2] ^= 1 }),
+		"bad end magic": mutate(func(d []byte) {
+			d[len(d)-1] ^= 0xff
+		}),
+		"section out of bounds": mutate(func(d []byte) {
+			// Grow the out-edges section length past the file end.
+			binary.LittleEndian.PutUint64(d[56+24*2+16:], 1<<40)
+			fixCRC(d)
+		}),
+		"self-edge count lies": mutate(func(d []byte) {
+			binary.LittleEndian.PutUint64(d[32:], binary.LittleEndian.Uint64(d[32:])+1)
+			fixCRC(d)
+		}),
+		"implausible vertex count": mutate(func(d []byte) {
+			binary.LittleEndian.PutUint64(d[16:], 1<<40)
+			fixCRC(d)
+		}),
+	}
+	for name, data := range cases {
+		if _, err := snapshot.Decode(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	valid := snapshotBytes(t)
+	for n := 0; n < len(valid); n++ {
+		if _, err := snapshot.Decode(valid[:n]); err == nil {
+			t.Fatalf("decode accepted truncation to %d of %d bytes", n, len(valid))
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := snapshot.Load(filepath.Join(t.TempDir(), "absent"+snapshot.Ext)); err == nil {
+		t.Fatal("load of a missing file succeeded")
+	}
+}

@@ -5,7 +5,8 @@
 # plane on leaves a comparable perf snapshot.
 #
 # Usage:
-#   scripts/bench.sh                           # default suite (MessagePlane + Table6)
+#   scripts/bench.sh                           # default suite
+#   scripts/bench.sh --latest                  # print the latest snapshot file
 #   scripts/bench.sh --compare BENCH_<d>.json  # also diff vs a previous snapshot,
 #                                              # fail on >15% regression
 #   scripts/bench.sh --compare FILE --metric allocs   # gate allocs/op only
@@ -16,21 +17,55 @@
 #
 # If BENCH_<date>.json already exists (a same-day snapshot), the new
 # file is written as BENCH_<date>_02.json, _03.json, ... — snapshots
-# are never overwritten, so the trajectory is append-only, and the
-# zero-padded suffix sorts lexicographically after the base name
-# ('_' > '.'), so `ls BENCH_*.json | sort | tail -1` always yields the
-# latest snapshot (up to 99 same-day runs).
+# are never overwritten, so the trajectory is append-only. The latest
+# snapshot is selected by `--latest`, which sorts by (date, numeric
+# suffix) — plain lexicographic `ls | sort | tail -1` breaks once a
+# same-day suffix reaches three digits (_100 sorts before _99), so
+# never use it for baseline selection.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-MessagePlane|Table6}"
+BENCH="${BENCH:-MessagePlane|Table6|Snapshot|TextDecode}"
 BENCHTIME="${BENCHTIME:-20x}"
 COMPARE=""
 THRESHOLD=15
 METRIC=all
 
+# latest_snapshot prints the newest BENCH_*.json by version-aware
+# ordering: numeric date first, then numeric same-day suffix (an
+# unsuffixed snapshot counts as suffix 1). Files not matching the
+# snapshot naming scheme are ignored. Prints nothing when no snapshot
+# exists.
+latest_snapshot() {
+    local f base date suf best="" best_date=0 best_suf=0
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        base="${f#BENCH_}"
+        base="${base%.json}"
+        date="${base%%_*}"
+        case "$date" in ''|*[!0-9]*) continue ;; esac
+        if [ "$base" = "$date" ]; then
+            suf=1
+        else
+            suf="${base#*_}"
+            case "$suf" in ''|*[!0-9]*) continue ;; esac
+            suf=$((10#$suf))
+        fi
+        if [ "$date" -gt "$best_date" ] ||
+           { [ "$date" -eq "$best_date" ] && [ "$suf" -gt "$best_suf" ]; }; then
+            best="$f" best_date="$date" best_suf="$suf"
+        fi
+    done
+    if [ -n "$best" ]; then
+        printf '%s\n' "$best"
+    fi
+}
+
 while [ $# -gt 0 ]; do
     case "$1" in
+        --latest)
+            latest_snapshot
+            exit 0 ;;
         --compare)
             # An empty value (e.g. a glob that matched nothing in CI)
             # must fail loudly, not silently skip the gate.
@@ -40,7 +75,15 @@ while [ $# -gt 0 ]; do
             fi
             COMPARE="$2"; shift 2 ;;
         --threshold) THRESHOLD="$2"; shift 2 ;;
-        --metric)    METRIC="$2"; shift 2 ;;  # all | allocs
+        --metric)
+            # Anything but the two known values must fail loudly: a
+            # typo like 'alloc' would otherwise silently re-enable the
+            # ns/op gate, which is nondeterministic on shared runners.
+            case "${2:-}" in
+                all|allocs) METRIC="$2" ;;
+                *) echo "bench.sh: --metric must be 'all' or 'allocs', got '${2:-}'" >&2; exit 2 ;;
+            esac
+            shift 2 ;;
         *) echo "bench.sh: unknown argument $1" >&2; exit 2 ;;
     esac
 done

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench_test.sh — asserts that `bench.sh --latest` selects baselines by
+# version-aware (date, numeric suffix) ordering, covering the cases
+# plain lexicographic sorting gets wrong: three-digit suffixes (_100
+# sorts lexicographically before _99) and dates mixed with suffixed
+# same-day snapshots. Runs the real script against a sandbox copy of
+# the repo layout, so the selection CI feeds --compare is the code
+# under test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/scripts"
+cp scripts/bench.sh "$tmp/scripts/bench.sh"
+
+fail=0
+check() {
+    local desc="$1" want="$2"
+    shift 2
+    rm -f "$tmp"/BENCH_*.json
+    local f
+    for f in "$@"; do
+        : > "$tmp/$f"
+    done
+    local got
+    got="$("$tmp/scripts/bench.sh" --latest)"
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $desc: got '$got', want '$want'" >&2
+        fail=1
+    else
+        echo "ok: $desc -> $got"
+    fi
+}
+
+check "single snapshot" \
+    "BENCH_20260101.json" \
+    BENCH_20260101.json
+
+check "same-day suffix beats base" \
+    "BENCH_20260101_02.json" \
+    BENCH_20260101.json BENCH_20260101_02.json
+
+check "two-digit suffix beats one-digit" \
+    "BENCH_20260101_10.json" \
+    BENCH_20260101.json BENCH_20260101_09.json BENCH_20260101_10.json
+
+check "three-digit suffix beats _99 (lexicographic sorts it first)" \
+    "BENCH_20260101_100.json" \
+    BENCH_20260101_99.json BENCH_20260101_100.json
+
+check "later date beats earlier date's high suffix" \
+    "BENCH_20260102.json" \
+    BENCH_20260101_55.json BENCH_20260102.json
+
+check "non-snapshot names are ignored" \
+    "BENCH_20260101.json" \
+    BENCH_20260101.json BENCH_notes.json BENCH_20260101_xx.json
+
+got="$(cd "$tmp" && rm -f BENCH_*.json; "$tmp/scripts/bench.sh" --latest)"
+if [ -n "$got" ]; then
+    echo "FAIL: no snapshots should print nothing, got '$got'" >&2
+    fail=1
+else
+    echo "ok: no snapshots -> empty"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_test.sh: FAILED" >&2
+    exit 1
+fi
+echo "bench_test.sh: all latest-baseline selection cases passed"
