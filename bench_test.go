@@ -493,13 +493,13 @@ var snapshotFixture = sync.OnceValue(func() *graph.Graph {
 // for the snapshot subsystem is ≥10× BenchmarkTextDecode.
 func BenchmarkSnapshotLoad(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "twitter"+snapshot.Ext)
-	if err := snapshot.Save(path, snapshotFixture()); err != nil {
+	if err := snapshot.Save(path, snapshotFixture(), 1); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := snapshot.Load(path); err != nil {
+		if _, _, err := snapshot.Load(path); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -69,7 +69,7 @@ func main() {
 	}
 	var err error
 	if csrbin {
-		err = snapshot.Write(w, g)
+		err = snapshot.Write(w, g, *seed)
 	} else {
 		err = graph.Encode(g, f, w)
 	}

@@ -1,0 +1,97 @@
+// Command graphserve runs the study as a long-lived query service:
+// dataset fixtures load once at startup, engine worker pools stay warm
+// across requests, and workload queries are answered over HTTP as JSON
+// (see internal/serve for the architecture).
+//
+// Start it, then query:
+//
+//	graphserve -addr :8080 -scale 100000 -parallel 2 &
+//
+//	# PageRank top-5 on twitter via Giraph on 16 machines
+//	curl 'localhost:8080/v1/pagerank?dataset=twitter&system=giraph&machines=16&k=5'
+//
+//	# Which component is vertex 7 in, and how big is it?
+//	curl 'localhost:8080/v1/wcc?dataset=wrn&vertex=7'
+//
+//	# Modeled hop distance from the benchmark source to vertex 42
+//	curl 'localhost:8080/v1/sssp?dataset=uk200705&vertex=42&system=blogel-b'
+//
+//	# Global triangle count; add &vertex= for a per-vertex count
+//	curl 'localhost:8080/v1/triangle?dataset=twitter&system=graphx'
+//
+//	# LPA community of vertex 3
+//	curl 'localhost:8080/v1/lpa?dataset=twitter&vertex=3'
+//
+//	# Server health and metrics (latency quantiles, cache hit rate)
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+//
+// Responses carry X-Graphserve-Cache: miss | hit | coalesced; bodies
+// are byte-identical either way. When all -parallel slots are busy and
+// the wait queue is full, the server answers 429 with Retry-After.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		scale    = flag.Float64("scale", datasets.DefaultScale, "dataset reduction factor")
+		seed     = flag.Int64("seed", 1, "dataset generation seed")
+		parallel = flag.Int("parallel", 2, "max concurrent runs (admission slots)")
+		queue    = flag.Int("queue", 8, "max requests queued behind busy slots before 429")
+		shards   = flag.Int("shards", 0, "engine shards per slot pool (0 = GOMAXPROCS/parallel)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		snapdir  = flag.String("snapshot-dir", os.Getenv("GRAPHBENCH_SNAPSHOT_DIR"),
+			"binary CSR snapshot cache for dataset fixtures")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Scale:          *scale,
+		Seed:           *seed,
+		Shards:         *shards,
+		SnapshotDir:    *snapdir,
+		MaxInFlight:    *parallel,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphserve:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "graphserve: listening on %s (scale 1/%g, %d slots)\n",
+		*addr, *scale, *parallel)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "graphserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish,
+	// then release the worker pools.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shutdownCtx)
+	srv.Close()
+}

@@ -139,10 +139,11 @@
 // already-built CSR arrays, so loading is O(sections) arena slicing
 // plus linear validation instead of O(E) text parsing — the load-phase
 // I/O wall the paper's billion-edge datasets put in front of every
-// engine. The layout (format version 1):
+// engine. The layout (format version 2):
 //
 //	┌────────────────────────────────────────────────────────────┐
-//	│ header: magic, version, flags, V, E, self-edges, scale     │
+//	│ header: magic, version, flags, V, E, self-edges, scale,    │
+//	│         generation seed                                    │
 //	│ section table: {kind, offset, bytes} per section           │
 //	├────────────────────────────────────────────────────────────┤
 //	│ name │ out-offsets │ out-edges │ in-offsets │ in-edges │   │
@@ -169,11 +170,47 @@
 // under a cache directory keyed by (dataset name, scale, seed, format
 // version), so any parameter or format change misses cleanly, and a
 // hit is bit-identical to regeneration because generation is
-// deterministic in the key. core.Runner consults the cache when
-// SnapshotDir (or $GRAPHBENCH_SNAPSHOT_DIR, which CI points at a
-// restored cache) is set; cmd/graphbench exposes it as -snapshot-dir
-// and cmd/datagen writes standalone containers via -format csrbin.
-// Engines never learn how a graph arrived, and the grid-level
-// acceptance test asserts generated, cold-cache, and snapshot-loaded
-// runs produce bit-identical results and modeled costs.
+// deterministic in the key. The container also persists the generation
+// seed (format v2), and the cache rejects an entry whose stored seed
+// disagrees with the requested one — the CSR bytes alone cannot reveal
+// that a renamed or mis-restored file came from a different seed.
+// core.Runner consults the cache when SnapshotDir (or
+// $GRAPHBENCH_SNAPSHOT_DIR, which CI points at a restored cache) is
+// set; cmd/graphbench exposes it as -snapshot-dir and cmd/datagen
+// writes standalone containers via -format csrbin. Engines never learn
+// how a graph arrived, and the grid-level acceptance test asserts
+// generated, cold-cache, and snapshot-loaded runs produce bit-identical
+// results and modeled costs.
+//
+// # Serve mode
+//
+// cmd/graphserve (internal/serve) turns the study into a long-lived
+// query service instead of a batch harness: dataset fixtures are
+// prepared once at startup and answered from memory, and workload
+// queries — PageRank top-k, WCC membership, SSSP distance, triangle
+// counts, LPA communities — are HTTP GET endpoints returning JSON.
+// Three pieces carry the load:
+//
+//   - Admission control. A scheduler owns MaxInFlight run slots, each
+//     slot carrying its own persistent par.Pool, so every admitted run
+//     dispatches onto warm parked workers (engines borrow the pool via
+//     engine.Options.Pool rather than spawning their own). At most
+//     MaxQueue requests wait behind busy slots; beyond that the server
+//     sheds load with 429 + Retry-After rather than queueing without
+//     bound. Every request runs under a deadline (504 on expiry).
+//
+//   - Single-flight result caching. Runs are deterministic in
+//     (dataset, workload, system, machines, shards), so results are
+//     memoized under that key and concurrent identical requests
+//     coalesce onto one computation. Cache provenance travels only in
+//     the X-Graphserve-Cache header (hit | miss | coalesced): bodies
+//     are byte-identical between cold and cached serves, which the
+//     load-generator test enforces byte-for-byte. Failed runs (OOM,
+//     timeout — deterministic findings) are cached like successes;
+//     only errors evict so the next request retries.
+//
+//   - Metrics. GET /metrics reports request counts by status code,
+//     latency quantiles from a log-bucketed histogram
+//     (metrics.Histogram), cache hit rate, queue depth, and in-flight
+//     runs. GET /healthz is the readiness probe.
 package graphbench

@@ -94,6 +94,7 @@ func (e *VEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 		Profile:         &prof,
 		ScanAll:         false, // Blogel touches only active vertices
 		Shards:          opt.Shards,
+		Pool:            opt.Pool,
 		RecordIterStats: true,
 	}
 	configureWorkload(&cfg, w, d, opt)

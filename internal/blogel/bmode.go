@@ -70,9 +70,10 @@ func (e *BEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 	// Execute block-centric computation. The persistent pool lives for
 	// exactly this run.
 	mark = c.Clock()
+	pool, release := par.Use(opt.Pool, opt.Shards)
+	defer release()
 	bx := &bExec{cluster: c, prof: &prof, d: d, g: gr, vor: vor, w: w, res: res,
-		pool: par.New(opt.Shards)}
-	defer bx.pool.Close()
+		pool: pool}
 	execErr := bx.run()
 	res.Exec = c.Clock() - mark
 	if execErr != nil {

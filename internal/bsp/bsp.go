@@ -69,6 +69,12 @@ type Config struct {
 	// sequential message stream.
 	Shards int
 
+	// Pool, when non-nil, is an external persistent pool the shard
+	// loops borrow instead of creating one per run (engine.Options.Pool
+	// threaded through by the engines); its granularity supersedes
+	// Shards.
+	Pool *par.Pool
+
 	// StopDeltaBelow stops after a superstep whose aggregated max
 	// delta is below the threshold (PageRank tolerance criterion).
 	StopDeltaBelow float64
@@ -268,8 +274,8 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		cfg.TimeDilation = 1
 	}
 	n := cfg.Graph.NumVertices()
-	pool := par.New(cfg.Shards)
-	defer pool.Close()
+	pool, release := par.Use(cfg.Pool, cfg.Shards)
+	defer release()
 	rt := &runtime{
 		cfg:       cfg,
 		cluster:   cluster,

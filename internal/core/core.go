@@ -165,13 +165,20 @@ func NewRunner(scale float64, seed int64) *Runner {
 	}
 }
 
-// Dataset returns the prepared fixture for name, generating it on
+// TryDataset returns the prepared fixture for name, generating it on
 // first use — or loading its cached snapshot when SnapshotDir is set.
-func (r *Runner) Dataset(name datasets.Name) *engine.Dataset {
+// An unknown dataset name or a fixture-preparation failure is returned
+// as an error: long-lived callers (internal/serve) degrade one request
+// instead of killing the process. CLI entry points that want the old
+// die-on-bad-fixture behaviour use the Dataset shim.
+func (r *Runner) TryDataset(name datasets.Name) (*engine.Dataset, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if d, ok := r.fixtures[name]; ok {
-		return d
+		return d, nil
+	}
+	if !datasets.Known(name) {
+		return nil, fmt.Errorf("core: unknown dataset %q", name)
 	}
 	opt := datasets.Options{Scale: r.Scale, Seed: r.Seed}
 	var g *graph.Graph
@@ -184,32 +191,54 @@ func (r *Runner) Dataset(name datasets.Name) *engine.Dataset {
 	src := datasets.SourceVertex(g, 42)
 	d, err := engine.Prepare(fs, g, "data/"+string(name), 64, src)
 	if err != nil {
-		panic(fmt.Sprintf("core: preparing %s: %v", name, err))
+		return nil, fmt.Errorf("core: preparing %s: %w", name, err)
 	}
 	d.DilationSSSP = datasets.TraversalDilation(name, g, src)
 	d.DilationWCC = datasets.WCCDilation(name, g)
 	r.fixtures[name] = d
+	return d, nil
+}
+
+// Dataset is the panic-wrapping shim over TryDataset for CLI callers
+// and the harness, where a bad fixture is unrecoverable.
+func (r *Runner) Dataset(name datasets.Name) *engine.Dataset {
+	d, err := r.TryDataset(name)
+	if err != nil {
+		panic(err.Error())
+	}
 	return d
 }
 
-// Workload builds the workload instance for a dataset (the source
-// vertex is per dataset, §3.3).
-func (r *Runner) Workload(kind engine.Kind, name datasets.Name) engine.Workload {
-	d := r.Dataset(name)
+// TryWorkload builds the workload instance for a dataset (the source
+// vertex is per dataset, §3.3), propagating fixture errors.
+func (r *Runner) TryWorkload(kind engine.Kind, name datasets.Name) (engine.Workload, error) {
+	d, err := r.TryDataset(name)
+	if err != nil {
+		return engine.Workload{}, err
+	}
 	switch kind {
 	case engine.PageRank:
-		return engine.NewPageRank()
+		return engine.NewPageRank(), nil
 	case engine.WCC:
-		return engine.NewWCC()
+		return engine.NewWCC(), nil
 	case engine.SSSP:
-		return engine.NewSSSP(d.Source)
+		return engine.NewSSSP(d.Source), nil
 	case engine.Triangle:
-		return engine.NewTriangleCount()
+		return engine.NewTriangleCount(), nil
 	case engine.LPA:
-		return engine.NewLPA()
+		return engine.NewLPA(), nil
 	default:
-		return engine.NewKHop(d.Source)
+		return engine.NewKHop(d.Source), nil
 	}
+}
+
+// Workload is the panic-wrapping shim over TryWorkload.
+func (r *Runner) Workload(kind engine.Kind, name datasets.Name) engine.Workload {
+	w, err := r.TryWorkload(kind, name)
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
 }
 
 // MatrixShards returns the per-run engine shard count for runs that
@@ -218,15 +247,22 @@ func (r *Runner) Workload(kind engine.Kind, name datasets.Name) engine.Workload 
 // by the pool's worker count — the two parallelism layers compose to
 // ~GOMAXPROCS goroutines instead of its square.
 func (r *Runner) MatrixShards() int {
-	if r.Shards != 0 {
-		return r.Shards
+	return matrixShards(r.Shards, r.Pool().Workers(), runtime.GOMAXPROCS(0))
+}
+
+// matrixShards computes the per-run shard default: the explicit
+// override when set, otherwise ceil(procs/workers) so workers × shards
+// covers every core. Floor division here was a latent bug: 3 workers on
+// 8 cores yielded 2 shards × 3 workers = 6 goroutines, idling two
+// cores.
+func matrixShards(override, workers, procs int) int {
+	if override != 0 {
+		return override
 	}
-	w := r.Pool().Workers()
-	p := runtime.GOMAXPROCS(0)
-	if w >= p {
+	if workers >= procs {
 		return 1
 	}
-	return p / w
+	return (procs + workers - 1) / workers
 }
 
 // MatrixOptions applies the matrix shard default to opt, for harness
@@ -241,12 +277,47 @@ func (r *Runner) MatrixOptions(opt engine.Options) engine.Options {
 // Run executes one experiment on a fresh cluster. A standalone run has
 // the engine to itself, so its loops default to GOMAXPROCS shards.
 func (r *Runner) Run(s System, name datasets.Name, kind engine.Kind, machines int) *engine.Result {
-	return r.run(s, name, kind, machines, r.Shards)
+	res, err := r.tryRun(s, name, kind, machines, r.Shards, nil)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// TryRun is Run with fixture failures returned as errors instead of
+// panics — the run path long-lived servers use. Note the distinction:
+// a *failed run* (OOM, timeout, …) is still a Result with a non-OK
+// Status, because failures are findings in this study; only problems
+// that prevent the run from starting at all (unknown dataset, broken
+// fixture) are errors.
+func (r *Runner) TryRun(s System, name datasets.Name, kind engine.Kind, machines int) (*engine.Result, error) {
+	return r.tryRun(s, name, kind, machines, r.Shards, nil)
+}
+
+// TryRunOn is TryRun with the engine's shard loops borrowing the given
+// persistent pool (serve mode keeps one warm per admission slot, so
+// steady-state requests spawn no goroutines).
+func (r *Runner) TryRunOn(pool *par.Pool, s System, name datasets.Name, kind engine.Kind, machines int) (*engine.Result, error) {
+	return r.tryRun(s, name, kind, machines, r.Shards, pool)
 }
 
 func (r *Runner) run(s System, name datasets.Name, kind engine.Kind, machines, shards int) *engine.Result {
-	d := r.Dataset(name)
-	w := r.Workload(kind, name)
+	res, err := r.tryRun(s, name, kind, machines, shards, nil)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+func (r *Runner) tryRun(s System, name datasets.Name, kind engine.Kind, machines, shards int, pool *par.Pool) (*engine.Result, error) {
+	d, err := r.TryDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := r.TryWorkload(kind, name)
+	if err != nil {
+		return nil, err
+	}
 	if s.Tweak != nil {
 		w = s.Tweak(w)
 	}
@@ -254,6 +325,7 @@ func (r *Runner) run(s System, name datasets.Name, kind engine.Kind, machines, s
 	if opt.Shards == 0 {
 		opt.Shards = shards
 	}
+	opt.Pool = pool
 	// GraphX runs with the paper's tuned partition counts (Table 5)
 	// unless the experiment overrides them.
 	if s.Key == "graphx" && opt.NumPartitions == 0 {
@@ -261,7 +333,7 @@ func (r *Runner) run(s System, name datasets.Name, kind engine.Kind, machines, s
 	}
 	res := s.New().Run(sim.NewSize(machines), d, w, opt)
 	res.System = s.Label
-	return res
+	return res, nil
 }
 
 // Cell identifies one grid entry.
@@ -286,6 +358,19 @@ func (r *Runner) Pool() *par.Pool {
 		r.pool = par.New(r.Workers)
 	}
 	return r.pool
+}
+
+// Close shuts down the runner's matrix pool, if one was created. The
+// finalizer would eventually do the same; owners with a clear
+// lifecycle (a server shutting down, a test) should call Close so
+// goroutine accounting is deterministic.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pool != nil {
+		r.pool.Close()
+		r.pool = nil
+	}
 }
 
 // RunGrid executes the cells concurrently on the runner's pool (each

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
+	"graphbench/internal/par"
 	"graphbench/internal/sim"
 )
 
@@ -56,6 +59,98 @@ func TestRunnerFixtureCache(t *testing.T) {
 	}
 	if a.DilationSSSP < 1 || a.DilationWCC < 1 {
 		t.Fatalf("dilations not set: %+v", a)
+	}
+}
+
+// TestMatrixShardsCoversEveryCore: the matrix shard default must round
+// up, so workers × shards ≥ GOMAXPROCS — floor division left cores idle
+// (8 procs / 3 workers = 2 shards × 3 workers = 6 goroutines).
+func TestMatrixShardsCoversEveryCore(t *testing.T) {
+	cases := []struct{ override, workers, procs, want int }{
+		{0, 1, 1, 1},
+		{0, 1, 8, 8},
+		{0, 2, 8, 4},
+		{0, 3, 8, 3},  // floor gave 2: the reported bug
+		{0, 5, 8, 2},  // floor gave 1
+		{0, 7, 8, 2},  // floor gave 1
+		{0, 8, 8, 1},  // workers alone cover the cores
+		{0, 16, 8, 1}, // oversubscribed pool still gets sequential runs
+		{0, 3, 4, 2},
+		{0, 2, 3, 2},
+		{0, 6, 64, 11}, // ceil(64/6)
+		{4, 3, 8, 4},   // explicit -shards override wins
+		{1, 1, 64, 1},
+	}
+	for _, c := range cases {
+		got := matrixShards(c.override, c.workers, c.procs)
+		if got != c.want {
+			t.Errorf("matrixShards(override=%d, workers=%d, procs=%d) = %d, want %d",
+				c.override, c.workers, c.procs, got, c.want)
+		}
+		if c.override == 0 && got*c.workers < c.procs {
+			t.Errorf("workers=%d procs=%d: %d shards × %d workers = %d goroutines idles cores",
+				c.workers, c.procs, got, c.workers, got*c.workers)
+		}
+	}
+	// Through the runner: a 3-worker pool on this machine must cover
+	// GOMAXPROCS.
+	r := NewRunner(2_000_000, 1)
+	r.Workers = 3
+	defer r.Close()
+	if got, procs := r.MatrixShards(), runtime.GOMAXPROCS(0); got*3 < procs {
+		t.Errorf("MatrixShards() = %d with 3 workers on %d procs", got, procs)
+	}
+}
+
+// TestTryDatasetErrors: the serve-mode fixture path reports problems as
+// errors; the CLI shim still panics.
+func TestTryDatasetErrors(t *testing.T) {
+	r := NewRunner(2_000_000, 1)
+	if _, err := r.TryDataset("no-such-dataset"); err == nil {
+		t.Fatal("TryDataset accepted an unknown name")
+	}
+	if _, err := r.TryWorkload(engine.PageRank, "no-such-dataset"); err == nil {
+		t.Fatal("TryWorkload accepted an unknown name")
+	}
+	s, _ := SystemByKey("giraph")
+	if _, err := r.TryRun(s, "no-such-dataset", engine.PageRank, 16); err == nil {
+		t.Fatal("TryRun accepted an unknown name")
+	}
+	if d, err := r.TryDataset(datasets.Twitter); err != nil || d == nil {
+		t.Fatalf("TryDataset(twitter) = %v, %v", d, err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Dataset shim did not panic on an unknown name")
+			}
+		}()
+		r.Dataset("no-such-dataset")
+	}()
+}
+
+// TestTryRunOnBorrowedPool: a run on an externally owned pool must not
+// close it, and must produce the same result as a standalone run (shard
+// count only changes wall time).
+func TestTryRunOnBorrowedPool(t *testing.T) {
+	r := NewRunner(2_000_000, 1)
+	s, _ := SystemByKey("giraph")
+	pool := par.New(2)
+	defer pool.Close()
+	a, err := r.TryRunOn(pool, s, datasets.Twitter, engine.PageRank, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.TryRunOn(pool, s, datasets.Twitter, engine.PageRank, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != sim.OK || b.Status != sim.OK {
+		t.Fatalf("borrowed-pool runs failed: %v, %v", a.Status, b.Status)
+	}
+	cold := r.Run(s, datasets.Twitter, engine.PageRank, 16)
+	if !reflect.DeepEqual(a.Ranks, cold.Ranks) || !reflect.DeepEqual(b.Ranks, cold.Ranks) {
+		t.Fatal("borrowed-pool run diverged from standalone run")
 	}
 }
 

@@ -132,6 +132,7 @@ func (g *Gelly) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt en
 		Profile:         &prof,
 		ScanAll:         true, // coGroup re-scans the full dataset
 		Shards:          opt.Shards,
+		Pool:            opt.Pool,
 		RecordIterStats: true,
 	}
 	configureWorkload(&cfg, w, d)

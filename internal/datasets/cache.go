@@ -41,19 +41,28 @@ func (c *Cache) Path(name Name, opt Options) string {
 // Generate returns the named dataset, loading its cached snapshot when
 // present and valid, otherwise generating it and writing the snapshot
 // for the next run. Cache I/O failures degrade to plain generation.
+//
+// Validation covers every component of the generation key: name and
+// scale from the graph itself, and the generation seed persisted in
+// the snapshot header. The seed check matters because the graph's
+// bytes don't otherwise encode it — a snapshot file renamed, or
+// restored by CI under the wrong seed's cache key, would load silently
+// with wrong data and poison every downstream "bit-identical to
+// generation" guarantee.
 func (c *Cache) Generate(name Name, opt Options) *graph.Graph {
 	if opt.Scale <= 0 {
 		opt.Scale = DefaultScale
 	}
 	path := c.Path(name, opt)
-	if g, err := snapshot.Load(path); err == nil &&
-		g.Name() == string(name) && g.ScaleFactor() == opt.Scale {
+	if g, seed, err := snapshot.Load(path); err == nil &&
+		g.Name() == string(name) && g.ScaleFactor() == opt.Scale && seed == opt.Seed {
 		return g
 	}
 	g := Generate(name, opt)
 	// Best-effort save: a read-only or full cache directory must not
-	// fail the run, it just keeps regenerating.
-	_ = snapshot.Save(path, g)
+	// fail the run, it just keeps regenerating. A mismatched entry is
+	// overwritten with the correct one (heal-on-miss).
+	_ = snapshot.Save(path, g, opt.Seed)
 	return g
 }
 

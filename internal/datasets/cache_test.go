@@ -49,13 +49,37 @@ func TestCacheHitLoadsSnapshot(t *testing.T) {
 	planted := graph.NewBuilder(3).SetName(string(Twitter)).SetScaleFactor(cacheScale)
 	planted.AddEdge(0, 1)
 	planted.AddEdge(1, 2)
-	if err := snapshot.Save(c.Path(Twitter, opt), planted.Build()); err != nil {
+	if err := snapshot.Save(c.Path(Twitter, opt), planted.Build(), opt.Seed); err != nil {
 		t.Fatal(err)
 	}
 	got := c.Generate(Twitter, opt)
 	if got.NumVertices() != 3 || got.NumEdges() != 2 {
 		t.Fatalf("cache ignored the planted snapshot: got %d vertices, %d edges",
 			got.NumVertices(), got.NumEdges())
+	}
+}
+
+// TestCacheRejectsWrongSeedSnapshot: a snapshot restored under the
+// wrong seed's cache key (renamed file, mispopulated CI cache) must be
+// regenerated, not loaded — the graph's bytes alone can't reveal the
+// mismatch, which is why the container persists the generation seed.
+func TestCacheRejectsWrongSeedSnapshot(t *testing.T) {
+	c := NewCache(t.TempDir())
+	wrong := Options{Scale: cacheScale, Seed: 1}
+	want := Options{Scale: cacheScale, Seed: 2}
+	// Plant seed-1 bytes at seed-2's cache key, as a rename would.
+	if err := snapshot.Save(c.Path(Twitter, want), Generate(Twitter, wrong), wrong.Seed); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Generate(Twitter, want)
+	if !sameGraph(Generate(Twitter, want), got) {
+		t.Fatal("cache served the wrong seed's graph")
+	}
+	// The mismatched entry must have been healed in place.
+	if g, seed, err := snapshot.Load(c.Path(Twitter, want)); err != nil {
+		t.Fatalf("cache did not heal the mismatched entry: %v", err)
+	} else if seed != want.Seed || !sameGraph(got, g) {
+		t.Fatalf("healed entry carries seed %d, want %d", seed, want.Seed)
 	}
 }
 
@@ -74,7 +98,7 @@ func TestCacheCorruptSnapshotFallsBackAndHeals(t *testing.T) {
 		t.Fatal("corrupt snapshot changed the generated graph")
 	}
 	// The entry must have been rewritten with a valid snapshot.
-	if g, err := snapshot.Load(path); err != nil {
+	if g, _, err := snapshot.Load(path); err != nil {
 		t.Fatalf("cache did not heal the corrupt entry: %v", err)
 	} else if !sameGraph(got, g) {
 		t.Fatal("healed entry differs from the returned graph")

@@ -43,6 +43,14 @@ const (
 // AllNames lists the datasets in the paper's order.
 func AllNames() []Name { return []Name{Twitter, WRN, UK, ClueWeb} }
 
+// Known reports whether name is a registered dataset — the validation
+// entry point for callers (servers, CLIs) that receive names from
+// outside and must not hit SpecFor's panic.
+func Known(name Name) bool {
+	_, ok := specs[name]
+	return ok
+}
+
 // Spec records the paper-scale characteristics of a dataset (Table 3,
 // §5.9) plus generator parameters for its synthetic analogue.
 type Spec struct {

@@ -10,6 +10,7 @@ import (
 
 	"graphbench/internal/graph"
 	"graphbench/internal/hdfs"
+	"graphbench/internal/par"
 	"graphbench/internal/sim"
 )
 
@@ -180,6 +181,14 @@ type Options struct {
 	// bit-identical outputs and modeled costs (enforced by
 	// internal/enginetest's determinism tests).
 	Shards int
+
+	// Pool, when non-nil, is an external persistent worker pool the
+	// engine's shard loops borrow instead of creating (and closing) a
+	// private one; its Workers() granularity then supersedes Shards.
+	// Serve mode keeps one warm pool per admission slot so steady-state
+	// requests spawn no goroutines. The pool must not be shared by
+	// concurrent runs.
+	Pool *par.Pool
 }
 
 // IterStat records one iteration for the per-iteration analyses

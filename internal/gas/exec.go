@@ -25,6 +25,7 @@ type execution struct {
 	opt     engine.Options
 	res     *engine.Result
 	pool    *par.Pool
+	release func()   // closes the pool when owned; no-op when borrowed
 	plan    par.Plan // edge-balanced vertex shards over g
 
 	values    []float64
@@ -40,7 +41,7 @@ type replicaCounter interface {
 }
 
 func (ex *execution) init() {
-	ex.pool = par.New(ex.opt.Shards)
+	ex.pool, ex.release = par.Use(ex.opt.Pool, ex.opt.Shards)
 	ex.plan = par.PlanPrefix(ex.g.WorkPrefix(), ex.pool.Workers())
 	n := ex.g.NumVertices()
 	ex.values = make([]float64, n)
@@ -106,7 +107,7 @@ func (ex *execution) chargeIteration(activeCount, gatherEdges, scatterEdges, mir
 // lifecycle: the persistent workers live for exactly one engine run.
 func (ex *execution) runSync() error {
 	ex.init()
-	defer ex.pool.Close()
+	defer ex.release()
 	switch ex.w.Kind {
 	case engine.PageRank:
 		return ex.syncPageRank()
@@ -525,7 +526,7 @@ func (ex *execution) syncLPA() error {
 // the engine falls back to the synchronous implementations.
 func (ex *execution) runAsync() error {
 	ex.init()
-	defer ex.pool.Close()
+	defer ex.release()
 	switch ex.w.Kind {
 	case engine.Triangle:
 		return ex.syncTriangles()

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+)
+
+// histogramBuckets are the upper bounds, in seconds, of the latency
+// histogram's buckets. They grow geometrically (×2 per bucket) from
+// 100µs to ~1700s, which spans everything graphserve observes — from a
+// cache hit served in microseconds to a cold multi-engine run — with a
+// worst-case quantile error of one octave. Observations beyond the last
+// bound land in an implicit +Inf overflow bucket.
+var histogramBuckets = func() []float64 {
+	var b []float64
+	for v := 100e-6; v < 2000; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// Histogram is a concurrency-safe latency histogram with fixed
+// logarithmic buckets. The zero value is not ready for use; call
+// NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // one per histogramBuckets entry, plus overflow
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(histogramBuckets)+1)}
+}
+
+// Observe records one latency sample, in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := 0
+	for i < len(histogramBuckets) && seconds > histogramBuckets[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += seconds
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observed values, in seconds.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q ≤ 1), in seconds — an over-estimate by at most one
+// bucket width. It returns 0 for an empty histogram and +Inf when the
+// quantile falls in the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(histogramBuckets) {
+				return histogramBuckets[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"graphbench/internal/engine"
@@ -73,28 +74,52 @@ func WriteLog(w io.Writer, recs []Record) error {
 	return nil
 }
 
-// ReadLog parses JSON-lines records, skipping blank lines.
+// ReadLog parses JSON-lines records, skipping blank lines. A malformed
+// final line — the usual signature of a run killed mid-append — is
+// skipped with a warning on stderr rather than failing the whole log;
+// malformed lines anywhere else still error (see ReadLogPartial).
 func ReadLog(r io.Reader) ([]Record, error) {
-	var out []Record
+	recs, warn, err := ReadLogPartial(r)
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "metrics:", warn)
+	}
+	return recs, err
+}
+
+// ReadLogPartial parses JSON-lines records, skipping blank lines. It
+// distinguishes two failure shapes: a malformed line followed by more
+// records means the file itself is damaged and is returned as an error,
+// while a malformed line at the very end means the writer was killed
+// mid-append — the torn line is dropped, every complete record is
+// returned, and warn describes what was skipped.
+func ReadLogPartial(r io.Reader) (recs []Record, warn string, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	line := 0
+	var pendingErr error // malformed line, fatal only if records follow
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
-		var rec Record
-		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("metrics: log line %d: %w", line, err)
+		if pendingErr != nil {
+			return nil, "", pendingErr
 		}
-		out = append(out, rec)
+		var rec Record
+		if uerr := json.Unmarshal([]byte(text), &rec); uerr != nil {
+			pendingErr = fmt.Errorf("metrics: log line %d: %w", line, uerr)
+			continue
+		}
+		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if serr := sc.Err(); serr != nil {
+		return nil, "", serr
 	}
-	return out, nil
+	if pendingErr != nil {
+		warn = fmt.Sprintf("skipping torn final log line: %v", pendingErr)
+	}
+	return recs, warn, nil
 }
 
 // Filter returns the records matching every non-empty criterion.

@@ -2,7 +2,9 @@ package metrics
 
 import (
 	"bytes"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"graphbench/internal/engine"
@@ -54,8 +56,96 @@ func TestReadLogSkipsBlanksRejectsGarbage(t *testing.T) {
 	if err != nil || len(got) != 1 {
 		t.Fatalf("blank handling: %v %v", got, err)
 	}
-	if _, err := ReadLog(strings.NewReader("not json\n")); err == nil {
-		t.Fatal("garbage accepted")
+	if _, err := ReadLog(strings.NewReader("not json\n{\"system\":\"BV\"}\n")); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	}
+}
+
+// TestReadLogPartialTornFinalLine: a malformed last line is the
+// signature of a writer killed mid-append — complete records come back
+// with a warning, not an error.
+func TestReadLogPartialTornFinalLine(t *testing.T) {
+	in := "{\"system\":\"BV\"}\n{\"system\":\"G\"}\n{\"system\":\"GX\",\"exec_s"
+	recs, warn, err := ReadLogPartial(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("torn final line should not error: %v", err)
+	}
+	if len(recs) != 2 || recs[0].System != "BV" || recs[1].System != "G" {
+		t.Fatalf("complete records lost: %+v", recs)
+	}
+	if !strings.Contains(warn, "line 3") {
+		t.Fatalf("warning does not identify the torn line: %q", warn)
+	}
+	// Trailing blanks after the torn line keep it "final".
+	recs, warn, err = ReadLogPartial(strings.NewReader(in + "\n\n  \n"))
+	if err != nil || len(recs) != 2 || warn == "" {
+		t.Fatalf("trailing blanks changed torn-line handling: %d recs, warn %q, err %v",
+			len(recs), warn, err)
+	}
+}
+
+// TestReadLogPartialMidFileGarbage: a malformed line with records after
+// it means the file itself is damaged, which stays a hard error.
+func TestReadLogPartialMidFileGarbage(t *testing.T) {
+	in := "{\"system\":\"BV\"}\nnot json\n{\"system\":\"G\"}\n"
+	if _, _, err := ReadLogPartial(strings.NewReader(in)); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not identify the bad line: %v", err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zero")
+	}
+	// 90 fast observations and 10 slow ones: the median lands in the
+	// fast bucket, the p99 in the slow one. Bucket bounds are powers of
+	// two times 100µs, so 0.001 rounds up to 0.0016 and 1.0 to 1.6384.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.0)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < 0.001 || p50 > 0.002 {
+		t.Fatalf("p50 = %v, want ~0.0016", p50)
+	}
+	if p99 < 1.0 || p99 > 2.0 {
+		t.Fatalf("p99 = %v, want ~1.6", p99)
+	}
+	if sum := h.Sum(); sum < 10.08 || sum > 10.1 {
+		t.Fatalf("Sum = %v, want 10.09", sum)
+	}
+	// Overflow bucket: beyond the last bound the quantile is +Inf, an
+	// honest "off the scale" rather than a fabricated bound.
+	h2 := NewHistogram()
+	h2.Observe(1e6)
+	if !math.IsInf(h2.Quantile(0.5), 1) {
+		t.Fatalf("overflow quantile = %v, want +Inf", h2.Quantile(0.5))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
 	}
 }
 

@@ -231,6 +231,24 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	}
 }
 
+// Use returns the external pool when it is non-nil, otherwise a fresh
+// pool with the given shard granularity, plus a release func that
+// closes only an owned pool. It is the borrow point for serve mode:
+// engines run their shard loops on a caller-provided persistent pool
+// (kept warm across requests) instead of spawning and closing a private
+// one per run, and the shared `pool, release := par.Use(...); defer
+// release()` idiom keeps both lifecycles in one line. A borrowed pool
+// must not be used by two concurrent runs: ForEach serializes
+// dispatches, but interleaving two runs' phases would destroy the
+// warm-scratch ownership the engines rely on.
+func Use(external *Pool, shards int) (*Pool, func()) {
+	if external != nil {
+		return external, func() {}
+	}
+	p := New(shards)
+	return p, p.Close
+}
+
 // Shard is one contiguous index range [Lo, Hi) of a Plan.
 type Shard struct {
 	Index  int

@@ -101,6 +101,7 @@ func (g *Giraph) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 		Profile:         &prof,
 		ScanAll:         true,
 		Shards:          opt.Shards,
+		Pool:            opt.Pool,
 		RecordIterStats: true,
 	}
 	configureWorkload(&cfg, w, d, opt)

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+)
+
+// runKey identifies one cacheable run. It covers every input that
+// determines the modeled result: the runner pins scale and seed, so
+// (dataset, workload, system, machines, shards) is the rest of the key.
+// Shards is part of the key defensively — results are bit-identical at
+// any shard count, but a key that under-identifies its value is how
+// caches rot.
+type runKey struct {
+	dataset  datasets.Name
+	kind     engine.Kind
+	system   string
+	machines int
+	shards   int
+}
+
+// cacheEntry is one in-progress or completed run. res and err are
+// written exactly once, before done is closed; readers must wait on
+// done first (the close is the happens-before edge).
+type cacheEntry struct {
+	done chan struct{}
+	res  *engine.Result
+	err  error
+}
+
+// resultCache memoizes run results with single-flight semantics: the
+// first request for a key becomes the leader and computes; concurrent
+// requests for the same key coalesce onto the leader's entry instead of
+// burning a second admission slot on identical work.
+//
+// The leader computes in a detached goroutine, so a leader whose
+// client disconnects mid-run still finishes and warms the cache for the
+// next request (slot queueing happens inside compute and does respect
+// the caller's deadline, so abandoned requests never hold a queue
+// position). Failed *runs* (OOM,
+// timeout — deterministic modeled outcomes) are cached like successes;
+// only errors (fixture failures, overload, deadline) evict the entry so
+// a later request retries.
+type resultCache struct {
+	mu sync.Mutex
+	m  map[runKey]*cacheEntry
+
+	hits, misses, coalesced atomic.Uint64
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{m: make(map[runKey]*cacheEntry)}
+}
+
+// get returns the cached result for key, computing it via compute on a
+// miss. The returned status is "hit" (entry was complete), "coalesced"
+// (waited on another request's in-flight computation), or "miss" (this
+// call was the leader). On ctx expiry the caller gets ctx.Err() but an
+// already-admitted computation keeps running and caches its result.
+func (c *resultCache) get(ctx context.Context, key runKey, compute func() (*engine.Result, error)) (*engine.Result, string, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		select {
+		case <-e.done:
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.res, "hit", e.err
+		default:
+			c.mu.Unlock()
+			c.coalesced.Add(1)
+			select {
+			case <-e.done:
+				return e.res, "coalesced", e.err
+			case <-ctx.Done():
+				return nil, "coalesced", ctx.Err()
+			}
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	go func() {
+		e.res, e.err = compute()
+		if e.err != nil {
+			// Errors are conditions of the attempt, not of the key:
+			// evict so the next request retries instead of replaying a
+			// transient failure forever.
+			c.mu.Lock()
+			if c.m[key] == e {
+				delete(c.m, key)
+			}
+			c.mu.Unlock()
+		}
+		close(e.done)
+	}()
+
+	select {
+	case <-e.done:
+		return e.res, "miss", e.err
+	case <-ctx.Done():
+		return nil, "miss", ctx.Err()
+	}
+}
+
+// stats returns the cumulative hit/miss/coalesced counters.
+func (c *resultCache) stats() (hits, misses, coalesced uint64) {
+	return c.hits.Load(), c.misses.Load(), c.coalesced.Load()
+}

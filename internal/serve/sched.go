@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"graphbench/internal/par"
+)
+
+// errOverloaded is returned by scheduler.acquire when the wait queue is
+// full; handlers translate it to 429 + Retry-After.
+var errOverloaded = errors.New("serve: server overloaded")
+
+// scheduler is the admission controller: a fixed set of run slots, each
+// carrying its own persistent par.Pool, plus a bounded wait queue.
+// Bounding in-flight runs keeps concurrent engines from oversubscribing
+// the machine; carrying the pool in the slot means every admitted run
+// dispatches onto warm, parked workers — steady-state requests spawn no
+// engine goroutines at all.
+type scheduler struct {
+	slots   chan *par.Pool
+	waiting atomic.Int64
+	maxWait int64
+}
+
+// newScheduler creates inFlight slots whose pools run shards worker
+// goroutines each, with at most maxWait callers queued behind them.
+func newScheduler(inFlight, maxWait, shards int) *scheduler {
+	s := &scheduler{
+		slots:   make(chan *par.Pool, inFlight),
+		maxWait: int64(maxWait),
+	}
+	for i := 0; i < inFlight; i++ {
+		s.slots <- par.New(shards)
+	}
+	return s
+}
+
+// acquire returns a slot's pool, queueing while all slots are busy. It
+// fails fast with errOverloaded when the queue is already full, and
+// with ctx.Err() when the caller's deadline expires while queued.
+func (s *scheduler) acquire(ctx context.Context) (*par.Pool, error) {
+	select {
+	case p := <-s.slots:
+		return p, nil
+	default:
+	}
+	if s.waiting.Add(1) > s.maxWait {
+		s.waiting.Add(-1)
+		return nil, errOverloaded
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case p := <-s.slots:
+		return p, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a pool to its slot.
+func (s *scheduler) release(p *par.Pool) { s.slots <- p }
+
+// queueDepth reports how many callers are waiting for a slot.
+func (s *scheduler) queueDepth() int64 { return s.waiting.Load() }
+
+// inFlight reports how many slots are currently running.
+func (s *scheduler) inFlight() int { return cap(s.slots) - len(s.slots) }
+
+// close reclaims every slot — blocking until in-flight runs release
+// theirs — and shuts the pools down, so a server shutdown leaves no
+// worker goroutines behind.
+func (s *scheduler) close() {
+	for i := 0; i < cap(s.slots); i++ {
+		(<-s.slots).Close()
+	}
+}

@@ -1,0 +1,533 @@
+// Package serve exposes the simulated study as a long-lived query
+// service: cmd/graphserve loads the dataset fixtures once at startup,
+// keeps persistent engine worker pools warm, and answers workload
+// queries (PageRank top-k, WCC membership, SSSP distance, triangle
+// counts, LPA communities) over HTTP as JSON.
+//
+// Three mechanisms make the server fit for concurrent clients:
+//
+//   - Admission control (scheduler): at most MaxInFlight runs execute
+//     at once, each on its own persistent par.Pool; at most MaxQueue
+//     requests wait behind them; beyond that the server sheds load with
+//     429 + Retry-After instead of queueing unboundedly.
+//   - Single-flight result cache (resultCache): runs are deterministic
+//     given (dataset, workload, system, machines, shards), so results
+//     are memoized and concurrent identical requests coalesce onto one
+//     computation. Cache state travels in the X-Graphserve-Cache header
+//     (hit | miss | coalesced) — never in the body, so a cached
+//     response is byte-identical to the cold one.
+//   - Per-request deadlines: every query runs under RequestTimeout;
+//     expiry returns 504 while an admitted run finishes in the
+//     background and warms the cache.
+//
+// GET /metrics reports request counts by status, latency quantiles from
+// a log-bucketed histogram, cache hit rate, queue depth, and in-flight
+// runs. GET /healthz is the readiness probe.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"graphbench/internal/core"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+	"graphbench/internal/metrics"
+	"graphbench/internal/sim"
+)
+
+// Config parameterizes a Server. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	Scale float64 // dataset reduction scale (0 = datasets.DefaultScale)
+	Seed  int64   // generation seed
+
+	// Shards is the worker count of each slot's persistent pool (0 =
+	// ceil(GOMAXPROCS / MaxInFlight), so concurrent runs share the
+	// machine instead of each claiming all of it).
+	Shards int
+
+	SnapshotDir string // fixture snapshot cache directory ("" = generate)
+
+	MaxInFlight    int           // concurrent runs (0 = 2)
+	MaxQueue       int           // queued requests beyond that (0 = 8)
+	RequestTimeout time.Duration // per-request deadline (0 = 60s)
+
+	// Datasets to warm at startup (nil = all four). Queries against
+	// datasets outside this list still work — their fixture is prepared
+	// on first use, paying the generation cost on that request.
+	Datasets []datasets.Name
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = (runtime.GOMAXPROCS(0) + c.MaxInFlight - 1) / c.MaxInFlight
+	}
+	if c.Datasets == nil {
+		c.Datasets = datasets.AllNames()
+	}
+	return c
+}
+
+// Server is the long-lived query service. Create with New, serve with
+// any http.Server (it implements http.Handler), shut down with Close.
+type Server struct {
+	cfg    Config
+	runner *core.Runner
+	sched  *scheduler
+	cache  *resultCache
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	byCode   map[int]uint64
+	requests uint64
+	latency  *metrics.Histogram
+
+	closeOnce sync.Once
+}
+
+// New builds a server and warms every configured dataset fixture, so
+// the first query pays no generation cost. A fixture that cannot be
+// prepared fails startup — a server that would 500 every request is
+// better caught at boot.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	r := core.NewRunner(cfg.Scale, cfg.Seed)
+	r.Shards = cfg.Shards
+	if cfg.SnapshotDir != "" {
+		r.SnapshotDir = cfg.SnapshotDir
+	}
+	for _, name := range cfg.Datasets {
+		if _, err := r.TryDataset(name); err != nil {
+			return nil, fmt.Errorf("serve: warming fixtures: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		runner:  r,
+		sched:   newScheduler(cfg.MaxInFlight, cfg.MaxQueue, cfg.Shards),
+		cache:   newResultCache(),
+		byCode:  make(map[int]uint64),
+		latency: metrics.NewHistogram(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/pagerank", s.instrument(s.handleQuery(engine.PageRank)))
+	s.mux.HandleFunc("GET /v1/wcc", s.instrument(s.handleQuery(engine.WCC)))
+	s.mux.HandleFunc("GET /v1/sssp", s.instrument(s.handleQuery(engine.SSSP)))
+	s.mux.HandleFunc("GET /v1/triangle", s.instrument(s.handleQuery(engine.Triangle)))
+	s.mux.HandleFunc("GET /v1/lpa", s.instrument(s.handleQuery(engine.LPA)))
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close shuts down the slot pools and the runner's matrix pool. It
+// blocks until in-flight runs finish; callers should stop the HTTP
+// listener first.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.sched.close()
+		s.runner.Close()
+	})
+}
+
+// statusRecorder captures the response code for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a query handler with request counting and latency
+// observation.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		sec := time.Since(start).Seconds()
+		s.mu.Lock()
+		s.requests++
+		s.byCode[rec.code]++
+		s.mu.Unlock()
+		s.latency.Observe(sec)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metricsBody is the /metrics response. Quantiles are in seconds; -1
+// means the quantile fell beyond the histogram's last bucket.
+type metricsBody struct {
+	RequestsTotal   uint64            `json:"requests_total"`
+	ResponsesByCode map[string]uint64 `json:"responses_by_code"`
+	Latency         latencyBody       `json:"latency_seconds"`
+	Cache           cacheBody         `json:"cache"`
+	QueueDepth      int64             `json:"queue_depth"`
+	InFlight        int               `json:"in_flight"`
+}
+
+type latencyBody struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+type cacheBody struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// finiteQuantile reads a histogram quantile, mapping the +Inf overflow
+// bucket to -1 (JSON cannot carry infinities).
+func finiteQuantile(h *metrics.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		return -1
+	}
+	return v
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, coalesced := s.cache.stats()
+	lookups := hits + misses + coalesced
+	rate := 0.0
+	if lookups > 0 {
+		// Coalesced lookups count as hits: they were served without a
+		// run of their own.
+		rate = float64(hits+coalesced) / float64(lookups)
+	}
+	s.mu.Lock()
+	body := metricsBody{
+		RequestsTotal:   s.requests,
+		ResponsesByCode: make(map[string]uint64, len(s.byCode)),
+	}
+	for code, n := range s.byCode {
+		body.ResponsesByCode[strconv.Itoa(code)] = n
+	}
+	s.mu.Unlock()
+	body.Latency = latencyBody{
+		Count: s.latency.Count(),
+		P50:   finiteQuantile(s.latency, 0.50),
+		P95:   finiteQuantile(s.latency, 0.95),
+		P99:   finiteQuantile(s.latency, 0.99),
+	}
+	body.Cache = cacheBody{Hits: hits, Misses: misses, Coalesced: coalesced, HitRate: rate}
+	body.QueueDepth = s.sched.queueDepth()
+	body.InFlight = s.sched.inFlight()
+	writeJSON(w, http.StatusOK, body)
+}
+
+// query holds one parsed and validated /v1 request.
+type query struct {
+	key    runKey
+	sys    core.System
+	d      *engine.Dataset
+	vertex graph.VertexID // wcc/sssp/lpa/triangle target (triangle: -1 = global)
+	topK   int            // pagerank
+}
+
+// parseQuery validates the common parameters. It writes the error
+// response itself and returns ok=false on failure.
+func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, kind engine.Kind) (query, bool) {
+	var q query
+	vals := r.URL.Query()
+
+	name := datasets.Name(vals.Get("dataset"))
+	if name == "" {
+		name = datasets.Twitter
+	}
+	if !datasets.Known(name) {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return q, false
+	}
+
+	sysKey := vals.Get("system")
+	if sysKey == "" {
+		sysKey = "giraph"
+	}
+	sys, err := core.SystemByKey(sysKey)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unknown system %q", sysKey)
+		return q, false
+	}
+	if sys.PageRankOnly && kind != engine.PageRank {
+		writeError(w, http.StatusBadRequest,
+			"system %q is a PageRank-only variant and cannot run %s", sysKey, kind)
+		return q, false
+	}
+
+	machines := 16
+	if m := vals.Get("machines"); m != "" {
+		machines, err = strconv.Atoi(m)
+		if err != nil || machines < 1 || machines > 4096 {
+			writeError(w, http.StatusBadRequest, "machines must be a positive integer, got %q", m)
+			return q, false
+		}
+	}
+
+	// The fixture is warmed at startup for configured datasets; a cold
+	// one generates here, under this request's budget.
+	d, err := s.runner.TryDataset(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "preparing fixture: %v", err)
+		return q, false
+	}
+
+	q = query{
+		key: runKey{dataset: name, kind: kind, system: sys.Key,
+			machines: machines, shards: s.cfg.Shards},
+		sys: sys,
+		d:   d,
+	}
+
+	switch kind {
+	case engine.PageRank:
+		q.topK = 10
+		if k := vals.Get("k"); k != "" {
+			q.topK, err = strconv.Atoi(k)
+			if err != nil || q.topK < 1 {
+				writeError(w, http.StatusBadRequest, "k must be a positive integer, got %q", k)
+				return q, false
+			}
+		}
+	case engine.Triangle:
+		q.vertex = -1 // global count unless a vertex is named
+		if v := vals.Get("vertex"); v != "" {
+			if q.vertex, err = parseVertex(v, d.NumVertices); err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return q, false
+			}
+		}
+	default: // WCC, SSSP, LPA: vertex-targeted, defaulting to the source
+		q.vertex = d.Source
+		if v := vals.Get("vertex"); v != "" {
+			if q.vertex, err = parseVertex(v, d.NumVertices); err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return q, false
+			}
+		}
+	}
+	return q, true
+}
+
+func parseVertex(s string, n int) (graph.VertexID, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 || v >= n {
+		return 0, fmt.Errorf("vertex must be in [0, %d), got %q", n, s)
+	}
+	return graph.VertexID(v), nil
+}
+
+// runMeta is the run provenance common to every query response. All
+// fields are deterministic functions of the cache key, so responses
+// stay byte-identical between cold and cached serves.
+type runMeta struct {
+	Dataset    string  `json:"dataset"`
+	System     string  `json:"system"`
+	Workload   string  `json:"workload"`
+	Machines   int     `json:"machines"`
+	Status     string  `json:"status"`
+	Iterations int     `json:"iterations"`
+	TotalSec   float64 `json:"modeled_total_sec"`
+}
+
+func metaOf(key runKey, res *engine.Result) runMeta {
+	return runMeta{
+		Dataset:    string(key.dataset),
+		System:     res.System,
+		Workload:   key.kind.String(),
+		Machines:   key.machines,
+		Status:     res.Status.String(),
+		Iterations: res.Iterations,
+		TotalSec:   res.TotalTime(),
+	}
+}
+
+func (s *Server) handleQuery(kind engine.Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		q, ok := s.parseQuery(w, r, kind)
+		if !ok {
+			return
+		}
+
+		res, cacheStatus, err := s.cache.get(ctx, q.key, func() (*engine.Result, error) {
+			pool, err := s.sched.acquire(ctx)
+			if err != nil {
+				return nil, err
+			}
+			defer s.sched.release(pool)
+			return s.runner.TryRunOn(pool, q.sys, q.key.dataset, kind, q.key.machines)
+		})
+		if err != nil {
+			switch {
+			case errors.Is(err, errOverloaded):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+			case errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+			default:
+				writeError(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+
+		// Cache provenance goes in a header, never the body: cached
+		// bodies must be byte-identical to cold ones.
+		w.Header().Set("X-Graphserve-Cache", cacheStatus)
+
+		meta := metaOf(q.key, res)
+		if res.Status != sim.OK {
+			// A failed run is a deterministic modeled outcome (OOM,
+			// timeout, …) — a finding, served as 500 with the same
+			// body every time.
+			writeJSON(w, http.StatusInternalServerError, struct {
+				runMeta
+				Error string `json:"error"`
+			}{meta, fmt.Sprintf("run failed: %s", res.Status)})
+			return
+		}
+		writeJSON(w, http.StatusOK, queryBody(kind, q, meta, res))
+	}
+}
+
+// rankedVertex is one PageRank top-k entry.
+type rankedVertex struct {
+	Vertex int     `json:"vertex"`
+	Rank   float64 `json:"rank"`
+}
+
+// queryBody builds the workload-specific response. Everything here is
+// a pure function of the cached result, keeping bodies deterministic.
+func queryBody(kind engine.Kind, q query, meta runMeta, res *engine.Result) any {
+	switch kind {
+	case engine.PageRank:
+		return struct {
+			runMeta
+			K   int            `json:"k"`
+			Top []rankedVertex `json:"top"`
+		}{meta, q.topK, topRanks(res.Ranks, q.topK)}
+	case engine.WCC:
+		comp := res.Labels[q.vertex]
+		return struct {
+			runMeta
+			Vertex        int `json:"vertex"`
+			Component     int `json:"component"`
+			ComponentSize int `json:"component_size"`
+		}{meta, int(q.vertex), int(comp), countLabel(res.Labels, comp)}
+	case engine.SSSP:
+		dist := res.Dist[q.vertex]
+		return struct {
+			runMeta
+			Source    int  `json:"source"`
+			Vertex    int  `json:"vertex"`
+			Distance  int  `json:"distance"`
+			Reachable bool `json:"reachable"`
+		}{meta, int(q.d.Source), int(q.vertex), int(dist), dist >= 0}
+	case engine.Triangle:
+		if q.vertex < 0 {
+			return struct {
+				runMeta
+				TotalTriangles int64 `json:"total_triangles"`
+			}{meta, res.TotalTriangles()}
+		}
+		return struct {
+			runMeta
+			Vertex            int   `json:"vertex"`
+			IncidentTriangles int64 `json:"incident_triangles"`
+		}{meta, int(q.vertex), res.Triangles[q.vertex]}
+	default: // LPA
+		label := res.Labels[q.vertex]
+		return struct {
+			runMeta
+			Vertex        int `json:"vertex"`
+			Label         int `json:"label"`
+			CommunitySize int `json:"community_size"`
+		}{meta, int(q.vertex), int(label), countLabel(res.Labels, label)}
+	}
+}
+
+// topRanks returns the k highest-ranked vertices, ties broken toward
+// the smaller vertex id so the ordering (and the response bytes) are
+// fully deterministic.
+func topRanks(ranks []float64, k int) []rankedVertex {
+	idx := make([]int, len(ranks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if ranks[idx[a]] != ranks[idx[b]] {
+			return ranks[idx[a]] > ranks[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]rankedVertex, k)
+	for i := 0; i < k; i++ {
+		out[i] = rankedVertex{Vertex: idx[i], Rank: ranks[idx[i]]}
+	}
+	return out
+}
+
+func countLabel(labels []graph.VertexID, want graph.VertexID) int {
+	n := 0
+	for _, l := range labels {
+		if l == want {
+			n++
+		}
+	}
+	return n
+}

@@ -21,13 +21,13 @@ func FuzzSnapshotDecode(f *testing.F) {
 	for _, shape := range []struct{ n, e int }{{1, 0}, {4, 9}, {32, 150}} {
 		g := randomMultigraph(rng, shape.n, shape.e, "seed", 100)
 		var buf bytes.Buffer
-		if err := snapshot.Write(&buf, g); err != nil {
+		if err := snapshot.Write(&buf, g, int64(shape.n)); err != nil {
 			f.Fatal(err)
 		}
 		valid := buf.Bytes()
 		f.Add(slices.Clone(valid))
 		f.Add(slices.Clone(valid[:len(valid)/2])) // truncated
-		f.Add(slices.Clone(valid[:56]))           // header only
+		f.Add(slices.Clone(valid[:64]))           // header only
 		corrupt := slices.Clone(valid)
 		corrupt[len(corrupt)/3] ^= 0x40
 		f.Add(corrupt) // checksum mismatch
@@ -35,19 +35,22 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("GBCSRSNP"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		g, err := snapshot.Decode(data)
+		g, seed, err := snapshot.Decode(data)
 		if err != nil {
 			return // rejected input: an error, never a panic
 		}
 		var buf bytes.Buffer
-		if err := snapshot.Write(&buf, g); err != nil {
+		if err := snapshot.Write(&buf, g, seed); err != nil {
 			t.Fatalf("re-encoding a decoded graph failed: %v", err)
 		}
-		g2, err := snapshot.Decode(buf.Bytes())
+		g2, seed2, err := snapshot.Decode(buf.Bytes())
 		if err != nil {
 			t.Fatalf("re-decoding written output failed: %v", err)
 		}
 		c, c2 := g.RawCSR(), g2.RawCSR()
+		if seed2 != seed {
+			t.Fatalf("seed changed across round trip: %d vs %d", seed, seed2)
+		}
 		if c.Name != c2.Name || c.Scale != c2.Scale || c.SelfEdges != c2.SelfEdges ||
 			!slices.Equal(c.OutOffsets, c2.OutOffsets) || !slices.Equal(c.OutEdges, c2.OutEdges) ||
 			!slices.Equal(c.InOffsets, c2.InOffsets) || !slices.Equal(c.InEdges, c2.InEdges) ||

@@ -3,7 +3,7 @@
 // arena slices instead of O(E) text parsing — the I/O wall GraphD
 // attacks with streamed binary adjacency (PAPERS.md).
 //
-// # Container layout (version 1, all fields little-endian)
+// # Container layout (version 2, all fields little-endian)
 //
 //	offset  size  field
 //	0       8     magic "GBCSRSNP"
@@ -13,12 +13,20 @@
 //	24      8     edge count (uint64)
 //	32      8     self-edge count (uint64)
 //	40      8     scale factor (float64 bits)
-//	48      4     section count (uint32)
-//	52      4     reserved
-//	56      24×k  section table: {kind u32, pad u32, offset u64, bytes u64}
+//	48      8     generation seed (int64 bits)
+//	56      4     section count (uint32)
+//	60      4     reserved
+//	64      24×k  section table: {kind u32, pad u32, offset u64, bytes u64}
 //	...           section payloads, each starting at an 8-aligned offset
 //	end-8   4     CRC-32C (Castagnoli) of every preceding byte
 //	end-4   4     end magic "GBSE"
+//
+// Version 2 added the generation seed (and grew the header from 56 to
+// 64 bytes): the graph's bytes don't encode the seed that produced
+// them, so a version-1 snapshot renamed — or restored by CI under the
+// wrong seed's cache key — loaded silently with wrong data.
+// datasets.Cache now rejects entries whose embedded seed disagrees
+// with the requested one.
 //
 // Sections persist the already-built CSR arrays of graph.CSR: the
 // dataset name (raw UTF-8), out-offsets/out-edges, in-offsets/in-edges
@@ -53,7 +61,8 @@ import (
 
 // Version is the container format version. datasets.Cache keys cache
 // file names by it, so bumping it invalidates every cached snapshot.
-const Version = 1
+// Version 2: generation seed embedded in the header (64-byte header).
+const Version = 2
 
 // Ext is the conventional file extension for snapshot files.
 const Ext = ".csrbin"
@@ -64,7 +73,7 @@ const (
 
 	flagWorkPrefix = 1 << 0
 
-	headerSize = 56
+	headerSize = 64
 	entrySize  = 24
 	trailerLen = 8
 
@@ -83,8 +92,11 @@ const (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Write streams g as a snapshot container to w in one pass (the
-// checksum lives in a trailer, so no seeking is needed).
-func Write(w io.Writer, g *graph.Graph) error {
+// checksum lives in a trailer, so no seeking is needed). seed is the
+// generation seed the graph was built from, persisted so cache lookups
+// can reject entries restored under the wrong key; writers without a
+// meaningful seed (hand-built graphs) pass 0.
+func Write(w io.Writer, g *graph.Graph, seed int64) error {
 	c := g.RawCSR()
 	n := uint64(len(c.OutOffsets) - 1)
 
@@ -110,7 +122,8 @@ func Write(w io.Writer, g *graph.Graph) error {
 	le.PutUint64(header[24:], uint64(len(c.OutEdges)))
 	le.PutUint64(header[32:], uint64(c.SelfEdges))
 	le.PutUint64(header[40:], math.Float64bits(c.Scale))
-	le.PutUint32(header[48:], uint32(len(sections)))
+	le.PutUint64(header[48:], uint64(seed))
+	le.PutUint32(header[56:], uint32(len(sections)))
 
 	offset := uint64(len(header))
 	for i, s := range sections {
@@ -150,7 +163,7 @@ func Write(w io.Writer, g *graph.Graph) error {
 // Save writes g's snapshot to path atomically (temp file + rename in
 // the same directory), creating parent directories as needed. Partial
 // writes are never visible to concurrent loaders.
-func Save(path string, g *graph.Graph) error {
+func Save(path string, g *graph.Graph, seed int64) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -160,7 +173,7 @@ func Save(path string, g *graph.Graph) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := Write(tmp, g); err != nil {
+	if err := Write(tmp, g, seed); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -170,51 +183,53 @@ func Save(path string, g *graph.Graph) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// Load reads the snapshot at path and reconstructs the graph. On linux
+// Load reads the snapshot at path and reconstructs the graph plus the
+// generation seed recorded by the writer. On linux
 // the file is memory-mapped and the CSR arrays alias the mapping
 // (released when the Graph is garbage-collected); elsewhere, or when
 // mapping fails, the file is read into one heap arena. Either way the
 // arrays are aliased in place on little-endian hosts — load cost is
 // the checksum plus validation scans, not per-element parsing.
-func Load(path string) (*graph.Graph, error) {
+func Load(path string) (*graph.Graph, int64, error) {
 	data, release, err := readArena(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	g, err := Decode(data)
+	g, seed, err := Decode(data)
 	if err != nil {
 		if release != nil {
 			release()
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	if release != nil {
 		arenaCleanup(g, release)
 	}
-	return g, nil
+	return g, seed, nil
 }
 
-// Decode reconstructs a graph from snapshot container bytes. The
-// returned graph's arrays alias data (on little-endian hosts), which
-// must therefore stay live and unmodified for the graph's lifetime.
-// Arbitrary input yields an error, never a panic.
-func Decode(data []byte) (*graph.Graph, error) {
+// Decode reconstructs a graph (and the generation seed recorded by the
+// writer) from snapshot container bytes. The returned graph's arrays
+// alias data (on little-endian hosts), which must therefore stay live
+// and unmodified for the graph's lifetime. Arbitrary input yields an
+// error, never a panic.
+func Decode(data []byte) (*graph.Graph, int64, error) {
 	le := binary.LittleEndian
 	if len(data) < headerSize+trailerLen {
-		return nil, fmt.Errorf("snapshot: truncated: %d bytes", len(data))
+		return nil, 0, fmt.Errorf("snapshot: truncated: %d bytes", len(data))
 	}
 	if string(data[:8]) != magic {
-		return nil, fmt.Errorf("snapshot: bad magic")
+		return nil, 0, fmt.Errorf("snapshot: bad magic")
 	}
 	if v := le.Uint32(data[8:]); v != Version {
-		return nil, fmt.Errorf("snapshot: format version %d, reader supports %d", v, Version)
+		return nil, 0, fmt.Errorf("snapshot: format version %d, reader supports %d", v, Version)
 	}
 	if string(data[len(data)-4:]) != endMagic {
-		return nil, fmt.Errorf("snapshot: bad end magic (truncated file?)")
+		return nil, 0, fmt.Errorf("snapshot: bad end magic (truncated file?)")
 	}
 	body := data[:len(data)-trailerLen]
 	if sum := crc32.Checksum(body, castagnoli); sum != le.Uint32(data[len(data)-trailerLen:]) {
-		return nil, fmt.Errorf("snapshot: checksum mismatch (corrupt file)")
+		return nil, 0, fmt.Errorf("snapshot: checksum mismatch (corrupt file)")
 	}
 
 	flags := le.Uint32(data[12:])
@@ -222,16 +237,17 @@ func Decode(data []byte) (*graph.Graph, error) {
 	ne := le.Uint64(data[24:])
 	selfEdges := le.Uint64(data[32:])
 	scale := math.Float64frombits(le.Uint64(data[40:]))
-	nsec := le.Uint32(data[48:])
+	seed := int64(le.Uint64(data[48:]))
+	nsec := le.Uint32(data[56:])
 	if nv > math.MaxInt32 || ne > math.MaxInt32 || selfEdges > ne {
-		return nil, fmt.Errorf("snapshot: implausible counts: %d vertices, %d edges, %d self-edges", nv, ne, selfEdges)
+		return nil, 0, fmt.Errorf("snapshot: implausible counts: %d vertices, %d edges, %d self-edges", nv, ne, selfEdges)
 	}
 	if nsec > maxSections {
-		return nil, fmt.Errorf("snapshot: %d sections exceeds limit %d", nsec, maxSections)
+		return nil, 0, fmt.Errorf("snapshot: %d sections exceeds limit %d", nsec, maxSections)
 	}
 	tableEnd := uint64(headerSize) + entrySize*uint64(nsec)
 	if tableEnd > uint64(len(body)) {
-		return nil, fmt.Errorf("snapshot: section table overruns file")
+		return nil, 0, fmt.Errorf("snapshot: section table overruns file")
 	}
 
 	sections := make(map[uint32][]byte, nsec)
@@ -241,32 +257,32 @@ func Decode(data []byte) (*graph.Graph, error) {
 		off := le.Uint64(e[8:])
 		length := le.Uint64(e[16:])
 		if off < tableEnd || off > uint64(len(body)) || length > uint64(len(body))-off {
-			return nil, fmt.Errorf("snapshot: section %d out of bounds (offset %d, %d bytes)", kind, off, length)
+			return nil, 0, fmt.Errorf("snapshot: section %d out of bounds (offset %d, %d bytes)", kind, off, length)
 		}
 		if kind != secName && off%8 != 0 {
-			return nil, fmt.Errorf("snapshot: section %d misaligned at offset %d", kind, off)
+			return nil, 0, fmt.Errorf("snapshot: section %d misaligned at offset %d", kind, off)
 		}
 		if _, dup := sections[kind]; dup {
-			return nil, fmt.Errorf("snapshot: duplicate section %d", kind)
+			return nil, 0, fmt.Errorf("snapshot: duplicate section %d", kind)
 		}
 		sections[kind] = data[off : off+length]
 	}
 
 	outOffsets, err := int32Section(sections, secOutOffsets, nv+1)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	outEdges, err := int32Section(sections, secOutEdges, ne)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	inOffsets, err := int32Section(sections, secInOffsets, nv+1)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	inEdges, err := int32Section(sections, secInEdges, ne)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	c := graph.CSR{
 		Name:       string(sections[secName]),
@@ -279,17 +295,17 @@ func Decode(data []byte) (*graph.Graph, error) {
 	}
 	if flags&flagWorkPrefix != 0 {
 		if c.WorkPrefix, err = int64Section(sections, secWorkPrefix, nv+1); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if !(scale > 0) || math.IsInf(scale, 0) {
-		return nil, fmt.Errorf("snapshot: invalid scale factor %v", scale)
+		return nil, 0, fmt.Errorf("snapshot: invalid scale factor %v", scale)
 	}
 	g, err := graph.FromCSR(c)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return g, nil
+	return g, seed, nil
 }
 
 func int32Section(sections map[uint32][]byte, kind uint32, count uint64) ([]int32, error) {

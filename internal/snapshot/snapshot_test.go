@@ -57,14 +57,18 @@ func TestRoundTripProperty(t *testing.T) {
 		for trial := 0; trial < 5; trial++ {
 			g := randomMultigraph(rng, c.n, c.e, "rand", 1+rng.Float64()*1e6)
 			var buf bytes.Buffer
-			if err := snapshot.Write(&buf, g); err != nil {
+			seed := rng.Int63()
+			if err := snapshot.Write(&buf, g, seed); err != nil {
 				t.Fatalf("n=%d e=%d: write: %v", c.n, c.e, err)
 			}
-			got, err := snapshot.Decode(buf.Bytes())
+			got, gotSeed, err := snapshot.Decode(buf.Bytes())
 			if err != nil {
 				t.Fatalf("n=%d e=%d: decode: %v", c.n, c.e, err)
 			}
 			assertIdentical(t, g, got)
+			if gotSeed != seed {
+				t.Fatalf("seed round-tripped to %d, want %d", gotSeed, seed)
+			}
 		}
 	}
 }
@@ -72,10 +76,10 @@ func TestRoundTripProperty(t *testing.T) {
 func TestRoundTripEmptyAndZeroValue(t *testing.T) {
 	for _, g := range []*graph.Graph{graph.NewBuilder(0).Build(), {}} {
 		var buf bytes.Buffer
-		if err := snapshot.Write(&buf, g); err != nil {
+		if err := snapshot.Write(&buf, g, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, err := snapshot.Decode(buf.Bytes())
+		got, _, err := snapshot.Decode(buf.Bytes())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,15 +94,18 @@ func TestSaveLoad(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := randomMultigraph(rng, 64, 400, "twitter", 100000)
 	path := filepath.Join(t.TempDir(), "nested", "dir", "twitter"+snapshot.Ext)
-	if err := snapshot.Save(path, g); err != nil {
+	if err := snapshot.Save(path, g, 42); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ { // repeated loads (mmap path) must agree
-		got, err := snapshot.Load(path)
+		got, seed, err := snapshot.Load(path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		assertIdentical(t, g, got)
+		if seed != 42 {
+			t.Fatalf("loaded seed %d, want 42", seed)
+		}
 	}
 	// No temp files left behind by the atomic save.
 	entries, err := os.ReadDir(filepath.Dir(path))
@@ -115,7 +122,7 @@ func snapshotBytes(t *testing.T) []byte {
 	t.Helper()
 	g := randomMultigraph(rand.New(rand.NewSource(3)), 32, 150, "t", 10)
 	var buf bytes.Buffer
-	if err := snapshot.Write(&buf, g); err != nil {
+	if err := snapshot.Write(&buf, g, 7); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -138,7 +145,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 	cases := map[string][]byte{
 		"empty":        {},
-		"header only":  valid[:56],
+		"header only":  valid[:64],
 		"bad magic":    mutate(func(d []byte) { d[0] ^= 0xff }),
 		"bad version":  mutate(func(d []byte) { d[8] = 99 }),
 		"flipped byte": mutate(func(d []byte) { d[len(d)/2] ^= 1 }),
@@ -147,7 +154,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		}),
 		"section out of bounds": mutate(func(d []byte) {
 			// Grow the out-edges section length past the file end.
-			binary.LittleEndian.PutUint64(d[56+24*2+16:], 1<<40)
+			binary.LittleEndian.PutUint64(d[64+24*2+16:], 1<<40)
 			fixCRC(d)
 		}),
 		"self-edge count lies": mutate(func(d []byte) {
@@ -160,7 +167,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		}),
 	}
 	for name, data := range cases {
-		if _, err := snapshot.Decode(data); err == nil {
+		if _, _, err := snapshot.Decode(data); err == nil {
 			t.Errorf("%s: decode accepted corrupt input", name)
 		}
 	}
@@ -169,14 +176,14 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 func TestDecodeRejectsEveryTruncation(t *testing.T) {
 	valid := snapshotBytes(t)
 	for n := 0; n < len(valid); n++ {
-		if _, err := snapshot.Decode(valid[:n]); err == nil {
+		if _, _, err := snapshot.Decode(valid[:n]); err == nil {
 			t.Fatalf("decode accepted truncation to %d of %d bytes", n, len(valid))
 		}
 	}
 }
 
 func TestLoadMissingFile(t *testing.T) {
-	if _, err := snapshot.Load(filepath.Join(t.TempDir(), "absent"+snapshot.Ext)); err == nil {
+	if _, _, err := snapshot.Load(filepath.Join(t.TempDir(), "absent"+snapshot.Ext)); err == nil {
 		t.Fatal("load of a missing file succeeded")
 	}
 }
