@@ -29,6 +29,16 @@
 // Responses carry X-Graphserve-Cache: miss | hit | coalesced; bodies
 // are byte-identical either way. When all -parallel slots are busy and
 // the wait queue is full, the server answers 429 with Retry-After.
+//
+// Resilience: runs killed by a recoverable injected fault are retried
+// (-retries) with backoff; persistent per-(dataset, workload) compute
+// errors trip a circuit breaker (-breaker-threshold, -breaker-cooldown)
+// that answers 503 + Retry-After until a probe succeeds; -chaos-rate
+// injects seeded machine-kill faults for testing the whole stack; and
+// -recover lets the engines absorb faults via checkpoint/retry/lineage
+// recovery instead. SIGINT/SIGTERM drain gracefully: the listener stops,
+// in-flight requests finish, worker pools shut down, and the process
+// exits 0 after logging "drained cleanly". A second signal kills it.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphbench/internal/chaos"
 	"graphbench/internal/datasets"
 	"graphbench/internal/serve"
 )
@@ -56,18 +67,37 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline")
 		snapdir  = flag.String("snapshot-dir", os.Getenv("GRAPHBENCH_SNAPSHOT_DIR"),
 			"binary CSR snapshot cache for dataset fixtures")
+		retries = flag.Int("retries", 0,
+			"retries for runs killed by a recoverable fault (0 = default 2, negative = none)")
+		breakerThreshold = flag.Int("breaker-threshold", 0,
+			"consecutive compute errors that open a (dataset, workload) breaker (0 = default 3)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0,
+			"how long an open breaker rejects before half-opening (0 = default 2s)")
+		chaosRate = flag.Float64("chaos-rate", 0,
+			"fraction of run attempts that suffer an injected machine kill (0 = off)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the chaos fault schedule")
+		recov     = flag.Bool("recover", false,
+			"absorb injected faults inside the engines (checkpoint/retry/lineage recovery)")
 	)
 	flag.Parse()
 
-	srv, err := serve.New(serve.Config{
-		Scale:          *scale,
-		Seed:           *seed,
-		Shards:         *shards,
-		SnapshotDir:    *snapdir,
-		MaxInFlight:    *parallel,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-	})
+	cfg := serve.Config{
+		Scale:            *scale,
+		Seed:             *seed,
+		Shards:           *shards,
+		SnapshotDir:      *snapdir,
+		MaxInFlight:      *parallel,
+		MaxQueue:         *queue,
+		RequestTimeout:   *timeout,
+		MaxRetries:       *retries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Recover:          *recov,
+	}
+	if *chaosRate > 0 {
+		cfg.Chaos = chaos.NewSource(*chaosSeed, *chaosRate)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphserve:", err)
 		os.Exit(1)
@@ -87,11 +117,20 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
+	// Restore default signal disposition so a second SIGINT/SIGTERM
+	// force-kills a stuck drain instead of being swallowed.
+	stop()
 
 	// Graceful drain: stop accepting, let in-flight requests finish,
 	// then release the worker pools.
+	fmt.Fprintln(os.Stderr, "graphserve: draining in-flight requests...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	_ = hs.Shutdown(shutdownCtx)
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		fmt.Fprintln(os.Stderr, "graphserve: drain incomplete:", err)
+		os.Exit(1)
+	}
 	srv.Close()
+	fmt.Fprintln(os.Stderr, "graphserve: drained cleanly")
 }

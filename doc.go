@@ -211,6 +211,57 @@
 //
 //   - Metrics. GET /metrics reports request counts by status code,
 //     latency quantiles from a log-bucketed histogram
-//     (metrics.Histogram), cache hit rate, queue depth, and in-flight
-//     runs. GET /healthz is the readiness probe.
+//     (metrics.Histogram), cache hit rate, queue depth, in-flight
+//     runs, fault/retry/recovery counters, and per-(dataset, workload)
+//     breaker states. GET /healthz is the readiness probe.
+//
+// # Fault tolerance & recovery
+//
+// internal/chaos injects deterministic machine-kill faults into the
+// simulated cluster, and each engine recovers the way its real system
+// does. A chaos.Plan{Seed, Kind, KillMachine, AtSuperstep} is a pure
+// value: its one-shot Injector, attached via sim.Cluster.SetInjector,
+// fires a recoverable sim.Failure (status KILL) the first time the run
+// crosses the plan's boundary — a superstep for BSP engines, a job
+// index for MapReduce chains, an iteration or stage for GraphX — and
+// never again, so the whole failure schedule replays from the seed.
+// chaos.Source derives per-attempt plans by hashing (seed, request
+// key, attempt) for rate-based serve-path chaos.
+//
+// Recovery is opt-in via engine.Options.Recover and faithful to each
+// architecture (§2 of the paper):
+//
+//   - BSP engines (Giraph, Blogel, Gelly) checkpoint vertex values,
+//     halted flags, and the undelivered inbox every
+//     Options.CheckpointEvery supersteps (default 5; superstep 0 is
+//     free — it is the loaded input). A kill rolls state back to the
+//     last checkpoint and replays the lost supersteps; checkpoint
+//     writes, the restart, and the replayed work are charged to the
+//     modeled clock.
+//   - Hadoop and HaLoop re-run the failed job from its materialized
+//     HDFS inputs — the MapReduce fault model needs no checkpoints.
+//     HaLoop's shuffle bug stays fatal: it is deterministic, and
+//     re-running reproduces it.
+//   - GraphX recomputes the lost partitions from RDD lineage, replaying
+//     the stages since the last periodic RDD checkpoint (or reading the
+//     checkpoint back when it is the nearest ancestor).
+//
+// Because compute state is restored exactly and replayed compute is
+// deterministic, a recovered run's outputs, iteration count, and
+// status are bit-identical to the failure-free run; only the modeled
+// clock grows, and Result.Costs itemizes the overhead (checkpoint,
+// restart, replay seconds, failure count). The fault matrix in
+// internal/enginetest enforces this for every engine × workload at
+// every boundary.
+//
+// The serve path layers process-level resilience on top: runs killed
+// by an injected fault are retried with exponential backoff + jitter
+// (Config.MaxRetries), persistent compute errors open a per-(dataset,
+// workload) circuit breaker that sheds with 503 + Retry-After until a
+// half-open probe succeeds, a panic-recovery middleware turns handler
+// panics into 500s, and SIGTERM/SIGINT drain the listener gracefully.
+// Deterministic modeled findings (an OOM result) are cached successes,
+// not breaker failures. cmd/graphserve exposes the knobs: -retries,
+// -breaker-threshold, -breaker-cooldown, -chaos-rate, -chaos-seed,
+// -recover.
 package graphbench

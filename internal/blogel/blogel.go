@@ -96,11 +96,13 @@ func (e *VEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 		Shards:          opt.Shards,
 		Pool:            opt.Pool,
 		RecordIterStats: true,
+		CheckpointEvery: opt.CheckpointInterval(),
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)
 	res.Exec = c.Clock() - mark
 	res.Iterations = dilated(out.Supersteps, cfg.TimeDilation)
+	res.Costs = out.Recovery
 	res.PerIteration = out.IterStats
 	fillOutputs(res, w, out)
 	if err != nil {

@@ -75,6 +75,18 @@ type Config struct {
 	// Shards.
 	Pool *par.Pool
 
+	// CheckpointEvery, when positive, snapshots the superstep state —
+	// vertex-value plane, halted flags, pending inbox arena, aggregate
+	// counters — every n supersteps and enables rollback-replay
+	// recovery: a recoverable machine failure injected at a superstep
+	// boundary (sim.Cluster.Boundary) rolls the run back to the last
+	// checkpoint and replays, charging modeled checkpoint-write,
+	// restart, and re-execution costs (Output.Recovery). Replayed
+	// supersteps recompute the exact same state, so recovered outputs
+	// are bit-identical to failure-free ones. Zero disables both
+	// checkpointing and recovery, and a recoverable fault ends the run.
+	CheckpointEvery int
+
 	// StopDeltaBelow stops after a superstep whose aggregated max
 	// delta is below the threshold (PageRank tolerance criterion).
 	StopDeltaBelow float64
@@ -95,6 +107,11 @@ type Output struct {
 	Supersteps int // supersteps past the initial one (= iterations)
 	IterStats  []engine.IterStat
 	Messages   float64 // total messages produced (synthetic scale)
+
+	// Recovery is the fault-tolerance overhead: checkpoints written and
+	// failures survived by rollback-replay (zero when CheckpointEvery
+	// is 0 or no fault fired).
+	Recovery engine.RecoveryCosts
 }
 
 // Context is the per-vertex view handed to Program.Compute. It routes
@@ -257,7 +274,38 @@ type runtime struct {
 
 	totalMsgs       float64
 	lastStepSeconds float64
+
+	// Fault-tolerance state (Config.CheckpointEvery > 0): the latest
+	// superstep checkpoint, accumulated recovery costs, and the replay
+	// window re-executed after a rollback.
+	ckpt      *checkpoint
+	recovery  engine.RecoveryCosts
+	replaying bool
+	replayTo  int // last superstep index being replayed
 }
+
+// checkpoint is a superstep-entry snapshot: the vertex-value plane,
+// halted flags, the pending inbox arena triple, and the aggregate
+// counters — everything the remaining supersteps depend on. It is
+// taken at the top of a superstep, before compute, so restoring it and
+// re-running reproduces the exact sequential execution. The buffers
+// are reused across snapshots (one live checkpoint at a time, like
+// Giraph's rotating checkpoint directory).
+type checkpoint struct {
+	superstep int
+	totalMsgs float64
+	iterStats int // len(Output.IterStats) at snapshot time
+	values    []float64
+	halted    []bool
+	inVals    []float64
+	inStart   []int32
+	inLen     []int32
+}
+
+// restartStartupFraction scales the profile's job-startup cost into
+// the failure-detection + partition-rescheduling overhead a recovery
+// pays before reloading the checkpoint.
+const restartStartupFraction = 0.5
 
 // Run executes the configured program on the cluster, charging costs as
 // it goes. It returns the output and the first failure encountered
@@ -372,9 +420,25 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 	}
 
 	out := &Output{}
-	for rt.superstep = 0; rt.superstep < cfg.MaxSupersteps; rt.superstep++ {
+	rt.superstep = 0
+	for rt.superstep < cfg.MaxSupersteps {
+		if cfg.CheckpointEvery > 0 && rt.superstep%cfg.CheckpointEvery == 0 &&
+			(rt.ckpt == nil || rt.ckpt.superstep != rt.superstep) {
+			if err := rt.takeCheckpoint(len(out.IterStats)); err != nil {
+				rt.fill(out)
+				return out, err
+			}
+		}
 		active := rt.computePhase()
 		err := rt.chargeSuperstep()
+		if rt.replaying {
+			// lastStepSeconds is per paper-scale superstep; the wall time
+			// actually re-spent is the dilated charge.
+			rt.recovery.ReplaySeconds += rt.lastStepSeconds * rt.cfg.TimeDilation
+			if rt.superstep >= rt.replayTo {
+				rt.replaying = false
+			}
+		}
 		if cfg.RecordIterStats {
 			out.IterStats = append(out.IterStats, engine.IterStat{
 				Iteration: rt.superstep,
@@ -383,7 +447,17 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 				Seconds:   rt.lastStepSeconds,
 			})
 		}
+		if err == nil {
+			err = rt.cluster.Boundary(rt.superstep)
+		}
 		if err != nil {
+			if rt.canRecover(err) {
+				if rerr := rt.rollback(out); rerr != nil {
+					rt.fill(out)
+					return out, rerr
+				}
+				continue
+			}
 			rt.fill(out)
 			return out, err
 		}
@@ -391,6 +465,7 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 			break
 		}
 		rt.deliver()
+		rt.superstep++
 	}
 	rt.fill(out)
 	return out, nil
@@ -400,6 +475,97 @@ func (rt *runtime) fill(out *Output) {
 	out.Values = rt.values
 	out.Supersteps = rt.superstep
 	out.Messages = rt.totalMsgs
+	out.Recovery = rt.recovery
+}
+
+// takeCheckpoint snapshots the superstep-entry state and charges the
+// modeled checkpoint write: the state plane goes to disk with 3-way
+// replication, two replicas crossing the network — the same cost shape
+// as rdd.Context.Checkpoint. The superstep-0 checkpoint is free: the
+// freshly loaded input is its own recovery point.
+func (rt *runtime) takeCheckpoint(iterLen int) error {
+	if rt.ckpt == nil {
+		rt.ckpt = &checkpoint{}
+	}
+	ck := rt.ckpt
+	ck.superstep = rt.superstep
+	ck.totalMsgs = rt.totalMsgs
+	ck.iterStats = iterLen
+	ck.values = append(ck.values[:0], rt.values...)
+	ck.halted = append(ck.halted[:0], rt.halted...)
+	ck.inVals = append(ck.inVals[:0], rt.inVals...)
+	ck.inStart = append(ck.inStart[:0], rt.inStart...)
+	ck.inLen = append(ck.inLen[:0], rt.inLen...)
+	if rt.superstep == 0 {
+		return nil
+	}
+	before := rt.cluster.Clock()
+	per := rt.stateBytes(len(ck.inVals)) / float64(rt.cfg.M)
+	err := rt.cluster.UniformStep(sim.StepCost{
+		DiskWriteBytes: per * 3,
+		NetSendBytes:   per * 2,
+		NetRecvBytes:   per * 2,
+	})
+	rt.recovery.CheckpointSeconds += rt.cluster.Clock() - before
+	return err
+}
+
+// stateBytes is the paper-scale size of a checkpoint holding an
+// inboxLen-message pending inbox: the vertex-value plane (8 B) plus
+// halted flags (1 B) per vertex, message values (8 B), and the CSR
+// offset plane (8 B per vertex).
+func (rt *runtime) stateBytes(inboxLen int) float64 {
+	n := float64(rt.cfg.Graph.NumVertices())
+	return (n*9 + n*8 + float64(inboxLen)*8) * rt.cfg.Scale
+}
+
+// canRecover reports whether err is survivable here: recovery needs
+// checkpointing on, a checkpoint in hand, and a recoverable failure.
+func (rt *runtime) canRecover(err error) bool {
+	return rt.cfg.CheckpointEvery > 0 && rt.ckpt != nil && sim.IsRecoverable(err)
+}
+
+// rollback restores the last checkpoint and arms replay: the failed
+// machine's partitions are rescheduled (a fraction of job startup),
+// every machine reads its checkpoint slice back from disk, and
+// execution re-enters the checkpointed superstep. Combiner stamps
+// reset to unclaimed — replayed supersteps reuse their original
+// superstep tags, and a stale stamp would alias a dead arena slot.
+// Recorded per-iteration stats roll back too, so replayed supersteps
+// do not appear twice.
+func (rt *runtime) rollback(out *Output) error {
+	ck := rt.ckpt
+	rt.recovery.Failures++
+	before := rt.cluster.Clock()
+	rerr := rt.cluster.Advance(rt.cfg.Profile.StartupSeconds(rt.cfg.M) * restartStartupFraction)
+	if rerr == nil {
+		rerr = rt.cluster.UniformStep(sim.StepCost{
+			DiskReadBytes: rt.stateBytes(len(ck.inVals)) / float64(rt.cfg.M),
+		})
+	}
+	rt.recovery.RestartSeconds += rt.cluster.Clock() - before
+	if rerr != nil {
+		return rerr
+	}
+	copy(rt.values, ck.values)
+	copy(rt.halted, ck.halted)
+	rt.inVals = append(rt.inVals[:0], ck.inVals...)
+	copy(rt.inStart, ck.inStart)
+	copy(rt.inLen, ck.inLen)
+	for m := range rt.stamp {
+		st := rt.stamp[m]
+		for i := range st {
+			st[i] = -1
+		}
+	}
+	if rt.cfg.RecordIterStats {
+		out.IterStats = out.IterStats[:ck.iterStats]
+	}
+	rt.replayTo = rt.superstep
+	rt.replaying = true
+	rt.superstep = ck.superstep
+	rt.totalMsgs = ck.totalMsgs
+	return nil
 }
 
 // computePhase executes Compute for the active vertices and returns

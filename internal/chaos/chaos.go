@@ -1,0 +1,193 @@
+// Package chaos provides deterministic fault injection for the
+// simulated cluster: seeded plans that kill a chosen machine at a
+// chosen superstep/job boundary, and a rate-based source that derives
+// per-attempt plans for serve-path chaos testing.
+//
+// Everything here is reproducible. A Plan is a pure value; the victim
+// machine and boundary derived by NewPlan are splitmix64 functions of
+// the seed, and a Source's per-attempt verdicts are hash functions of
+// (seed, request key, attempt number) — the same run always sees the
+// same failure schedule, which is what makes recovered runs comparable
+// bit-for-bit against failure-free ones (internal/enginetest's fault
+// matrix) and chaos tests stable under -race.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"graphbench/internal/sim"
+)
+
+// Kind is the class of fault a plan injects.
+type Kind int
+
+const (
+	// KillMachine fails one machine at a boundary. It is recoverable:
+	// the machine's state is recomputable from a checkpoint, the job's
+	// materialized inputs, or lineage, depending on the system.
+	KillMachine Kind = iota
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case KillMachine:
+		return "kill-machine"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Plan is one deterministic fault schedule: machine KillMachine dies
+// when the run crosses boundary AtSuperstep (a superstep for BSP
+// engines, a job index for MapReduce chains, an iteration or stage for
+// GraphX). The zero Plan kills machine 0 at boundary 0.
+type Plan struct {
+	Seed        int64
+	Kind        Kind
+	KillMachine int
+	AtSuperstep int
+}
+
+// NewPlan derives a reproducible plan from seed for a run on machines
+// machines expected to cross about boundaries superstep/job
+// boundaries: two splitmix64 streams pick the victim machine and the
+// boundary. The same seed always yields the same plan.
+func NewPlan(seed int64, machines, boundaries int) Plan {
+	if machines < 1 {
+		machines = 1
+	}
+	if boundaries < 1 {
+		boundaries = 1
+	}
+	h1 := splitmix64(uint64(seed))
+	h2 := splitmix64(h1)
+	return Plan{
+		Seed:        seed,
+		Kind:        KillMachine,
+		KillMachine: int(h1 % uint64(machines)),
+		AtSuperstep: int(h2 % uint64(boundaries)),
+	}
+}
+
+// String describes the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("%v %d at boundary %d (seed %d)", p.Kind, p.KillMachine, p.AtSuperstep, p.Seed)
+}
+
+// Failure builds the recoverable sim.Failure this plan injects.
+func (p Plan) Failure() *sim.Failure {
+	return &sim.Failure{
+		Status:      sim.Killed,
+		Machine:     p.KillMachine,
+		Recoverable: true,
+		Detail:      fmt.Sprintf("injected %v", p),
+	}
+}
+
+// Injector returns a fresh one-shot injector for the plan: the fault
+// fires the first time a run crosses the plan's boundary and never
+// again, so replay after recovery proceeds cleanly and the whole
+// schedule reproduces from the seed. An Injector belongs to a single
+// run; it is not safe for concurrent use.
+func (p Plan) Injector() *Injector { return &Injector{plan: p} }
+
+// Injector is the one-shot sim.Injector of a Plan.
+type Injector struct {
+	plan  Plan
+	fired bool
+}
+
+// NextFault implements sim.Injector.
+func (in *Injector) NextFault(boundary, machines int) *sim.Failure {
+	if in.fired || boundary != in.plan.AtSuperstep {
+		return nil
+	}
+	in.fired = true
+	f := in.plan.Failure()
+	if machines > 0 && f.Machine >= machines {
+		// The plan was derived for a larger cluster; kill a real machine
+		// so the failure stays meaningful.
+		f.Machine %= machines
+	}
+	return f
+}
+
+// Fired reports whether the fault has been delivered.
+func (in *Injector) Fired() bool { return in.fired }
+
+// sourceBoundaries is how many early boundaries a Source's derived
+// plans target. Keeping AtSuperstep below the shortest workload's
+// boundary count (triangle counting: 3 jobs/supersteps/stages) means
+// an injected plan actually fires on every workload.
+const sourceBoundaries = 3
+
+// Source derives per-attempt fault plans for a stream of run attempts
+// — the serve path's chaos feed. Attempt a of request key k suffers a
+// fault with probability Rate, decided by hashing (Seed, k, a): the
+// same attempt always gets the same verdict, so failure schedules are
+// reproducible across processes and under -race, while retries (higher
+// attempt numbers) draw fresh verdicts and almost surely succeed.
+//
+// The rate is mutable at runtime (SetRate) so operators and tests can
+// turn chaos off without restarting; all methods are safe for
+// concurrent use.
+type Source struct {
+	seed     int64
+	rateBits atomic.Uint64 // math.Float64bits of the injection rate
+}
+
+// NewSource returns a source injecting faults into the given fraction
+// of attempts (0 disables, 1 fails every attempt).
+func NewSource(seed int64, rate float64) *Source {
+	s := &Source{seed: seed}
+	s.SetRate(rate)
+	return s
+}
+
+// Seed returns the source's seed.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Rate returns the current injection rate.
+func (s *Source) Rate() float64 { return math.Float64frombits(s.rateBits.Load()) }
+
+// SetRate changes the injection rate; 0 turns chaos off.
+func (s *Source) SetRate(rate float64) { s.rateBits.Store(math.Float64bits(rate)) }
+
+// PlanFor returns the plan for attempt attempt of the run identified
+// by key on a machines-machine cluster, or nil when this attempt is
+// spared. Nil receivers never inject.
+func (s *Source) PlanFor(key string, attempt, machines int) *Plan {
+	if s == nil {
+		return nil
+	}
+	rate := s.Rate()
+	if rate <= 0 {
+		return nil
+	}
+	h := splitmix64(uint64(s.seed))
+	for _, b := range []byte(key) {
+		h = splitmix64(h ^ uint64(b))
+	}
+	h = splitmix64(h ^ uint64(attempt))
+	if float64(h%(1<<20))/float64(1<<20) >= rate {
+		return nil
+	}
+	p := NewPlan(int64(splitmix64(h)), machines, sourceBoundaries)
+	return &p
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// 64-bit mix used to derive victims, boundaries, and verdicts from
+// seeds without any global random state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

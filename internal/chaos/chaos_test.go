@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"graphbench/internal/sim"
+)
+
+func TestNewPlanDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		a := NewPlan(seed, 16, 10)
+		b := NewPlan(seed, 16, 10)
+		if a != b {
+			t.Fatalf("seed %d: %+v != %+v", seed, a, b)
+		}
+		if a.KillMachine < 0 || a.KillMachine >= 16 {
+			t.Fatalf("seed %d: victim %d out of [0,16)", seed, a.KillMachine)
+		}
+		if a.AtSuperstep < 0 || a.AtSuperstep >= 10 {
+			t.Fatalf("seed %d: boundary %d out of [0,10)", seed, a.AtSuperstep)
+		}
+		if a.Kind != KillMachine {
+			t.Fatalf("seed %d: kind %v", seed, a.Kind)
+		}
+	}
+	// Different seeds spread over victims and boundaries.
+	victims, bounds := map[int]bool{}, map[int]bool{}
+	for seed := int64(0); seed < 100; seed++ {
+		p := NewPlan(seed, 16, 10)
+		victims[p.KillMachine] = true
+		bounds[p.AtSuperstep] = true
+	}
+	if len(victims) < 8 || len(bounds) < 5 {
+		t.Fatalf("poor spread: %d victims, %d boundaries over 100 seeds", len(victims), len(bounds))
+	}
+	// Degenerate sizes clamp to 1, not panic.
+	if p := NewPlan(1, 0, -3); p.KillMachine != 0 || p.AtSuperstep != 0 {
+		t.Fatalf("degenerate plan %+v, want machine 0 boundary 0", p)
+	}
+}
+
+func TestPlanFailure(t *testing.T) {
+	p := Plan{Seed: 9, Kind: KillMachine, KillMachine: 5, AtSuperstep: 2}
+	f := p.Failure()
+	if f.Status != sim.Killed || f.Machine != 5 || !f.Recoverable {
+		t.Fatalf("failure %+v", f)
+	}
+	if !sim.IsRecoverable(f) {
+		t.Fatal("injected kill must be recoverable")
+	}
+}
+
+func TestInjectorOneShot(t *testing.T) {
+	p := Plan{KillMachine: 3, AtSuperstep: 2}
+	in := p.Injector()
+	if in.Fired() {
+		t.Fatal("fresh injector claims fired")
+	}
+	// Boundaries before the target pass clean.
+	for b := 0; b < 2; b++ {
+		if f := in.NextFault(b, 8); f != nil {
+			t.Fatalf("boundary %d: unexpected fault %v", b, f)
+		}
+	}
+	f := in.NextFault(2, 8)
+	if f == nil || f.Machine != 3 || f.Status != sim.Killed {
+		t.Fatalf("boundary 2: fault %+v", f)
+	}
+	if !in.Fired() {
+		t.Fatal("injector not marked fired")
+	}
+	// One-shot: replaying the same boundary after recovery is clean.
+	if f := in.NextFault(2, 8); f != nil {
+		t.Fatalf("refire: %v", f)
+	}
+}
+
+func TestInjectorClampsVictim(t *testing.T) {
+	in := (&Plan{KillMachine: 13, AtSuperstep: 0}).Injector()
+	f := in.NextFault(0, 4)
+	if f == nil || f.Machine != 13%4 {
+		t.Fatalf("clamped fault %+v, want machine %d", f, 13%4)
+	}
+}
+
+func TestSourceRates(t *testing.T) {
+	// Nil and rate-0 sources never inject.
+	var nilSrc *Source
+	if p := nilSrc.PlanFor("k", 0, 8); p != nil {
+		t.Fatalf("nil source injected %+v", p)
+	}
+	off := NewSource(1, 0)
+	for a := 0; a < 50; a++ {
+		if p := off.PlanFor("k", a, 8); p != nil {
+			t.Fatalf("rate-0 source injected %+v", p)
+		}
+	}
+	// Rate 1 injects every attempt, with boundaries low enough to fire
+	// on the shortest workload.
+	on := NewSource(1, 1)
+	for a := 0; a < 50; a++ {
+		p := on.PlanFor("k", a, 8)
+		if p == nil {
+			t.Fatalf("rate-1 source spared attempt %d", a)
+		}
+		if p.AtSuperstep < 0 || p.AtSuperstep >= sourceBoundaries {
+			t.Fatalf("attempt %d: boundary %d out of [0,%d)", a, p.AtSuperstep, sourceBoundaries)
+		}
+		if p.KillMachine < 0 || p.KillMachine >= 8 {
+			t.Fatalf("attempt %d: victim %d out of [0,8)", a, p.KillMachine)
+		}
+	}
+	// A mid rate lands near its target over many keys.
+	mid := NewSource(42, 0.3)
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if mid.PlanFor(string(rune('a'+i%26))+string(rune('0'+i/26%10)), i, 8) != nil {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.2 || frac > 0.4 {
+		t.Fatalf("rate 0.3 injected %.3f of attempts", frac)
+	}
+}
+
+func TestSourceDeterministicPerAttempt(t *testing.T) {
+	s := NewSource(7, 0.5)
+	// Same (key, attempt) → same verdict and plan, across calls and
+	// across source instances with the same seed.
+	s2 := NewSource(7, 0.5)
+	differ := false
+	for a := 0; a < 20; a++ {
+		p1 := s.PlanFor("twitter/pagerank/giraph/m16/s1", a, 16)
+		p2 := s.PlanFor("twitter/pagerank/giraph/m16/s1", a, 16)
+		p3 := s2.PlanFor("twitter/pagerank/giraph/m16/s1", a, 16)
+		if !reflect.DeepEqual(p1, p2) || !reflect.DeepEqual(p1, p3) {
+			t.Fatalf("attempt %d: verdicts diverge: %+v %+v %+v", a, p1, p2, p3)
+		}
+		if (p1 == nil) != (s.PlanFor("twitter/wcc/giraph/m16/s1", a, 16) == nil) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("distinct keys never diverged over 20 attempts at rate 0.5")
+	}
+}
+
+func TestSourceSetRateConcurrent(t *testing.T) {
+	s := NewSource(1, 0.5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s.SetRate(float64(j % 2)) // flip 0 ↔ 1
+				s.PlanFor("k", j, 8)
+				_ = s.Rate()
+			}
+		}()
+	}
+	wg.Wait()
+	s.SetRate(0.25)
+	if got := s.Rate(); got != 0.25 {
+		t.Fatalf("rate %v after concurrent churn, want 0.25", got)
+	}
+}

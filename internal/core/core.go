@@ -277,7 +277,7 @@ func (r *Runner) MatrixOptions(opt engine.Options) engine.Options {
 // Run executes one experiment on a fresh cluster. A standalone run has
 // the engine to itself, so its loops default to GOMAXPROCS shards.
 func (r *Runner) Run(s System, name datasets.Name, kind engine.Kind, machines int) *engine.Result {
-	res, err := r.tryRun(s, name, kind, machines, r.Shards, nil)
+	res, err := r.tryRun(s, name, kind, machines, r.Shards, nil, FaultOpts{})
 	if err != nil {
 		panic(err.Error())
 	}
@@ -291,25 +291,46 @@ func (r *Runner) Run(s System, name datasets.Name, kind engine.Kind, machines in
 // that prevent the run from starting at all (unknown dataset, broken
 // fixture) are errors.
 func (r *Runner) TryRun(s System, name datasets.Name, kind engine.Kind, machines int) (*engine.Result, error) {
-	return r.tryRun(s, name, kind, machines, r.Shards, nil)
+	return r.tryRun(s, name, kind, machines, r.Shards, nil, FaultOpts{})
 }
 
 // TryRunOn is TryRun with the engine's shard loops borrowing the given
 // persistent pool (serve mode keeps one warm per admission slot, so
 // steady-state requests spawn no goroutines).
 func (r *Runner) TryRunOn(pool *par.Pool, s System, name datasets.Name, kind engine.Kind, machines int) (*engine.Result, error) {
-	return r.tryRun(s, name, kind, machines, r.Shards, pool)
+	return r.tryRun(s, name, kind, machines, r.Shards, pool, FaultOpts{})
+}
+
+// FaultOpts configures fault injection and recovery for one run.
+type FaultOpts struct {
+	// Injector, when non-nil, is installed on the run's fresh cluster
+	// (internal/chaos builds seeded one-shot injectors).
+	Injector sim.Injector
+	// Recover enables the engine's fault tolerance, threading through
+	// to engine.Options.Recover.
+	Recover bool
+	// CheckpointEvery overrides the recovery checkpoint cadence
+	// (engine.Options.CheckpointEvery); 0 keeps the engine default.
+	CheckpointEvery int
+}
+
+// TryRunFault is TryRunOn with a fault-injection plan: the run's
+// cluster gets the injector, and the engine runs with recovery
+// configured per f. The serve path and the fault-matrix tests use this
+// to compare faulted runs against clean ones.
+func (r *Runner) TryRunFault(pool *par.Pool, f FaultOpts, s System, name datasets.Name, kind engine.Kind, machines int) (*engine.Result, error) {
+	return r.tryRun(s, name, kind, machines, r.Shards, pool, f)
 }
 
 func (r *Runner) run(s System, name datasets.Name, kind engine.Kind, machines, shards int) *engine.Result {
-	res, err := r.tryRun(s, name, kind, machines, shards, nil)
+	res, err := r.tryRun(s, name, kind, machines, shards, nil, FaultOpts{})
 	if err != nil {
 		panic(err.Error())
 	}
 	return res
 }
 
-func (r *Runner) tryRun(s System, name datasets.Name, kind engine.Kind, machines, shards int, pool *par.Pool) (*engine.Result, error) {
+func (r *Runner) tryRun(s System, name datasets.Name, kind engine.Kind, machines, shards int, pool *par.Pool, f FaultOpts) (*engine.Result, error) {
 	d, err := r.TryDataset(name)
 	if err != nil {
 		return nil, err
@@ -326,12 +347,22 @@ func (r *Runner) tryRun(s System, name datasets.Name, kind engine.Kind, machines
 		opt.Shards = shards
 	}
 	opt.Pool = pool
+	if f.Recover {
+		opt.Recover = true
+	}
+	if f.CheckpointEvery > 0 {
+		opt.CheckpointEvery = f.CheckpointEvery
+	}
 	// GraphX runs with the paper's tuned partition counts (Table 5)
 	// unless the experiment overrides them.
 	if s.Key == "graphx" && opt.NumPartitions == 0 {
 		opt.NumPartitions = graphx.TunedPartitions(d, machines)
 	}
-	res := s.New().Run(sim.NewSize(machines), d, w, opt)
+	c := sim.NewSize(machines)
+	if f.Injector != nil {
+		c.SetInjector(f.Injector)
+	}
+	res := s.New().Run(c, d, w, opt)
 	res.System = s.Label
 	return res, nil
 }

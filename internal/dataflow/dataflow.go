@@ -134,11 +134,13 @@ func (g *Gelly) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt en
 		Shards:          opt.Shards,
 		Pool:            opt.Pool,
 		RecordIterStats: true,
+		CheckpointEvery: opt.CheckpointInterval(),
 	}
 	configureWorkload(&cfg, w, d)
 	out, err := bsp.Run(c, cfg)
 	res.Exec = c.Clock() - mark
 	res.Iterations = dilatedIters(out.Supersteps, cfg.TimeDilation)
+	res.Costs = out.Recovery
 	res.PerIteration = out.IterStats
 	fillOutputs(res, w, out)
 	if err != nil {

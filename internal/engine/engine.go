@@ -166,9 +166,23 @@ type Options struct {
 	// computation (GraphLab-only behaviour, §5.2).
 	Approximate bool
 
-	// CheckpointEvery checkpoints GraphX's lineage every n iterations;
-	// zero uses the system default.
+	// CheckpointEvery is the fault-tolerance checkpoint cadence in
+	// iterations/supersteps: GraphX truncates its lineage to a
+	// materialized checkpoint every n iterations, and the BSP engines
+	// (when Recover is set) snapshot the vertex-value plane and pending
+	// inbox every n supersteps. Zero uses the system default
+	// (DefaultCheckpointInterval for recovering BSP runs; GraphX keeps
+	// lineage until the run ends).
 	CheckpointEvery int
+
+	// Recover enables engine-level recovery from recoverable injected
+	// failures (internal/chaos): BSP engines roll back to the last
+	// superstep checkpoint and replay, Hadoop/HaLoop re-run the failed
+	// job from its materialized shuffle inputs, GraphX recomputes the
+	// lost partition from lineage. Without it a recoverable fault ends
+	// the run with a Killed status, leaving retry to the caller (the
+	// serve path's job-level retry loop).
+	Recover bool
 
 	// SampleMemory enables the per-step memory timelines of Figure 10.
 	SampleMemory bool
@@ -189,6 +203,61 @@ type Options struct {
 	// requests spawn no goroutines. The pool must not be shared by
 	// concurrent runs.
 	Pool *par.Pool
+}
+
+// DefaultCheckpointInterval is the superstep checkpoint cadence BSP
+// engines use when Recover is set without an explicit CheckpointEvery:
+// frequent enough that a mid-run kill replays only a few supersteps,
+// sparse enough that checkpoint writes stay a small fraction of
+// execution time (the recovery-cost-vs-interval trade of §2.5).
+const DefaultCheckpointInterval = 5
+
+// CheckpointInterval returns the BSP superstep-checkpoint interval the
+// options imply: 0 (checkpointing off) unless Recover is set, then
+// CheckpointEvery or the default.
+func (o Options) CheckpointInterval() int {
+	if !o.Recover {
+		return 0
+	}
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return DefaultCheckpointInterval
+}
+
+// RecoveryCosts is the modeled overhead a run paid to fault tolerance:
+// checkpoints written, failures survived, and the time spent detecting,
+// restarting, and re-executing lost work. All seconds are simulated
+// cluster time, already included in the Result's time decomposition —
+// these fields break the overhead out so recovery cost per checkpoint
+// interval is measurable per system.
+type RecoveryCosts struct {
+	// Failures is how many recoverable failures the run survived.
+	Failures int
+	// CheckpointSeconds is time spent writing superstep checkpoints
+	// (BSP engines; Hadoop's jobs materialize outputs anyway and GraphX
+	// checkpoints are charged by the lineage model, not here).
+	CheckpointSeconds float64
+	// RestartSeconds is failure detection, rescheduling, and
+	// checkpoint-reload time.
+	RestartSeconds float64
+	// ReplaySeconds is time spent re-executing lost work: supersteps
+	// replayed from the checkpoint, jobs re-run from materialized
+	// inputs, lineage stages recomputed.
+	ReplaySeconds float64
+}
+
+// TotalSeconds sums the recovery time components.
+func (rc RecoveryCosts) TotalSeconds() float64 {
+	return rc.CheckpointSeconds + rc.RestartSeconds + rc.ReplaySeconds
+}
+
+// Add accumulates other into rc.
+func (rc *RecoveryCosts) Add(other RecoveryCosts) {
+	rc.Failures += other.Failures
+	rc.CheckpointSeconds += other.CheckpointSeconds
+	rc.RestartSeconds += other.RestartSeconds
+	rc.ReplaySeconds += other.ReplaySeconds
 }
 
 // IterStat records one iteration for the per-iteration analyses
@@ -223,6 +292,10 @@ type Result struct {
 	CPUUser, CPUIO, CPUNet, CPUIdle float64
 
 	ReplicationFactor float64 // vertex-cut systems (Table 4)
+
+	// Costs is the fault-tolerance overhead of the run (zero for runs
+	// that neither checkpointed nor recovered).
+	Costs RecoveryCosts
 
 	PerIteration []IterStat
 

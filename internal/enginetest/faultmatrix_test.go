@@ -1,0 +1,175 @@
+package enginetest
+
+import (
+	"reflect"
+	"testing"
+
+	"graphbench/internal/blogel"
+	"graphbench/internal/chaos"
+	"graphbench/internal/dataflow"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/graphx"
+	"graphbench/internal/haloop"
+	"graphbench/internal/mapreduce"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+// maxFaultBoundaries is a runaway bound on the per-cell boundary scan.
+const maxFaultBoundaries = 500
+
+// TestFaultMatrixRecovery is the acceptance test for the recovery
+// tentpole: for every fault-tolerant engine × workload, injecting one
+// recoverable machine kill at EACH superstep/job/stage boundary must
+// yield a recovered run whose outputs, iteration count, and status are
+// bit-identical to the failure-free run, with nonzero recovery cost
+// recorded and a strictly larger modeled total time. The boundary scan
+// is exhaustive: boundaries are discovered by injecting at index
+// 0, 1, 2, ... until a plan no longer fires.
+func TestFaultMatrixRecovery(t *testing.T) {
+	f := Prepare(t, datasets.UK, 1_000_000)
+
+	// Fresh engine per run: Gelly models a session leak across runs of
+	// one engine value, and every cell must start from identical state.
+	// Machine counts are per-engine: 64 keeps every cell under the
+	// modeled memory capacity, but HaLoop must stay below the 64-machine
+	// threshold of its shuffle bug — injected kills must be the only
+	// faults in the matrix.
+	makers := []struct {
+		mk       func() engine.Engine
+		machines int
+	}{
+		{func() engine.Engine { return pregel.New() }, 64},
+		{func() engine.Engine { return blogel.NewV() }, 64},
+		{func() engine.Engine { return dataflow.New() }, 64},
+		{func() engine.Engine { return mapreduce.New() }, 64},
+		{func() engine.Engine { return haloop.New() }, 32},
+		{func() engine.Engine { return graphx.New() }, 64},
+	}
+	workloads := []engine.Workload{
+		engine.NewPageRank(),
+		engine.NewWCC(),
+		engine.NewSSSP(f.Dataset.Source),
+		engine.NewKHop(f.Dataset.Source),
+		engine.NewTriangleCount(),
+		engine.NewLPA(),
+	}
+
+	opt := engine.Options{Shards: 1, Recover: true, CheckpointEvery: 2}
+	runWith := func(mk func() engine.Engine, machines int, w engine.Workload, inj sim.Injector) *engine.Result {
+		c := sim.NewSize(machines)
+		if inj != nil {
+			c.SetInjector(inj)
+		}
+		return mk().Run(c, f.Dataset, w, opt)
+	}
+
+	for _, m := range makers {
+		mk, machines := m.mk, m.machines
+		name := mk().Name()
+		for _, w := range workloads {
+			t.Run(name+"/"+w.Kind.String(), func(t *testing.T) {
+				clean := runWith(mk, machines, w, nil)
+				if clean.Status != sim.OK {
+					t.Fatalf("failure-free run: status %v (%v)", clean.Status, clean.Err)
+				}
+				if clean.Costs.Failures != 0 || clean.Costs.RestartSeconds != 0 || clean.Costs.ReplaySeconds != 0 {
+					t.Fatalf("failure-free run recorded recovery costs: %+v", clean.Costs)
+				}
+				// Recovery plumbing must not perturb the computation:
+				// the recover-enabled run matches the plain one.
+				plain := mk().Run(sim.NewSize(machines), f.Dataset, w, engine.Options{Shards: 1})
+				requireSameComputation(t, "recover-enabled vs plain", plain, clean)
+
+				boundaries := 0
+				for b := 0; b <= maxFaultBoundaries; b++ {
+					if b == maxFaultBoundaries {
+						t.Fatalf("still crossing boundaries after %d injections", b)
+					}
+					plan := chaos.Plan{
+						Seed:        int64(b),
+						Kind:        chaos.KillMachine,
+						KillMachine: b % machines,
+						AtSuperstep: b,
+					}
+					inj := plan.Injector()
+					got := runWith(mk, machines, w, inj)
+					if !inj.Fired() {
+						boundaries = b
+						break
+					}
+					if got.Status != sim.OK {
+						t.Fatalf("boundary %d: recovered run status %v (%v)", b, got.Status, got.Err)
+					}
+					requireSameComputation(t, plan.String(), clean, got)
+					if got.Costs.Failures != 1 {
+						t.Fatalf("boundary %d: Costs.Failures = %d, want 1", b, got.Costs.Failures)
+					}
+					if got.Costs.TotalSeconds() <= 0 {
+						t.Fatalf("boundary %d: recovery cost %v, want > 0", b, got.Costs)
+					}
+					if got.TotalTime() <= clean.TotalTime() {
+						t.Fatalf("boundary %d: recovered TotalTime %v <= clean %v",
+							b, got.TotalTime(), clean.TotalTime())
+					}
+					if b == 0 {
+						// The seeded schedule replays deterministically:
+						// the same plan reproduces the run bit-for-bit,
+						// recovery costs included.
+						again := runWith(mk, machines, w, plan.Injector())
+						requireSameComputation(t, "replayed "+plan.String(), got, again)
+						if again.TotalTime() != got.TotalTime() {
+							t.Fatalf("replay TotalTime %v != %v", again.TotalTime(), got.TotalTime())
+						}
+						if !reflect.DeepEqual(again.Costs, got.Costs) {
+							t.Fatalf("replay Costs %+v != %+v", again.Costs, got.Costs)
+						}
+					}
+				}
+				if boundaries == 0 {
+					t.Fatal("no boundary ever crossed: injection is not wired into this engine")
+				}
+			})
+		}
+	}
+}
+
+// requireSameComputation asserts two runs computed the same thing:
+// status, iteration count, and all outputs bit-identical. Modeled
+// timing is deliberately NOT compared — recovered runs are slower.
+func requireSameComputation(t *testing.T, label string, want, got *engine.Result) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Fatalf("%s: status %v, want %v", label, got.Status, want.Status)
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("%s: Iterations %d, want %d", label, got.Iterations, want.Iterations)
+	}
+	if len(got.Ranks) != len(want.Ranks) || len(got.Labels) != len(want.Labels) ||
+		len(got.Dist) != len(want.Dist) || len(got.Triangles) != len(want.Triangles) {
+		t.Fatalf("%s: output lengths (%d,%d,%d,%d), want (%d,%d,%d,%d)", label,
+			len(got.Ranks), len(got.Labels), len(got.Dist), len(got.Triangles),
+			len(want.Ranks), len(want.Labels), len(want.Dist), len(want.Triangles))
+	}
+	for v := range want.Ranks {
+		if got.Ranks[v] != want.Ranks[v] {
+			t.Fatalf("%s: Ranks[%d] = %v, want %v (bit-identical)", label, v, got.Ranks[v], want.Ranks[v])
+		}
+	}
+	for v := range want.Labels {
+		if got.Labels[v] != want.Labels[v] {
+			t.Fatalf("%s: Labels[%d] = %d, want %d", label, v, got.Labels[v], want.Labels[v])
+		}
+	}
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("%s: Dist[%d] = %d, want %d", label, v, got.Dist[v], want.Dist[v])
+		}
+	}
+	for v := range want.Triangles {
+		if got.Triangles[v] != want.Triangles[v] {
+			t.Fatalf("%s: Triangles[%d] = %d, want %d", label, v, got.Triangles[v], want.Triangles[v])
+		}
+	}
+}

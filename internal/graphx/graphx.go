@@ -43,6 +43,10 @@ const lineageBytesPerVertexIter = 0.04
 // spans ("every iteration consists of multiple Spark jobs").
 const stagesPerIteration = 3
 
+// rescheduleStartupFraction scales Spark startup into the overhead of
+// detecting a lost executor and rescheduling its partitions.
+const rescheduleStartupFraction = 0.2
+
 // GraphX is the engine.
 type GraphX struct {
 	Profile sim.Profile
@@ -166,7 +170,7 @@ func (g *GraphX) chargeLoad(c *sim.Cluster, sc *rdd.Context, d *engine.Dataset, 
 func (g *GraphX) pregelLoop(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, w engine.Workload, opt engine.Options, res *engine.Result) error {
 	switch w.Kind {
 	case engine.Triangle:
-		return g.triangleStages(sc, d, gr, res)
+		return g.triangleStages(sc, d, gr, opt, res)
 	case engine.LPA:
 		return g.lpaStages(sc, d, gr, w, opt, res)
 	}
@@ -195,6 +199,7 @@ func (g *GraphX) pregelLoop(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph,
 	}
 
 	iters := 0
+	lastCkpt := 0
 	for {
 		iters++
 		var msgs float64
@@ -269,8 +274,20 @@ func (g *GraphX) pregelLoop(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph,
 		if stageErr == nil {
 			if opt.CheckpointEvery > 0 && iters%opt.CheckpointEvery == 0 {
 				stageErr = sc.Checkpoint(float64(n)*16 + float64(work.NumEdges())*12)
+				if stageErr == nil {
+					lastCkpt = iters
+				}
 			} else {
 				stageErr = sc.ExtendLineage(int64(float64(n) * d.Scale * lineageBytesPerVertexIter * dil / float64(sc.Cluster.Size())))
+			}
+		}
+		if stageErr == nil {
+			if err := sc.Cluster.Boundary(iters - 1); err != nil {
+				if opt.Recover && sim.IsRecoverable(err) {
+					stageErr = g.recoverPartition(sc, (iters-lastCkpt)*stagesPerIteration, perStage, &res.Costs)
+				} else {
+					stageErr = err
+				}
 			}
 		}
 		if stageErr != nil {
@@ -303,13 +320,43 @@ done:
 	return nil
 }
 
+// recoverPartition survives a lost machine the Spark way: the dead
+// executor's partitions are rescheduled onto the survivors and
+// recomputed from lineage — re-running the given number of stages'
+// worth of work at the lost partition's 1/m share. When stages is zero
+// or less the lineage was just truncated by a checkpoint, and the
+// partitions are read back from the replicated checkpoint instead of
+// recomputed. Costs accumulate into the run's RecoveryCosts.
+func (g *GraphX) recoverPartition(sc *rdd.Context, stages int, perStage rdd.StageCost, costs *engine.RecoveryCosts) error {
+	costs.Failures++
+	m := float64(sc.Cluster.Size())
+	before := sc.Cluster.Clock()
+	if err := sc.Cluster.Advance(g.Profile.StartupSeconds(sc.Cluster.Size()) * rescheduleStartupFraction); err != nil {
+		return err
+	}
+	costs.RestartSeconds += sc.Cluster.Clock() - before
+
+	replay := rdd.StageCost{
+		Records:      perStage.Records * float64(stages) / m,
+		ShuffleBytes: perStage.ShuffleBytes * float64(stages) / m,
+		Dilation:     perStage.Dilation,
+	}
+	if stages <= 0 {
+		replay = rdd.StageCost{Records: perStage.Records / m}
+	}
+	before = sc.Cluster.Clock()
+	err := sc.RunStage(replay)
+	costs.ReplaySeconds += sc.Cluster.Clock() - before
+	return err
+}
+
 // triangleStages runs degree-ordered triangle counting as three Spark
 // stage groups over the edge RDD: orientation (degree join + filter),
 // candidate generation + closing-edge join (the quadratic shuffle), and
 // credit aggregation back onto the vertex RDD. GraphX's triplet view
 // makes the join explicit; the computation is the oracle's forward
 // algorithm.
-func (g *GraphX) triangleStages(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, res *engine.Result) error {
+func (g *GraphX) triangleStages(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, opt engine.Options, res *engine.Result) error {
 	o, rank := graph.ForwardOrient(gr)
 	n := o.NumVertices()
 	// The real computation is the oracle's forward kernel.
@@ -333,8 +380,19 @@ func (g *GraphX) triangleStages(sc *rdd.Context, d *engine.Dataset, gr *graph.Gr
 			ShuffleBytes: 3*hits*g.Profile.MsgBytes + float64(n)*8,
 		},
 	}
-	for _, st := range stages {
+	for s, st := range stages {
 		if err := sc.RunStage(st); err != nil {
+			return err
+		}
+		if err := sc.Cluster.Boundary(s); err != nil {
+			if opt.Recover && sim.IsRecoverable(err) {
+				// Lineage reaches back to the load: replay all stages so
+				// far at the lost partition's share.
+				if rerr := g.recoverPartition(sc, s+1, st, &res.Costs); rerr != nil {
+					return rerr
+				}
+				continue
+			}
 			return err
 		}
 	}
@@ -351,6 +409,7 @@ func (g *GraphX) lpaStages(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, 
 	msgs := float64(u.NumEdges())
 
 	iters := 0
+	lastCkpt := 0
 	labels, err := singlethread.LPAOnSimple(u, w.LPAIterations(), func(it, changed int) error {
 		iters = it
 		perStage := rdd.StageCost{
@@ -372,9 +431,23 @@ func (g *GraphX) lpaStages(sc *rdd.Context, d *engine.Dataset, gr *graph.Graph, 
 			return stageErr
 		}
 		if opt.CheckpointEvery > 0 && it%opt.CheckpointEvery == 0 {
-			return sc.Checkpoint(float64(n)*16 + float64(u.NumEdges())*12)
+			stageErr = sc.Checkpoint(float64(n)*16 + float64(u.NumEdges())*12)
+			if stageErr == nil {
+				lastCkpt = it
+			}
+		} else {
+			stageErr = sc.ExtendLineage(int64(float64(n) * d.Scale * lineageBytesPerVertexIter / float64(sc.Cluster.Size())))
 		}
-		return sc.ExtendLineage(int64(float64(n) * d.Scale * lineageBytesPerVertexIter / float64(sc.Cluster.Size())))
+		if stageErr != nil {
+			return stageErr
+		}
+		if berr := sc.Cluster.Boundary(it - 1); berr != nil {
+			if opt.Recover && sim.IsRecoverable(berr) {
+				return g.recoverPartition(sc, (it-lastCkpt)*stagesPerIteration, perStage, &res.Costs)
+			}
+			return berr
+		}
+		return nil
 	})
 	res.Iterations = iters
 	res.Labels = labels

@@ -16,6 +16,12 @@
 // The paper measured HaLoop faster than Hadoop but well short of the
 // 2x its authors reported; the cache and shuffle savings here reproduce
 // that: most of the per-iteration disk traffic remains.
+//
+// Fault tolerance is inherited unchanged from Hadoop: every job's
+// inputs are materialized in HDFS, so a recoverable machine failure at
+// a job boundary (engine.Options.Recover) is survived by re-running
+// the failed job — the shuffle bug, by contrast, is a deterministic
+// finding and is never retried.
 package haloop
 
 import (

@@ -110,6 +110,51 @@ func (h *Hadoop) shuffleFactor() float64 {
 	return 1
 }
 
+// restartStartupFraction scales job startup into the overhead of
+// detecting a lost task tracker and re-provisioning its slots.
+const restartStartupFraction = 0.3
+
+// jobRunner sequences the jobs of one run. Each job is charged and then
+// crosses a cluster boundary (sim.Cluster.Boundary) where injected
+// machine failures surface. With recovery enabled, a recoverable
+// failure is survived the MapReduce way: every job's inputs are
+// materialized in HDFS, so the failed job simply re-runs — no
+// checkpointing machinery, just the framework's natural retry.
+type jobRunner struct {
+	h       *Hadoop
+	c       *sim.Cluster
+	recover bool
+	job     int // boundary index of the next job
+	costs   *engine.RecoveryCosts
+}
+
+// run charges one job and survives a recoverable boundary failure by
+// re-running it from materialized inputs.
+func (jr *jobRunner) run(jc jobCost) error {
+	err := jr.h.charge(jr.c, jc)
+	if err == nil {
+		err = jr.c.Boundary(jr.job)
+		jr.job++
+	}
+	if err == nil || !jr.recover || !sim.IsRecoverable(err) {
+		return err
+	}
+	jr.costs.Failures++
+	// Failure detection plus re-provisioning of the lost task slots.
+	before := jr.c.Clock()
+	if rerr := jr.c.Advance(jr.h.Profile.StartupSeconds(jr.c.Size()) * restartStartupFraction); rerr != nil {
+		return rerr
+	}
+	jr.costs.RestartSeconds += jr.c.Clock() - before
+	// Re-run the whole job from its HDFS inputs.
+	before = jr.c.Clock()
+	if rerr := jr.h.charge(jr.c, jc); rerr != nil {
+		return rerr
+	}
+	jr.costs.ReplaySeconds += jr.c.Clock() - before
+	return nil
+}
+
 // Run implements engine.Engine.
 func (h *Hadoop) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt engine.Options) *engine.Result {
 	res := &engine.Result{System: h.Name(), Dataset: d.Name, Workload: w, Machines: c.Size()}
@@ -132,7 +177,8 @@ func (h *Hadoop) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 	res.Load = c.Clock() - mark
 
 	mark = c.Clock()
-	execErr := h.iterate(c, d, gr, w, res)
+	jr := &jobRunner{h: h, c: c, recover: opt.Recover, costs: &res.Costs}
+	execErr := h.iterate(c, d, gr, w, res, jr)
 	res.Exec = c.Clock() - mark
 	if execErr != nil {
 		return res.Finish(c, execErr)
@@ -149,12 +195,12 @@ func (h *Hadoop) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 // iterate drives the per-workload job chains. All workloads do real
 // computation over the decoded graph; each iteration is charged as a
 // full MapReduce job.
-func (h *Hadoop) iterate(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engine.Workload, res *engine.Result) error {
+func (h *Hadoop) iterate(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engine.Workload, res *engine.Result, jr *jobRunner) error {
 	switch w.Kind {
 	case engine.Triangle:
-		return h.triangles(c, d, gr, res)
+		return h.triangles(c, d, gr, res, jr)
 	case engine.LPA:
-		return h.lpa(c, d, gr, w, res)
+		return h.lpa(c, d, gr, w, res, jr)
 	}
 	n := gr.NumVertices()
 	adjBytes := float64(d.FileBytes(graph.FormatAdj))
@@ -166,7 +212,7 @@ func (h *Hadoop) iterate(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w e
 	work := gr
 	if w.Kind == engine.WCC {
 		work = gr.Undirected()
-		if err := h.charge(c, jobCost{
+		if err := jr.run(jobCost{
 			inputBytes:   adjBytes,
 			mapRecords:   (float64(n) + float64(gr.NumEdges())) * d.Scale,
 			interBytes:   2 * float64(gr.NumEdges()) * d.Scale * h.Profile.MsgBytes,
@@ -283,7 +329,7 @@ func (h *Hadoop) iterate(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w e
 			jc.interBytes = msgs * d.Scale * h.Profile.MsgBytes
 			jc.reduceOut = stateBytes + adjBytes*0.3
 		}
-		if err := h.charge(c, jc); err != nil {
+		if err := jr.run(jc); err != nil {
 			res.Iterations = iters
 			h.fill(res, w, values)
 			return err
@@ -319,7 +365,7 @@ done:
 // the quadratic shuffle — and reduce probes the closing edges), and
 // credit aggregation (map emits three credits per triangle, reduce sums
 // per vertex). The computation itself is the oracle's forward algorithm.
-func (h *Hadoop) triangles(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, res *engine.Result) error {
+func (h *Hadoop) triangles(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, res *engine.Result, jr *jobRunner) error {
 	adjBytes := float64(d.FileBytes(graph.FormatAdj))
 	o, rank := graph.ForwardOrient(gr)
 	n := o.NumVertices()
@@ -359,7 +405,7 @@ func (h *Hadoop) triangles(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, r
 		},
 	}
 	for _, jc := range jobs {
-		if err := h.charge(c, jc); err != nil {
+		if err := jr.run(jc); err != nil {
 			return err
 		}
 	}
@@ -373,14 +419,14 @@ func (h *Hadoop) triangles(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, r
 // whole graph every round, cap or no cap — and on large clusters the
 // HaLoop shuffle bug kills the multi-round chain just as it does the
 // traversals (§5.10).
-func (h *Hadoop) lpa(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engine.Workload, res *engine.Result) error {
+func (h *Hadoop) lpa(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engine.Workload, res *engine.Result, jr *jobRunner) error {
 	adjBytes := float64(d.FileBytes(graph.FormatAdj))
 	u := gr.Simple()
 	n := u.NumVertices()
 	stateBytes := float64(n) * d.Scale * 16
 
 	// Symmetrize job, like the WCC chain's reverse-edge job.
-	if err := h.charge(c, jobCost{
+	if err := jr.run(jobCost{
 		inputBytes:   adjBytes,
 		mapRecords:   (float64(n) + float64(gr.NumEdges())) * d.Scale,
 		interBytes:   2 * float64(gr.NumEdges()) * d.Scale * h.Profile.MsgBytes,
@@ -416,7 +462,7 @@ func (h *Hadoop) lpa(c *sim.Cluster, d *engine.Dataset, gr *graph.Graph, w engin
 			jc.interBytes = msgs * d.Scale * h.Profile.MsgBytes
 			jc.reduceOut = stateBytes + undBytes*0.3
 		}
-		return h.charge(c, jc)
+		return jr.run(jc)
 	})
 	res.Iterations = iters
 	res.Labels = labels

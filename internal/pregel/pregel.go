@@ -103,11 +103,13 @@ func (g *Giraph) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 		Shards:          opt.Shards,
 		Pool:            opt.Pool,
 		RecordIterStats: true,
+		CheckpointEvery: opt.CheckpointInterval(),
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)
 	res.Exec = c.Clock() - mark
 	res.Iterations = dilatedIterations(out.Supersteps, cfg.TimeDilation)
+	res.Costs = out.Recovery
 	res.PerIteration = out.IterStats
 	fillOutputs(res, w, out)
 	if err != nil {

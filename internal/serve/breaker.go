@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+)
+
+// errBreakerOpen is returned by the compute path when the circuit
+// breaker for the request's (dataset, workload) is open; the handler
+// maps it to 503 + Retry-After.
+var errBreakerOpen = errors.New("serve: circuit breaker open")
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breakerState(%d)", int(s))
+	}
+}
+
+// breaker is a circuit breaker over one (dataset, workload) pair.
+// threshold consecutive compute errors open it; after cooldown it
+// half-opens and admits a single probe — a probe success closes it, a
+// probe failure re-opens it for another cooldown. Deterministic modeled
+// failures (an OOM result, say) are successes here: they are findings
+// served from cache, not signs of a struggling compute path. Only
+// errors — retries exhausted against injected faults, broken fixtures —
+// count against the threshold.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state    breakerState
+	failures int // consecutive errors while closed
+	openedAt time.Time
+	probing  bool // half-open: the single probe is in flight
+}
+
+// allow reports whether a compute attempt may proceed, transitioning
+// open → half-open once the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// cancel releases a half-open probe slot without recording an outcome
+// — the attempt was shed or abandoned before the run started.
+func (b *breaker) cancel() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// record feeds an attempt's outcome back.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// currentState returns the state for metrics, applying the open →
+// half-open timer so a cooled-down breaker reads as half-open even
+// before the next probe arrives.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen
+	}
+	return b.state
+}
+
+// breakerKey scopes a breaker: faults of one dataset × workload must
+// not block queries for the rest of the grid.
+type breakerKey struct {
+	dataset datasets.Name
+	kind    engine.Kind
+}
+
+// breakerSet lazily creates one breaker per (dataset, workload).
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[breakerKey]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, m: make(map[breakerKey]*breaker)}
+}
+
+func (s *breakerSet) get(name datasets.Name, kind engine.Kind) *breaker {
+	key := breakerKey{dataset: name, kind: kind}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = &breaker{threshold: s.threshold, cooldown: s.cooldown}
+		s.m[key] = b
+	}
+	return b
+}
+
+// states snapshots every instantiated breaker as "dataset/workload" →
+// state, sorted keys, for /metrics.
+func (s *breakerSet) states() map[string]string {
+	s.mu.Lock()
+	keys := make([]breakerKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].dataset != keys[b].dataset {
+			return keys[a].dataset < keys[b].dataset
+		}
+		return keys[a].kind < keys[b].kind
+	})
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[string(k.dataset)+"/"+k.kind.String()] = s.get(k.dataset, k.kind).currentState().String()
+	}
+	return out
+}

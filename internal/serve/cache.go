@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +22,13 @@ type runKey struct {
 	system   string
 	machines int
 	shards   int
+}
+
+// String renders the key — used in logs and as the chaos source's
+// stable per-run identity, so injected fault schedules are a pure
+// function of (chaos seed, key, attempt).
+func (k runKey) String() string {
+	return fmt.Sprintf("%s/%s/%s/m%d/s%d", k.dataset, k.kind, k.system, k.machines, k.shards)
 }
 
 // cacheEntry is one in-progress or completed run. res and err are

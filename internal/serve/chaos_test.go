@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"graphbench/internal/chaos"
+)
+
+// TestServerChaosInjection is the serve-path load-generator test under
+// fault injection: with a seeded chaos source killing a sizable
+// fraction of run attempts, concurrent mixed-workload traffic must
+// still come back 200 with bodies byte-identical to a chaos-free
+// control server — killed runs are retried, never served — and the
+// /metrics fault counters must record the story.
+func TestServerChaosInjection(t *testing.T) {
+	source := chaos.NewSource(11, 0.4)
+	_, chaotic := newTestServer(t, Config{
+		MaxInFlight:  2,
+		MaxQueue:     32,
+		Chaos:        source,
+		MaxRetries:   10,
+		RetryBackoff: time.Millisecond,
+	})
+	_, control := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 32})
+
+	kinds := []string{"pagerank", "wcc", "sssp", "triangle", "lpa"}
+	var paths []string
+	for i := 0; i < 10; i++ {
+		paths = append(paths, fmt.Sprintf("/v1/%s?machines=%d", kinds[i%len(kinds)], 16+i))
+	}
+
+	// Fire the whole set concurrently (the queue is sized to hold it):
+	// chaos, retry, and single-flight coalescing all race under -race.
+	bodies := make([][]byte, len(paths))
+	var wg sync.WaitGroup
+	for i, p := range paths {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(chaotic.URL + p)
+			if err != nil {
+				t.Errorf("%s: %v", p, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s: status %d under chaos: %s", p, resp.StatusCode, body)
+				return
+			}
+			bodies[i] = body
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every body matches the chaos-free control serve byte for byte, and
+	// a replay against the chaotic server is a cache hit — failed
+	// attempts were retried out of band, not cached.
+	for i, p := range paths {
+		if _, _, want := get(t, control.URL+p); !bytes.Equal(bodies[i], want) {
+			t.Fatalf("%s: body under chaos differs from control:\nchaos:   %s\ncontrol: %s",
+				p, bodies[i], want)
+		}
+		code, hdr, replay := get(t, chaotic.URL+p)
+		if code != http.StatusOK || hdr.Get("X-Graphserve-Cache") != "hit" {
+			t.Fatalf("%s: replay %d cache=%q", p, code, hdr.Get("X-Graphserve-Cache"))
+		}
+		if !bytes.Equal(bodies[i], replay) {
+			t.Fatalf("%s: cached replay differs from first serve", p)
+		}
+	}
+
+	// The seeded schedule at rate 0.4 over 10 keys × 11 attempts is
+	// deterministic, and some attempts certainly drew a fault.
+	var m metricsBody
+	_, _, body := get(t, chaotic.URL+"/metrics")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics body: %v\n%s", err, body)
+	}
+	if m.Faults.ChaosRate != 0.4 {
+		t.Fatalf("metrics chaos_rate = %v, want 0.4", m.Faults.ChaosRate)
+	}
+	if m.Faults.Injected == 0 || m.Faults.Retries == 0 {
+		t.Fatalf("chaos left no trace in metrics: %+v", m.Faults)
+	}
+	if m.Faults.RetriesExhausted != 0 {
+		t.Fatalf("retries exhausted under a 10-retry budget: %+v", m.Faults)
+	}
+	t.Logf("chaos: %d faults injected, %d retries across %d keys",
+		m.Faults.Injected, m.Faults.Retries, len(paths))
+}
+
+// TestServerChaosWithRecovery: same contract with Recover on — faults
+// are absorbed inside the engines via checkpoint/retry/lineage
+// recovery, so runs succeed on the first attempt, recovered_total
+// counts the absorbed faults, and outputs still match a fault-free
+// control (recovered runs differ only in modeled time, which the
+// response body rounds into modeled_total_sec — so compare the
+// decoded outputs, not raw bytes).
+func TestServerChaosWithRecovery(t *testing.T) {
+	_, chaotic := newTestServer(t, Config{
+		MaxInFlight:  2,
+		MaxQueue:     8,
+		Chaos:        chaos.NewSource(7, 1), // every first attempt draws a fault
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		Recover:      true,
+	})
+	_, control := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 8})
+
+	const path = "/v1/pagerank?k=5&system=giraph&machines=64"
+	code, _, body := get(t, chaotic.URL+path)
+	if code != http.StatusOK {
+		t.Fatalf("recovered run: status %d: %s", code, body)
+	}
+	var got, want map[string]any
+	_, _, controlBody := get(t, control.URL+path)
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(controlBody, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"status", "iterations", "top"} {
+		if fmt.Sprint(got[field]) != fmt.Sprint(want[field]) {
+			t.Fatalf("recovered %s = %v, control %v", field, got[field], want[field])
+		}
+	}
+	if gotSec, wantSec := got["modeled_total_sec"], want["modeled_total_sec"]; gotSec == wantSec {
+		t.Fatalf("recovered modeled_total_sec %v should exceed control %v", gotSec, wantSec)
+	}
+
+	var m metricsBody
+	_, _, mb := get(t, chaotic.URL+"/metrics")
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Faults.Injected == 0 || m.Faults.Recovered == 0 {
+		t.Fatalf("recovery left no trace in metrics: %+v", m.Faults)
+	}
+}
+
+// TestServerBreakerOpensAndRecovers walks the circuit breaker through
+// its whole life: persistent injected faults with no retry budget trip
+// it (500s, then 503 + Retry-After), errors evict the cache key so no
+// failure is ever memoized, and once the faults stop the half-open
+// probe closes it again and the path serves normally.
+func TestServerBreakerOpensAndRecovers(t *testing.T) {
+	source := chaos.NewSource(3, 1) // every attempt draws a fault
+	s, ts := newTestServer(t, Config{
+		MaxInFlight:      1,
+		MaxQueue:         4,
+		Chaos:            source,
+		MaxRetries:       -1, // no retries: every fault is a compute error
+		BreakerThreshold: 2,
+		BreakerCooldown:  150 * time.Millisecond,
+	})
+
+	const path = "/v1/pagerank?k=3"
+
+	// Two consecutive compute errors: 500s, each evicting its cache
+	// entry. Eviction is observable through the fault counter: every
+	// attempt must reach the engine and draw a fresh injected kill — a
+	// poisoned cache entry would serve the old error without running.
+	for i := 0; i < 2; i++ {
+		before := s.faultsInjected.Load()
+		code, _, body := get(t, ts.URL+path)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("attempt %d: status %d, want 500: %s", i, code, body)
+		}
+		if s.faultsInjected.Load() == before {
+			t.Fatalf("attempt %d: engine never ran — errors must evict, not cache", i)
+		}
+	}
+
+	// The breaker is open now: requests shed with 503 + Retry-After
+	// without consuming an admission slot or an engine run.
+	injectedBefore := s.faultsInjected.Load()
+	code, hdr, body := get(t, ts.URL+path)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503: %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("open breaker: 503 without Retry-After")
+	}
+	if s.faultsInjected.Load() != injectedBefore {
+		t.Fatal("open breaker still ran the engine")
+	}
+	var m metricsBody
+	_, _, mb := get(t, ts.URL+"/metrics")
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Faults.RetriesExhausted != 2 {
+		t.Fatalf("retries_exhausted = %d, want 2", m.Faults.RetriesExhausted)
+	}
+	if state := m.Breakers["twitter/pagerank"]; state != "open" {
+		t.Fatalf("breaker state %q, want open (%v)", state, m.Breakers)
+	}
+
+	// Stop the faults, wait out the cooldown: the half-open probe
+	// succeeds, the breaker closes, and the path serves normally again.
+	source.SetRate(0)
+	waitFor(t, func() bool {
+		code, _, _ := get(t, ts.URL+path)
+		return code == http.StatusOK
+	})
+	code, _, first := get(t, ts.URL+path)
+	if code != http.StatusOK {
+		t.Fatalf("recovered path: status %d", code)
+	}
+	code, hdr, replay := get(t, ts.URL+path)
+	if code != http.StatusOK || hdr.Get("X-Graphserve-Cache") != "hit" {
+		t.Fatalf("recovered replay: %d cache=%q", code, hdr.Get("X-Graphserve-Cache"))
+	}
+	if !bytes.Equal(first, replay) {
+		t.Fatal("recovered replay differs from first healthy serve")
+	}
+	_, _, mb = get(t, ts.URL+"/metrics")
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	if state := m.Breakers["twitter/pagerank"]; state != "closed" {
+		t.Fatalf("breaker state %q after recovery, want closed", state)
+	}
+}

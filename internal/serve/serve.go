@@ -20,9 +20,18 @@
 //     expiry returns 504 while an admitted run finishes in the
 //     background and warms the cache.
 //
+// The serve path is also resilient to recoverable faults (injected by
+// an optional chaos.Source, or real in a future backend): runs killed
+// by a recoverable failure are retried with exponential backoff and
+// jitter; a per-(dataset, workload) circuit breaker turns persistent
+// compute errors into fast 503 + Retry-After responses and half-opens
+// after a cooldown; and a panic-recovery middleware converts handler
+// panics into 500s instead of killing the process.
+//
 // GET /metrics reports request counts by status, latency quantiles from
-// a log-bucketed histogram, cache hit rate, queue depth, and in-flight
-// runs. GET /healthz is the readiness probe.
+// a log-bucketed histogram, cache hit rate, queue depth, in-flight
+// runs, fault/retry/recovery counters, and breaker states. GET /healthz
+// is the readiness probe.
 package serve
 
 import (
@@ -31,18 +40,22 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"graphbench/internal/chaos"
 	"graphbench/internal/core"
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
 	"graphbench/internal/graph"
 	"graphbench/internal/metrics"
+	"graphbench/internal/par"
 	"graphbench/internal/sim"
 )
 
@@ -67,6 +80,33 @@ type Config struct {
 	// datasets outside this list still work — their fixture is prepared
 	// on first use, paying the generation cost on that request.
 	Datasets []datasets.Name
+
+	// MaxRetries is how many times a run killed by a recoverable fault
+	// is retried before the request fails (0 = 2, negative = none).
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry; it
+	// doubles per attempt, capped at 1s, with up to 50% jitter (0 = 25ms).
+	RetryBackoff time.Duration
+
+	// BreakerThreshold is the consecutive-compute-error count that opens
+	// a (dataset, workload) circuit breaker (0 = 3, negative disables by
+	// using a very high threshold).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects with 503
+	// before half-opening for a probe (0 = 2s).
+	BreakerCooldown time.Duration
+
+	// Chaos, when non-nil, injects seeded machine-kill faults into the
+	// configured fraction of run attempts (see chaos.Source). Nil
+	// disables injection.
+	Chaos *chaos.Source
+	// Recover enables engine-level fault recovery on served runs
+	// (checkpoint rollback, job retry, lineage recomputation), absorbing
+	// injected faults inside the run instead of surfacing them to the
+	// serve-level retry loop. Note that recovered runs report a larger
+	// modeled time, so cached bodies differ from fault-free ones; the
+	// default (off) keeps bodies byte-identical by retrying whole runs.
+	Recover bool
 }
 
 func (c Config) withDefaults() Config {
@@ -85,22 +125,45 @@ func (c Config) withDefaults() Config {
 	if c.Datasets == nil {
 		c.Datasets = datasets.AllNames()
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	} else if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = math.MaxInt32
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	return c
 }
 
 // Server is the long-lived query service. Create with New, serve with
 // any http.Server (it implements http.Handler), shut down with Close.
 type Server struct {
-	cfg    Config
-	runner *core.Runner
-	sched  *scheduler
-	cache  *resultCache
-	mux    *http.ServeMux
+	cfg      Config
+	runner   *core.Runner
+	sched    *scheduler
+	cache    *resultCache
+	breakers *breakerSet
+	mux      *http.ServeMux
 
 	mu       sync.Mutex
 	byCode   map[int]uint64
 	requests uint64
 	latency  *metrics.Histogram
+
+	faultsInjected   atomic.Uint64 // chaos faults that actually fired
+	faultsRecovered  atomic.Uint64 // faults absorbed by engine recovery
+	retriesTotal     atomic.Uint64 // serve-level run retries
+	retriesExhausted atomic.Uint64 // requests failed after all retries
+	panics           atomic.Uint64 // handler panics converted to 500s
 
 	closeOnce sync.Once
 }
@@ -122,12 +185,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:     cfg,
-		runner:  r,
-		sched:   newScheduler(cfg.MaxInFlight, cfg.MaxQueue, cfg.Shards),
-		cache:   newResultCache(),
-		byCode:  make(map[int]uint64),
-		latency: metrics.NewHistogram(),
+		cfg:      cfg,
+		runner:   r,
+		sched:    newScheduler(cfg.MaxInFlight, cfg.MaxQueue, cfg.Shards),
+		cache:    newResultCache(),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		byCode:   make(map[int]uint64),
+		latency:  metrics.NewHistogram(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -140,7 +204,15 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// ServeHTTP dispatches to the mux behind a panic-recovery middleware:
+// a panicking handler costs its request a 500, never the process.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal error: %v", v)
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -210,6 +282,19 @@ type metricsBody struct {
 	Cache           cacheBody         `json:"cache"`
 	QueueDepth      int64             `json:"queue_depth"`
 	InFlight        int               `json:"in_flight"`
+	Faults          faultsBody        `json:"faults"`
+	Breakers        map[string]string `json:"breakers"`
+}
+
+// faultsBody reports the resilience counters: chaos injection, engine
+// recovery, serve-level retries, and panic conversions.
+type faultsBody struct {
+	ChaosRate        float64 `json:"chaos_rate"`
+	Injected         uint64  `json:"injected_total"`
+	Recovered        uint64  `json:"recovered_total"`
+	Retries          uint64  `json:"retries_total"`
+	RetriesExhausted uint64  `json:"retries_exhausted_total"`
+	Panics           uint64  `json:"panics_total"`
 }
 
 type latencyBody struct {
@@ -263,6 +348,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	body.Cache = cacheBody{Hits: hits, Misses: misses, Coalesced: coalesced, HitRate: rate}
 	body.QueueDepth = s.sched.queueDepth()
 	body.InFlight = s.sched.inFlight()
+	chaosRate := 0.0
+	if s.cfg.Chaos != nil {
+		chaosRate = s.cfg.Chaos.Rate()
+	}
+	body.Faults = faultsBody{
+		ChaosRate:        chaosRate,
+		Injected:         s.faultsInjected.Load(),
+		Recovered:        s.faultsRecovered.Load(),
+		Retries:          s.retriesTotal.Load(),
+		RetriesExhausted: s.retriesExhausted.Load(),
+		Panics:           s.panics.Load(),
+	}
+	body.Breakers = s.breakers.states()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -403,18 +501,17 @@ func (s *Server) handleQuery(kind engine.Kind) http.HandlerFunc {
 		}
 
 		res, cacheStatus, err := s.cache.get(ctx, q.key, func() (*engine.Result, error) {
-			pool, err := s.sched.acquire(ctx)
-			if err != nil {
-				return nil, err
-			}
-			defer s.sched.release(pool)
-			return s.runner.TryRunOn(pool, q.sys, q.key.dataset, kind, q.key.machines)
+			return s.compute(ctx, q, kind)
 		})
 		if err != nil {
 			switch {
 			case errors.Is(err, errOverloaded):
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+			case errors.Is(err, errBreakerOpen):
+				w.Header().Set("Retry-After", s.breakerRetryAfter())
+				writeError(w, http.StatusServiceUnavailable,
+					"circuit breaker open for %s/%s, retry later", q.key.dataset, kind)
 			case errors.Is(err, context.DeadlineExceeded):
 				writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
 			default:
@@ -440,6 +537,87 @@ func (s *Server) handleQuery(kind engine.Kind) http.HandlerFunc {
 		}
 		writeJSON(w, http.StatusOK, queryBody(kind, q, meta, res))
 	}
+}
+
+// compute runs the query's experiment behind the circuit breaker and
+// the retry loop; it executes on the cache's single-flight leader.
+// Load shedding and deadline expiry during admission are conditions of
+// the request load, not of this (dataset, workload), so they bypass the
+// breaker's failure accounting.
+func (s *Server) compute(ctx context.Context, q query, kind engine.Kind) (*engine.Result, error) {
+	br := s.breakers.get(q.key.dataset, kind)
+	if !br.allow() {
+		return nil, errBreakerOpen
+	}
+	pool, err := s.sched.acquire(ctx)
+	if err != nil {
+		br.cancel()
+		return nil, err
+	}
+	defer s.sched.release(pool)
+	res, err := s.runWithRetry(pool, q, kind)
+	br.record(err == nil)
+	return res, err
+}
+
+// runWithRetry executes the run, injecting chaos-source faults when
+// configured, and retries runs killed by a recoverable fault the engine
+// did not absorb — with exponential backoff and jitter, on the detached
+// cache leader, while holding the admission slot. Deterministic modeled
+// failures (OOM, TO, SHFL, MPI) are findings, returned as results, not
+// retried.
+func (s *Server) runWithRetry(pool *par.Pool, q query, kind engine.Kind) (*engine.Result, error) {
+	attempts := s.cfg.MaxRetries + 1
+	var res *engine.Result
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			s.retriesTotal.Add(1)
+			sleepBackoff(s.cfg.RetryBackoff, attempt)
+		}
+		f := core.FaultOpts{Recover: s.cfg.Recover}
+		var inj *chaos.Injector
+		if p := s.cfg.Chaos.PlanFor(q.key.String(), attempt, q.key.machines); p != nil {
+			inj = p.Injector()
+			f.Injector = inj
+		}
+		var err error
+		res, err = s.runner.TryRunFault(pool, f, q.sys, q.key.dataset, kind, q.key.machines)
+		if err != nil {
+			return nil, err // fixture/infrastructure errors: not retryable here
+		}
+		if inj != nil && inj.Fired() {
+			s.faultsInjected.Add(1)
+		}
+		if n := res.Costs.Failures; n > 0 {
+			s.faultsRecovered.Add(uint64(n))
+		}
+		if !sim.IsRecoverable(res.Err) {
+			return res, nil
+		}
+	}
+	s.retriesExhausted.Add(1)
+	return nil, fmt.Errorf("run killed by injected fault after %d attempts: %w", attempts, res.Err)
+}
+
+// sleepBackoff sleeps the exponential backoff for retry attempt
+// (1-based): base doubling per attempt, capped at 1s, plus up to 50%
+// random jitter to decorrelate concurrent retriers.
+func sleepBackoff(base time.Duration, attempt int) {
+	d := base << (attempt - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	time.Sleep(d + time.Duration(rand.Int64N(int64(d)+1))/2)
+}
+
+// breakerRetryAfter renders the breaker cooldown as a Retry-After
+// value, rounded up to at least one second.
+func (s *Server) breakerRetryAfter() string {
+	sec := int(math.Ceil(s.cfg.BreakerCooldown.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.Itoa(sec)
 }
 
 // rankedVertex is one PageRank top-k entry.

@@ -1,10 +1,18 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // Status classifies the outcome of an experiment, matching the paper's
 // result-table legend (§5): OK for success, and the four failure modes
-// observed across systems.
+// observed across systems — plus two statuses this repository adds:
+// Killed for injected machine failures (internal/chaos) and Canceled
+// for runs abandoned by their caller (serve-mode deadlines and client
+// disconnects), which are conditions of the request, not findings about
+// the simulated system.
 type Status int
 
 const (
@@ -21,6 +29,14 @@ const (
 	// offsets while aggregating Voronoi block assignments for graphs
 	// with very large vertex counts.
 	MPI
+	// Killed is an injected machine failure (a chaos plan's kill). When
+	// the Failure is marked Recoverable, engines running with recovery
+	// enabled survive it by checkpoint rollback, job retry, or lineage
+	// recomputation; without recovery it ends the run like any fault.
+	Killed
+	// Canceled means the caller abandoned the run (context canceled or
+	// deadline exceeded) — not a simulated 24-hour timeout.
+	Canceled
 )
 
 // String returns the paper's abbreviation for the status.
@@ -36,6 +52,10 @@ func (s Status) String() string {
 		return "SHFL"
 	case MPI:
 		return "MPI"
+	case Killed:
+		return "KILL"
+	case Canceled:
+		return "CANCEL"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -47,6 +67,12 @@ type Failure struct {
 	Status  Status
 	Machine int // machine index, or -1 when cluster-wide
 	Detail  string
+
+	// Recoverable marks failures the system's fault-tolerance design
+	// can survive (an injected machine kill with a checkpoint, retryable
+	// job, or intact lineage behind it). Deterministic findings — OOM,
+	// TO, SHFL, MPI — are never recoverable: rerunning reproduces them.
+	Recoverable bool
 }
 
 // Error implements the error interface.
@@ -58,14 +84,27 @@ func (f *Failure) Error() string {
 }
 
 // StatusOf extracts the Status from err: OK for nil, the Failure's
-// status when err is a *Failure, and TO otherwise (unknown errors are
-// treated as non-completions).
+// status when a *Failure is in err's chain, Canceled for context
+// cancellation/expiry, and TO otherwise (unknown errors are treated as
+// non-completions).
 func StatusOf(err error) Status {
 	if err == nil {
 		return OK
 	}
-	if f, ok := err.(*Failure); ok {
+	var f *Failure
+	if errors.As(err, &f) {
 		return f.Status
 	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Canceled
+	}
 	return TO
+}
+
+// IsRecoverable reports whether err carries a recoverable *Failure —
+// the condition under which engine-level recovery or a serve-path
+// retry is worth attempting.
+func IsRecoverable(err error) bool {
+	var f *Failure
+	return errors.As(err, &f) && f.Recoverable
 }

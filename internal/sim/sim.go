@@ -84,6 +84,36 @@ type Cluster struct {
 	samples  []MemSample
 	sampling bool
 	busy     []float64 // RunStep scratch, reused so steps allocate nothing
+	injector Injector
+}
+
+// Injector decides whether a fault occurs at a superstep/job boundary.
+// Engines cross boundaries via Cluster.Boundary; internal/chaos
+// provides seeded, deterministic, one-shot injectors.
+type Injector interface {
+	// NextFault is consulted once per boundary crossing with the
+	// engine's boundary index (superstep for BSP engines, job index for
+	// MapReduce chains, iteration or stage for GraphX) and the cluster
+	// size. It returns the failure to inject, or nil.
+	NextFault(boundary, machines int) *Failure
+}
+
+// SetInjector installs a fault injector the cluster consults at every
+// Boundary crossing. A nil injector (the default) disables injection.
+func (c *Cluster) SetInjector(inj Injector) { c.injector = inj }
+
+// Boundary marks the end of superstep/job/stage boundary i — the
+// points where a machine failure is detectable and, for systems with
+// fault tolerance, survivable. It returns the injected failure, if the
+// installed injector chose this boundary, and nil otherwise.
+func (c *Cluster) Boundary(i int) error {
+	if c.injector == nil {
+		return nil
+	}
+	if f := c.injector.NextFault(i, len(c.machines)); f != nil {
+		return f
+	}
+	return nil
 }
 
 // MemSample is a point-in-time snapshot of per-machine memory, used for

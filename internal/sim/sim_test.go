@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -180,7 +182,10 @@ func TestSampling(t *testing.T) {
 }
 
 func TestStatusStrings(t *testing.T) {
-	cases := map[Status]string{OK: "OK", OOM: "OOM", TO: "TO", SHFL: "SHFL", MPI: "MPI"}
+	cases := map[Status]string{
+		OK: "OK", OOM: "OOM", TO: "TO", SHFL: "SHFL", MPI: "MPI",
+		Killed: "KILL", Canceled: "CANCEL",
+	}
 	for s, want := range cases {
 		if s.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
@@ -194,6 +199,99 @@ func TestStatusOf(t *testing.T) {
 	}
 	if StatusOf(&Failure{Status: MPI}) != MPI {
 		t.Error("StatusOf(Failure{MPI}) != MPI")
+	}
+	// A wrapped Failure still classifies by its status.
+	wrapped := fmt.Errorf("run: %w", &Failure{Status: Killed})
+	if StatusOf(wrapped) != Killed {
+		t.Errorf("StatusOf(wrapped kill) = %v, want Killed", StatusOf(wrapped))
+	}
+	// Caller-initiated context errors are cancellations, not modeled
+	// timeouts: the run was interrupted, not measured as too slow.
+	if StatusOf(context.Canceled) != Canceled {
+		t.Errorf("StatusOf(context.Canceled) = %v, want Canceled", StatusOf(context.Canceled))
+	}
+	if StatusOf(context.DeadlineExceeded) != Canceled {
+		t.Errorf("StatusOf(context.DeadlineExceeded) = %v, want Canceled", StatusOf(context.DeadlineExceeded))
+	}
+	// Unknown errors stay modeled timeouts.
+	if StatusOf(fmt.Errorf("mystery")) != TO {
+		t.Errorf("StatusOf(unknown) = %v, want TO", StatusOf(fmt.Errorf("mystery")))
+	}
+}
+
+func TestIsRecoverable(t *testing.T) {
+	if IsRecoverable(nil) {
+		t.Error("nil error is not recoverable")
+	}
+	kill := &Failure{Status: Killed, Recoverable: true}
+	if !IsRecoverable(kill) || !IsRecoverable(fmt.Errorf("run: %w", kill)) {
+		t.Error("recoverable kill not detected (bare or wrapped)")
+	}
+	for _, f := range []*Failure{
+		{Status: OOM},
+		{Status: TO},
+		{Status: SHFL},
+		{Status: Killed}, // a kill without the flag set
+	} {
+		if IsRecoverable(f) {
+			t.Errorf("%v reported recoverable", f.Status)
+		}
+	}
+	if IsRecoverable(fmt.Errorf("not a failure")) {
+		t.Error("plain error reported recoverable")
+	}
+}
+
+// stubInjector fires a chosen failure at a chosen boundary, recording
+// the machine count the cluster reported.
+type stubInjector struct {
+	at       int
+	fail     *Failure
+	machines int
+	calls    int
+}
+
+func (s *stubInjector) NextFault(boundary, machines int) *Failure {
+	s.calls++
+	s.machines = machines
+	if boundary != s.at {
+		return nil
+	}
+	return s.fail
+}
+
+func TestBoundary(t *testing.T) {
+	// Without an injector every boundary passes.
+	c := NewSize(4)
+	for i := 0; i < 3; i++ {
+		if err := c.Boundary(i); err != nil {
+			t.Fatalf("boundary %d without injector: %v", i, err)
+		}
+	}
+
+	// With one, only the armed boundary fails, the failure comes back
+	// as a *Failure, and the injector sees the real cluster size.
+	inj := &stubInjector{at: 2, fail: &Failure{Status: Killed, Machine: 1, Recoverable: true}}
+	c.SetInjector(inj)
+	if err := c.Boundary(0); err != nil {
+		t.Fatalf("boundary 0: %v", err)
+	}
+	err := c.Boundary(2)
+	if StatusOf(err) != Killed || !IsRecoverable(err) {
+		t.Fatalf("boundary 2: %v, want recoverable kill", err)
+	}
+	if inj.machines != 4 {
+		t.Fatalf("injector saw %d machines, want 4", inj.machines)
+	}
+
+	// Detaching restores clean boundaries; the injector is not called.
+	before := inj.calls
+	c.SetInjector(nil)
+	if err := c.Boundary(2); err != nil {
+		t.Fatalf("boundary after detach: %v", err)
+	}
+	if inj.calls != before {
+		t.Fatal("detached injector was still consulted")
 	}
 }
 
