@@ -354,25 +354,92 @@ func BenchmarkMessagePlane(b *testing.B) {
 			}
 		}
 	}
+	src := datasets.SourceVertex(g, 42)
+	pagerank := func(dir engine.Direction, shards int) bsp.Config {
+		cfg := base
+		cfg.Program = &bsp.PageRankProgram{Damping: 0.15}
+		cfg.Combine = bsp.SumCombine
+		cfg.FixedSupersteps = 10
+		cfg.Shards = shards
+		cfg.Direction = dir
+		return cfg
+	}
+	wcc := func(dir engine.Direction, shards int) bsp.Config {
+		cfg := base
+		cfg.Program = bsp.WCCProgram{}
+		cfg.Combine = bsp.MinCombine
+		cfg.CombineFrom = 1
+		cfg.UseInNeighbors = true
+		cfg.Shards = shards
+		cfg.Direction = dir
+		return cfg
+	}
+	sssp := func(dir engine.Direction, shards int) bsp.Config {
+		cfg := base
+		cfg.Program = &bsp.SSSPProgram{Source: src}
+		cfg.Combine = bsp.MinCombine
+		cfg.Shards = shards
+		cfg.Direction = dir
+		return cfg
+	}
 	for _, shards := range []int{1, 8} {
+		// The bare names run the default direction policy (auto), so
+		// scripts/bench.sh --compare shows the direction-optimization win
+		// against pre-policy snapshots on the same benchmark names. The
+		// /push variants pin the flat message plane as the in-snapshot
+		// baseline: the delta between the pair is the direction win alone,
+		// with outputs and modeled costs bit-identical by contract.
 		b.Run(fmt.Sprintf("PageRank/shards=%d", shards), func(b *testing.B) {
-			cfg := base
-			cfg.Program = &bsp.PageRankProgram{Damping: 0.15}
-			cfg.Combine = bsp.SumCombine
-			cfg.FixedSupersteps = 10
-			cfg.Shards = shards
-			run(b, cfg)
+			run(b, pagerank(engine.DirectionAuto, shards))
+		})
+		b.Run(fmt.Sprintf("PageRank/push/shards=%d", shards), func(b *testing.B) {
+			run(b, pagerank(engine.DirectionPush, shards))
 		})
 		b.Run(fmt.Sprintf("WCC/shards=%d", shards), func(b *testing.B) {
-			cfg := base
-			cfg.Program = bsp.WCCProgram{}
-			cfg.Combine = bsp.MinCombine
-			cfg.CombineFrom = 1
-			cfg.UseInNeighbors = true
-			cfg.Shards = shards
-			run(b, cfg)
+			run(b, wcc(engine.DirectionAuto, shards))
+		})
+		b.Run(fmt.Sprintf("WCC/push/shards=%d", shards), func(b *testing.B) {
+			run(b, wcc(engine.DirectionPush, shards))
+		})
+		b.Run(fmt.Sprintf("SSSP/shards=%d", shards), func(b *testing.B) {
+			run(b, sssp(engine.DirectionAuto, shards))
+		})
+		b.Run(fmt.Sprintf("SSSP/push/shards=%d", shards), func(b *testing.B) {
+			run(b, sssp(engine.DirectionPush, shards))
 		})
 	}
+}
+
+// BenchmarkTraversal tracks the direction-optimizing single-thread
+// primitives on the message-plane fixture: a full BFSDistances sweep
+// with reused Traversal scratch, and the HashMinRounds fixpoint. With
+// -benchmem the allocs/op row guards the Frontier double-buffer reuse
+// (the BFS steady state must not allocate), and scripts/bench.sh's CI
+// leg gates it alongside the message-plane benches.
+func BenchmarkTraversal(b *testing.B) {
+	g := messagePlaneGraph()
+	b.Run("BFSDistances", func(b *testing.B) {
+		b.ReportAllocs()
+		var tr graph.Traversal
+		dist := make([]int32, g.NumVertices())
+		src := datasets.SourceVertex(g, 42)
+		// One warm-up sweep sizes the Traversal's lazily grown frontier
+		// scratch outside the timed region, so allocs/op reads the
+		// steady state (0-1) at any -benchtime, including CI's 1x.
+		tr.BFSDistances(g, src, dist)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.BFSDistances(g, src, dist)
+		}
+	})
+	b.Run("HashMinRounds", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := graph.HashMinRounds(g); r == 0 {
+				b.Fatal("HashMin converged in zero rounds")
+			}
+		}
+	})
 }
 
 // BenchmarkParallelSpeedup measures the parallel execution subsystem at

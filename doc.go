@@ -97,6 +97,61 @@
 //     BenchmarkParallelSpeedup in bench_test.go tracks the wall-clock
 //     win over the sequential path at both layers.
 //
+// # Direction-optimizing traversal
+//
+// Sweep-shaped loops across the codebase share one frontier abstraction
+// and one push/pull heuristic (Beamer et al.'s direction-optimizing
+// BFS, adapted to the simulator's bit-identity contract):
+//
+//   - graph.Frontier is a hybrid bitset frontier: a dense bitmap for
+//     O(1) membership and deduplication, an insertion-ordered sparse
+//     list so Members() replays in exact arrival order, and a running
+//     out-edge mass. Dense(unvisited) (frontier edge mass >
+//     unvisited/FrontierAlpha) votes for pulling; Sparse(n) (fewer
+//     than n/FrontierBeta members) votes for pushing; the gap between
+//     the two thresholds is the hysteresis band that stops the mode
+//     from thrashing near the crossover.
+//
+//   - The single-thread primitives use it directly: BFSDistances
+//     pushes sparse frontiers over out-edges and pulls dense ones over
+//     the unvisited vertices' in-edges (both directions assign
+//     identical levels), and HashMinRounds switches the same way with
+//     deferred label commits, so its round count matches a push-only
+//     BSP engine's exactly.
+//
+//   - bsp.Run generalizes the trick to the message plane. Programs
+//     that expose a pull kernel (PullProgram: PageRank as a damped
+//     sum, WCC and SSSP as neighborhood minima) can run any superstep
+//     "inverted": instead of computing into send buckets, merging, and
+//     delivering, each destination shard folds its vertices' in- (and,
+//     for WCC's undirected discovery, out-) neighbors directly. The
+//     engine.Options.Direction policy picks per superstep — push (the
+//     default plane), pull, or auto, which applies the frontier
+//     heuristic to the set of vertices that sent last superstep.
+//     Monotone kernels (SSSP's hop-counting wavefront, where a finite
+//     value never improves) get the full bottom-up win: the pull sweep
+//     skips settled vertices outright, recovering their active counts
+//     from the counting pass's distinct-receiver tally, so each
+//     vertex's in-edges are scanned roughly once per run instead of
+//     once per dense superstep. Switching back from pull with messages
+//     still pending materializes the inbox arena from the frontier
+//     before the next push superstep.
+//
+//   - The GAS engines flip the same way: the propagate sweep walks
+//     frontier bitsets instead of queue slices, and the PageRank
+//     scatter pass inverts into a gather over in-edges once the
+//     scatter edge mass crosses the same threshold.
+//
+// Direction is a host-side execution strategy, not a modeled system
+// difference: outputs, message counts, modeled costs, and per-superstep
+// stats are bit-identical under push, pull, and auto at every shard
+// count — pull supersteps reproduce the push plane's delivered/crossing
+// accounting (including combiner semantics, PageRank's float summation
+// order, and checkpoint/rollback state) rather than re-deriving it.
+// internal/bsp's lollipop switching tests and internal/enginetest's
+// direction-policy suite enforce the contract, including under
+// injected-failure recovery.
+//
 // # Memory model
 //
 // The message plane is flat, reusable memory: no hot loop allocates per
@@ -121,7 +176,7 @@
 //     separated by pool barriers, so ownership transfer needs no
 //     locks.
 //
-//   - GAS and Blogel-B round state (frontier/next queues, HashMin
+//   - GAS and Blogel-B round state (frontier bitsets, HashMin
 //     candidate arrays, block seed lists, proposal and write logs) is
 //     private to one worker or one vertex/block range, reused across
 //     rounds by truncation or swap, and merged in shard order on the

@@ -97,6 +97,7 @@ func (e *VEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 		Pool:            opt.Pool,
 		RecordIterStats: true,
 		CheckpointEvery: opt.CheckpointInterval(),
+		Direction:       opt.Direction,
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)

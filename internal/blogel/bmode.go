@@ -361,14 +361,18 @@ func (bx *bExec) traverse() error {
 		d int32
 	}
 	// travShard is one worker's persistent round state: proposal and
-	// write logs plus the two in-block BFS queues, all reused across
-	// rounds by truncation.
+	// write logs plus the two in-block BFS frontiers, all reused across
+	// rounds. The frontiers are bitsets, so re-improving a vertex that
+	// is already queued for the next level no longer enqueues it twice —
+	// the duplicate used to be re-expanded with every write skipped,
+	// inflating edge-op and boundary-message charges for work a real
+	// BFS queue would not do.
 	type travShard struct {
 		edgeOps, msgs int64
 		proposals     []proposal
 		written       []graph.VertexID // in-block dist writes this round
-		frontier      []graph.VertexID
-		next          []graph.VertexID
+		frontier      *graph.Frontier
+		next          *graph.Frontier
 	}
 	shards := par.ScratchFor[travShard](bx.pool)
 	// Per-block seed lists replace the old per-round map: slices are
@@ -392,14 +396,20 @@ func (bx *bExec) traverse() error {
 		sh := shards.At(i)
 		sh.edgeOps, sh.msgs = 0, 0
 		sh.proposals, sh.written = sh.proposals[:0], sh.written[:0]
+		if sh.frontier == nil {
+			sh.frontier, sh.next = graph.NewFrontier(n), graph.NewFrontier(n)
+		}
 		s := pl.Shard(i)
 		for bi := s.Lo; bi < s.Hi; bi++ {
 			block := blocks[bi]
 			// Serial BFS within the block from the updated vertices.
-			sh.frontier = append(sh.frontier[:0], seeds[block]...)
-			for len(sh.frontier) > 0 {
-				sh.next = sh.next[:0]
-				for _, v := range sh.frontier {
+			sh.frontier.Clear()
+			for _, v := range seeds[block] {
+				sh.frontier.Add(v, 0)
+			}
+			for sh.frontier.Len() > 0 {
+				sh.next.Clear()
+				for _, v := range sh.frontier.Members() {
 					if dist[v] >= bound {
 						continue
 					}
@@ -412,7 +422,7 @@ func (bx *bExec) traverse() error {
 							}
 							dist[w] = nd
 							sh.written = append(sh.written, w)
-							sh.next = append(sh.next, w)
+							sh.next.Add(w, 0)
 						} else if distPrev[w] == -1 || nd < distPrev[w] {
 							// Boundary improvement shipped to the
 							// neighboring block for the next round.

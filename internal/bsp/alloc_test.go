@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
 	"graphbench/internal/graph"
 	"graphbench/internal/par"
 	"graphbench/internal/partition"
@@ -88,6 +89,62 @@ func TestSuperstepAllocBudgetTraversal(t *testing.T) {
 					perStep, shards, budget, short, long)
 			}
 		})
+	}
+}
+
+// TestSuperstepAllocBudgetPull pins the same steady-state guarantee on
+// the pull kernels: with the direction forced to pull, a PageRank
+// superstep is a full in-CSR sweep over warm fvals/slot arrays and an
+// SSSP superstep is a frontier-driven min sweep — neither may allocate
+// per superstep once the frontier bitset and snapshot arrays have
+// reached capacity. The sharded budgets carry a little extra headroom
+// for the frontier's sparse list reaching its high-water mark during
+// the differenced window.
+func TestSuperstepAllocBudgetPull(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	cut := partition.EdgeCut{M: 4, Seed: 7}
+	prg := datasets.Generate(datasets.Twitter, datasets.Options{Scale: 600_000, Seed: 1})
+	wrn := datasets.Generate(datasets.WRN, datasets.Options{Scale: 2_000_000, Seed: 1})
+	src := datasets.SourceVertex(wrn, 42)
+	cases := map[string]func(iters, shards int) Config{
+		"pagerank": func(iters, shards int) Config {
+			return Config{
+				Graph: prg, Scale: 1, M: 4, MachineOf: cut.MachineOf,
+				Profile: &testProfile, Program: &PageRankProgram{Damping: 0.15},
+				Combine: SumCombine, FixedSupersteps: iters, Shards: shards,
+				Direction: engine.DirectionPull,
+			}
+		},
+		"sssp": func(iters, shards int) Config {
+			return Config{
+				Graph: wrn, Scale: 1, M: 4, MachineOf: cut.MachineOf,
+				Profile: &testProfile, Program: &SSSPProgram{Source: src},
+				Combine: MinCombine, MaxSupersteps: iters, Shards: shards,
+				Direction: engine.DirectionPull,
+			}
+		},
+	}
+	for name, mk := range cases {
+		for shards, budget := range shardBudgets {
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				run := func(iters int) float64 {
+					return testing.AllocsPerRun(3, func() {
+						_, err := Run(sim.NewSize(4), mk(iters, shards))
+						if err != nil {
+							panic(err)
+						}
+					})
+				}
+				short, long := run(5), run(45)
+				perStep := (long - short) / 40
+				if perStep > budget {
+					t.Errorf("%s pull superstep allocates %.1f objects in steady state at %d shards, budget %.0f (short run %.0f, long run %.0f)",
+						name, perStep, shards, budget, short, long)
+				}
+			})
+		}
 	}
 }
 

@@ -87,6 +87,16 @@ type Config struct {
 	// checkpointing and recovery, and a recoverable fault ends the run.
 	CheckpointEvery int
 
+	// Direction selects the traversal direction policy for programs
+	// that provide a pull kernel (PullProgram): DirectionAuto (the
+	// default) switches per superstep on frontier density,
+	// DirectionPush forces the classic send-bucket message plane, and
+	// DirectionPull forces pull sweeps from superstep 1 on. Superstep 0
+	// always pushes. Outputs, per-superstep accounting, and modeled
+	// costs are bit-identical under every policy at every shard count —
+	// the direction changes only host wall-clock time.
+	Direction engine.Direction
+
 	// StopDeltaBelow stops after a superstep whose aggregated max
 	// delta is below the threshold (PageRank tolerance criterion).
 	StopDeltaBelow float64
@@ -95,6 +105,10 @@ type Config struct {
 	FixedSupersteps int
 
 	RecordIterStats bool
+
+	// probe, when non-nil, counts direction-machinery events; used only
+	// by in-package tests to assert their scenarios are not vacuous.
+	probe *directionProbe
 }
 
 // DefaultMaxSupersteps bounds runaway executions; real runs end earlier
@@ -212,10 +226,19 @@ type shardState struct {
 	active   int64
 	updates  int
 	maxDelta float64
+
+	// Direction-optimization scratch, allocated only when the program
+	// has a pull kernel and the direction policy allows pulling.
+	senders   []graph.VertexID // vertices of this shard that sent this superstep, in order
+	pullStamp []int32          // machine -> receiver tag, distinct-machine scratch
+	pullSlot  []int32          // machine -> claimed slot (combined pull sums)
+	pullAcc   []float64        // per-slot partial sums in first-claim order
 }
 
-// delivery is one destination shard's merge-pass accounting.
-type delivery struct{ delivered, cross int64 }
+// delivery is one destination shard's merge-pass accounting. receivers
+// (distinct vertices delivered to) is tallied only by the pull-path
+// counting closures; the push merge pass leaves it zero.
+type delivery struct{ delivered, cross, receivers int64 }
 
 type runtime struct {
 	cfg     Config
@@ -275,6 +298,34 @@ type runtime struct {
 	totalMsgs       float64
 	lastStepSeconds float64
 
+	// Direction-optimization state (see pull.go). frontier holds the
+	// senders of the last completed superstep; fvals snapshots their
+	// outgoing message values for the pull sweep; arenaFresh records
+	// whether the inbox arena actually holds the pending superstep's
+	// messages (false after a pull superstep, which bypasses it).
+	spec         PullSpec
+	trackSenders bool
+	frontier     *graph.Frontier
+	nextFront    *graph.Frontier
+	fvals        []float64
+	totalMass    int64 // total push mass: out-edges, plus in-edges under the all-neighbors shape
+	arenaFresh   bool
+	prevRaw      int     // raw messages sent by the previous superstep (checkpoint sizing)
+	prD, prC     float64 // PullSum delivered/cross per superstep, cached from superstep 0
+	snapFn       func(i int)
+	pullFn       func(i int)
+	countFn      func(i int)
+	countSeq     func() delivery
+	// countMask/countTouched are the sender-side counting scratch:
+	// per-receiver machine bitmasks plus the list of receivers to reset.
+	countMask    []uint64
+	countTouched []graph.VertexID
+	// recvPrev is the distinct-receiver count of the current frontier's
+	// pending messages — the next monotone pull superstep's active
+	// count. Set by the min-kind counting passes; consulted only while
+	// arenaFresh is false (after a push the arena itself is counted).
+	recvPrev int
+
 	// Fault-tolerance state (Config.CheckpointEvery > 0): the latest
 	// superstep checkpoint, accumulated recovery costs, and the replay
 	// window re-executed after a rollback.
@@ -300,6 +351,14 @@ type checkpoint struct {
 	inVals    []float64
 	inStart   []int32
 	inLen     []int32
+
+	// Direction-optimization state: when the previous superstep pulled,
+	// the pending messages exist only as the sender frontier, so the
+	// checkpoint snapshots that instead of the (stale) arena.
+	arenaFresh bool
+	frontier   []graph.VertexID
+	prevRaw    int
+	recvPrev   int
 }
 
 // restartStartupFraction scales the profile's job-startup cost into
@@ -350,6 +409,8 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 	rt.computeFn = func(i int) {
 		ss := rt.shards[i]
 		ss.sent, ss.active, ss.updates, ss.maxDelta = 0, 0, 0, 0
+		ss.senders = ss.senders[:0]
+		track := rt.trackSenders
 		for d := range ss.out {
 			b := &ss.out[d]
 			b.dst, b.srcM, b.val = b.dst[:0], b.srcM[:0], b.val[:0]
@@ -364,7 +425,11 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 			ss.active++
 			ss.ctx.v = graph.VertexID(v)
 			ss.ctx.srcM = rt.owner[v]
+			before := ss.sent
 			rt.cfg.Program.Compute(&ss.ctx, msgs)
+			if track && ss.sent > before {
+				ss.senders = append(ss.senders, graph.VertexID(v))
+			}
 		}
 	}
 	rt.mergeFn = func(i int) {
@@ -393,10 +458,11 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		// Deposit sub-pass: replay the buffers in source-shard order
 		// into the arena and the combiner state.
 		var d delivery
+		tag := int32(rt.superstep)
 		for _, ss := range rt.shards {
 			b := &ss.out[s.Index]
 			for k, dst := range b.dst {
-				del, cross := rt.deposit(b.srcM[k], dst, b.val[k])
+				del, cross := rt.deposit(b.srcM[k], dst, b.val[k], tag)
 				d.delivered += del
 				d.cross += cross
 			}
@@ -407,6 +473,7 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		rt.values[v] = cfg.Program.Init(graph.VertexID(v))
 		rt.owner[v] = int32(cfg.MachineOf(graph.VertexID(v)))
 	}
+	rt.setupDirection()
 	if cfg.Combine != nil {
 		rt.stamp = make([][]int32, cfg.M)
 		rt.slotIdx = make([][]int32, cfg.M)
@@ -421,6 +488,7 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 
 	out := &Output{}
 	rt.superstep = 0
+	rt.arenaFresh = true
 	for rt.superstep < cfg.MaxSupersteps {
 		if cfg.CheckpointEvery > 0 && rt.superstep%cfg.CheckpointEvery == 0 &&
 			(rt.ckpt == nil || rt.ckpt.superstep != rt.superstep) {
@@ -429,7 +497,16 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 				return out, err
 			}
 		}
-		active := rt.computePhase()
+		pulled := rt.pullThisStep()
+		var active int
+		if pulled {
+			active = rt.pullPhase()
+		} else {
+			if !rt.arenaFresh {
+				rt.materializeInbox()
+			}
+			active = rt.computePhase()
+		}
 		err := rt.chargeSuperstep()
 		if rt.replaying {
 			// lastStepSeconds is per paper-scale superstep; the wall time
@@ -464,7 +541,14 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		if rt.shouldStop(active) {
 			break
 		}
-		rt.deliver()
+		rt.prevRaw = int(rt.sentTotal)
+		if pulled {
+			rt.arenaFresh = false
+		} else {
+			rt.finishPush()
+			rt.deliver()
+			rt.arenaFresh = true
+		}
 		rt.superstep++
 	}
 	rt.fill(out)
@@ -493,14 +577,29 @@ func (rt *runtime) takeCheckpoint(iterLen int) error {
 	ck.iterStats = iterLen
 	ck.values = append(ck.values[:0], rt.values...)
 	ck.halted = append(ck.halted[:0], rt.halted...)
-	ck.inVals = append(ck.inVals[:0], rt.inVals...)
-	ck.inStart = append(ck.inStart[:0], rt.inStart...)
-	ck.inLen = append(ck.inLen[:0], rt.inLen...)
+	ck.arenaFresh = rt.arenaFresh
+	ck.prevRaw = rt.prevRaw
+	ck.recvPrev = rt.recvPrev
+	if rt.arenaFresh {
+		ck.inVals = append(ck.inVals[:0], rt.inVals...)
+		ck.inStart = append(ck.inStart[:0], rt.inStart...)
+		ck.inLen = append(ck.inLen[:0], rt.inLen...)
+	} else {
+		// The previous superstep pulled: the pending messages exist only
+		// as the sender frontier, which is far smaller than the arena it
+		// stands for. The modeled write still charges the full message
+		// plane (prevRaw) — a real system checkpoints the logical state,
+		// not our representation trick.
+		ck.inVals, ck.inStart, ck.inLen = ck.inVals[:0], ck.inStart[:0], ck.inLen[:0]
+	}
+	if rt.trackSenders {
+		ck.frontier = append(ck.frontier[:0], rt.frontier.Members()...)
+	}
 	if rt.superstep == 0 {
 		return nil
 	}
 	before := rt.cluster.Clock()
-	per := rt.stateBytes(len(ck.inVals)) / float64(rt.cfg.M)
+	per := rt.stateBytes(ck.prevRaw) / float64(rt.cfg.M)
 	err := rt.cluster.UniformStep(sim.StepCost{
 		DiskWriteBytes: per * 3,
 		NetSendBytes:   per * 2,
@@ -540,7 +639,7 @@ func (rt *runtime) rollback(out *Output) error {
 	rerr := rt.cluster.Advance(rt.cfg.Profile.StartupSeconds(rt.cfg.M) * restartStartupFraction)
 	if rerr == nil {
 		rerr = rt.cluster.UniformStep(sim.StepCost{
-			DiskReadBytes: rt.stateBytes(len(ck.inVals)) / float64(rt.cfg.M),
+			DiskReadBytes: rt.stateBytes(ck.prevRaw) / float64(rt.cfg.M),
 		})
 	}
 	rt.recovery.RestartSeconds += rt.cluster.Clock() - before
@@ -549,9 +648,20 @@ func (rt *runtime) rollback(out *Output) error {
 	}
 	copy(rt.values, ck.values)
 	copy(rt.halted, ck.halted)
-	rt.inVals = append(rt.inVals[:0], ck.inVals...)
-	copy(rt.inStart, ck.inStart)
-	copy(rt.inLen, ck.inLen)
+	if ck.arenaFresh {
+		rt.inVals = append(rt.inVals[:0], ck.inVals...)
+		copy(rt.inStart, ck.inStart)
+		copy(rt.inLen, ck.inLen)
+	}
+	rt.arenaFresh = ck.arenaFresh
+	rt.prevRaw = ck.prevRaw
+	rt.recvPrev = ck.recvPrev
+	if rt.trackSenders {
+		rt.frontier.Clear()
+		for _, u := range ck.frontier {
+			rt.frontier.Add(u, rt.sendMass(u, ck.superstep-1))
+		}
+	}
 	for m := range rt.stamp {
 		st := rt.stamp[m]
 		for i := range st {
@@ -642,10 +752,11 @@ func (ss *shardState) send(srcM int32, dst graph.VertexID, val float64) {
 // slots, running the sender-side combiner exactly as the sequential
 // runtime would; slotIdx records the combiner's slot as a global arena
 // index. Only the goroutine owning dst's shard calls deposit for it, so
-// the per-destination state needs no locking.
-func (rt *runtime) deposit(srcM int32, dst graph.VertexID, val float64) (delivered, cross int64) {
-	if rt.cfg.Combine != nil && rt.superstep >= rt.cfg.CombineFrom {
-		tag := int32(rt.superstep)
+// the per-destination state needs no locking. The tag is the superstep
+// the message was sent in — the merge pass passes the current one, the
+// pull-to-push inbox materialization the previous one.
+func (rt *runtime) deposit(srcM int32, dst graph.VertexID, val float64, tag int32) (delivered, cross int64) {
+	if rt.cfg.Combine != nil && int(tag) >= rt.cfg.CombineFrom {
 		if rt.stamp[srcM][dst] == tag {
 			i := rt.slotIdx[srcM][dst]
 			rt.nextVals[i] = rt.cfg.Combine(rt.nextVals[i], val)

@@ -1,0 +1,146 @@
+package bsp
+
+import (
+	"testing"
+
+	"graphbench/internal/engine"
+	"graphbench/internal/graph"
+)
+
+// lollipop builds the adversarial graph for direction switching: a
+// dense bidirectional clique (supersteps go pull almost immediately)
+// with a long path hanging off it (the frontier collapses to a single
+// walking vertex, forcing the heuristic back to push mid-run while
+// messages are still pending). It exercises both switch directions and
+// the pull-to-push inbox materialization with a non-empty frontier.
+func lollipop(clique, path int) *graph.Graph {
+	n := clique + path
+	b := graph.NewBuilder(n)
+	for i := 0; i < clique; i++ {
+		for j := 0; j < clique; j++ {
+			if i != j {
+				b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	for i := 0; i < path; i++ {
+		src := graph.VertexID(clique - 1)
+		if i > 0 {
+			src = graph.VertexID(clique + i - 1)
+		}
+		b.AddEdge(src, graph.VertexID(clique+i))
+	}
+	return b.Build()
+}
+
+// directionConfigs is the workload matrix of TestDirectionSwitching:
+// each entry runs under push, pull, and auto at shards 1 and 8.
+func directionConfigs(g *graph.Graph) map[string]Config {
+	return map[string]Config{
+		"wcc": {
+			Program:         WCCProgram{},
+			Combine:         MinCombine,
+			CombineFrom:     1,
+			UseInNeighbors:  true,
+			RecordIterStats: true,
+		},
+		"wcc-uncombined": {
+			Program:         WCCProgram{},
+			UseInNeighbors:  true,
+			RecordIterStats: true,
+		},
+		"sssp": {
+			Program:         &SSSPProgram{Source: 0},
+			Combine:         MinCombine,
+			RecordIterStats: true,
+		},
+		"pagerank": {
+			Program:         &PageRankProgram{Damping: 0.15},
+			Combine:         SumCombine,
+			ScanAll:         true,
+			FixedSupersteps: 8,
+			RecordIterStats: true,
+		},
+	}
+}
+
+// TestDirectionSwitching runs the pull-kernel workloads on a lollipop
+// graph whose frontier goes dense (pull) and then collapses to a
+// walking singleton (back to push, with pending messages that must be
+// materialized into the inbox arena). Every direction policy and shard
+// count must match the push-only sequential baseline bit for bit:
+// values, superstep count, message totals, and the full per-superstep
+// stats trace.
+func TestDirectionSwitching(t *testing.T) {
+	g := lollipop(40, 60)
+	for name, base := range directionConfigs(g) {
+		t.Run(name, func(t *testing.T) {
+			push := base
+			push.Direction = engine.DirectionPush
+			push.Shards = 1
+			want := runOn(t, g, 4, push)
+
+			for dirName, dir := range map[string]engine.Direction{
+				"auto": engine.DirectionAuto,
+				"pull": engine.DirectionPull,
+				"push": engine.DirectionPush,
+			} {
+				for _, shards := range []int{1, 8} {
+					if dir == engine.DirectionPush && shards == 1 {
+						continue
+					}
+					cfg := base
+					cfg.Direction = dir
+					cfg.Shards = shards
+					got := runOn(t, g, 4, cfg)
+					label := name + "/" + dirName
+					if got.Supersteps != want.Supersteps {
+						t.Fatalf("%s shards=%d: supersteps %d, want %d", label, shards, got.Supersteps, want.Supersteps)
+					}
+					if got.Messages != want.Messages {
+						t.Fatalf("%s shards=%d: messages %v, want %v", label, shards, got.Messages, want.Messages)
+					}
+					for v := range want.Values {
+						if got.Values[v] != want.Values[v] {
+							t.Fatalf("%s shards=%d: value[%d] = %v, want %v", label, shards, v, got.Values[v], want.Values[v])
+						}
+					}
+					if len(got.IterStats) != len(want.IterStats) {
+						t.Fatalf("%s shards=%d: %d iter stats, want %d", label, shards, len(got.IterStats), len(want.IterStats))
+					}
+					for i := range want.IterStats {
+						if got.IterStats[i] != want.IterStats[i] {
+							t.Fatalf("%s shards=%d: IterStats[%d] = %+v, want %+v",
+								label, shards, i, got.IterStats[i], want.IterStats[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirectionSwitchingMaterializes guards against the switching test
+// going vacuous: on the lollipop graph the auto policy must actually
+// pull at least one superstep AND flip back to push with messages still
+// pending (the path walk), so the inbox materialization path is known
+// to be exercised.
+func TestDirectionSwitchingMaterializes(t *testing.T) {
+	g := lollipop(40, 60)
+	cfg := Config{
+		Program:        WCCProgram{},
+		Combine:        MinCombine,
+		CombineFrom:    1,
+		UseInNeighbors: true,
+		Shards:         1,
+	}
+	probe := &directionProbe{}
+	cfg.probe = probe
+	runOn(t, g, 4, cfg)
+	if probe.pulled == 0 {
+		t.Fatal("auto never pulled on the lollipop graph; switching test is vacuous")
+	}
+	if probe.materialized == 0 {
+		t.Fatal("auto never materialized a non-empty inbox; the pull-to-push flip is untested")
+	}
+}

@@ -135,6 +135,7 @@ func (g *Gelly) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt en
 		Pool:            opt.Pool,
 		RecordIterStats: true,
 		CheckpointEvery: opt.CheckpointInterval(),
+		Direction:       opt.Direction,
 	}
 	configureWorkload(&cfg, w, d)
 	out, err := bsp.Run(c, cfg)

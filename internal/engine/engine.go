@@ -203,7 +203,32 @@ type Options struct {
 	// requests spawn no goroutines. The pool must not be shared by
 	// concurrent runs.
 	Pool *par.Pool
+
+	// Direction selects the traversal direction policy for runtimes
+	// that support direction-optimized sweeps (the BSP message plane's
+	// pull kernels, the GAS PageRank reactivation scan). The default,
+	// DirectionAuto, switches per iteration on frontier density; the
+	// forced modes exist for ablation and equivalence testing. Every
+	// policy produces bit-identical outputs and modeled costs — the
+	// direction only changes host wall-clock time.
+	Direction Direction
 }
+
+// Direction is a traversal direction policy; see Options.Direction.
+type Direction int
+
+// Direction policies. DirectionAuto is the zero value.
+const (
+	// DirectionAuto switches between push and pull per iteration using
+	// the Beamer-style density heuristic (graph.FrontierAlpha/Beta).
+	DirectionAuto Direction = iota
+	// DirectionPush forces top-down push sweeps / the flat message
+	// plane on every iteration.
+	DirectionPush
+	// DirectionPull forces bottom-up pull sweeps on every iteration
+	// that has a pull kernel (iteration 0 always pushes).
+	DirectionPull
+)
 
 // DefaultCheckpointInterval is the superstep checkpoint cadence BSP
 // engines use when Recover is set without an explicit CheckpointEvery:

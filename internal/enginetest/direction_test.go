@@ -1,0 +1,172 @@
+package enginetest
+
+import (
+	"testing"
+
+	"graphbench/internal/blogel"
+	"graphbench/internal/chaos"
+	"graphbench/internal/dataflow"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+// TestDirectionPolicyIdentity locks in the direction-optimization
+// contract (internal/bsp/pull.go): for every BSP engine and every
+// workload with a pull kernel, DirectionPush, DirectionPull, and
+// DirectionAuto must produce bit-identical outputs, modeled costs, and
+// per-iteration stats at every shard count. The push-only sequential
+// run is the golden baseline — it takes the classic send-bucket path
+// untouched by this feature — and is itself checked against the
+// single-thread oracles, so every direction × shard combination below
+// is transitively oracle-identical.
+func TestDirectionPolicyIdentity(t *testing.T) {
+	f := Prepare(t, datasets.UK, 1_000_000)
+
+	makers := []func() engine.Engine{
+		func() engine.Engine { return pregel.New() },
+		func() engine.Engine { return blogel.NewV() },
+		func() engine.Engine { return dataflow.New() },
+	}
+	workloads := []engine.Workload{
+		engine.NewPageRank(),
+		engine.NewWCC(),
+		engine.NewSSSP(f.Dataset.Source),
+	}
+	directions := []struct {
+		name string
+		d    engine.Direction
+	}{
+		{"push", engine.DirectionPush},
+		{"auto", engine.DirectionAuto},
+		{"pull", engine.DirectionPull},
+	}
+
+	for _, mk := range makers {
+		name := mk().Name()
+		for _, w := range workloads {
+			t.Run(name+"/"+w.Kind.String(), func(t *testing.T) {
+				golden := mk().Run(sim.NewSize(64), f.Dataset, w,
+					engine.Options{Shards: 1, Direction: engine.DirectionPush})
+				if golden.Status != sim.OK {
+					t.Fatalf("push golden run failed: %v (%v)", golden.Status, golden.Err)
+				}
+				switch w.Kind {
+				case engine.WCC:
+					VerifyWCC(t, f, golden)
+				case engine.SSSP:
+					VerifySSSP(t, f, golden)
+				default:
+					VerifyPageRank(t, f, golden, w, 1e-3)
+				}
+				for _, dir := range directions {
+					for _, shards := range []int{1, 2, 8} {
+						if dir.d == engine.DirectionPush && shards == 1 {
+							continue // the golden run itself
+						}
+						t.Run(dir.name, func(t *testing.T) {
+							got := mk().Run(sim.NewSize(64), f.Dataset, w,
+								engine.Options{Shards: shards, Direction: dir.d})
+							requireIdenticalRuns(t, shards, golden, got)
+							requireIdenticalIterStats(t, shards, golden, got)
+						})
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDirectionUncombinedIdentity repeats the direction contract with
+// the combiner ablation: without a combiner the delivery accounting
+// counts raw message multiplicity instead of distinct (machine,
+// receiver) pairs, which is a separate code path in the pull sweeps.
+func TestDirectionUncombinedIdentity(t *testing.T) {
+	f := Prepare(t, datasets.UK, 1_000_000)
+	for _, w := range []engine.Workload{engine.NewPageRank(), engine.NewWCC()} {
+		t.Run(w.Kind.String(), func(t *testing.T) {
+			golden := pregel.New().Run(sim.NewSize(64), f.Dataset, w,
+				engine.Options{Shards: 1, DisableCombiner: true, Direction: engine.DirectionPush})
+			if golden.Status != sim.OK {
+				t.Fatalf("push golden run failed: %v (%v)", golden.Status, golden.Err)
+			}
+			for _, dir := range []engine.Direction{engine.DirectionAuto, engine.DirectionPull} {
+				for _, shards := range []int{1, 8} {
+					got := pregel.New().Run(sim.NewSize(64), f.Dataset, w,
+						engine.Options{Shards: shards, DisableCombiner: true, Direction: dir})
+					requireIdenticalRuns(t, shards, golden, got)
+					requireIdenticalIterStats(t, shards, golden, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDirectionRecoveryIdentity checks the checkpoint/rollback side of
+// the feature: a checkpoint taken right after a pull superstep has no
+// fresh inbox arena and snapshots the sender frontier instead, and a
+// rollback must restore it (and the arena-freshness flag) so the replay
+// reproduces the failure-free run bit for bit — under forced pull,
+// where every checkpoint from superstep 2 on takes that path.
+func TestDirectionRecoveryIdentity(t *testing.T) {
+	f := Prepare(t, datasets.UK, 1_000_000)
+	for _, w := range []engine.Workload{engine.NewWCC(), engine.NewSSSP(f.Dataset.Source)} {
+		for _, dir := range []struct {
+			name string
+			d    engine.Direction
+		}{{"auto", engine.DirectionAuto}, {"pull", engine.DirectionPull}} {
+			t.Run(w.Kind.String()+"/"+dir.name, func(t *testing.T) {
+				opt := engine.Options{Shards: 1, Recover: true, CheckpointEvery: 2, Direction: dir.d}
+				clean := pregel.New().Run(sim.NewSize(64), f.Dataset, w, opt)
+				if clean.Status != sim.OK {
+					t.Fatalf("failure-free run: status %v (%v)", clean.Status, clean.Err)
+				}
+				// Recovery plumbing must not perturb the computation, and
+				// the direction policy must not perturb the checkpoint
+				// charges: the failure-free recover-enabled run matches
+				// the push one on every modeled dimension.
+				push := pregel.New().Run(sim.NewSize(64), f.Dataset, w,
+					engine.Options{Shards: 1, Recover: true, CheckpointEvery: 2, Direction: engine.DirectionPush})
+				requireIdenticalRuns(t, 1, push, clean)
+				requireIdenticalIterStats(t, 1, push, clean)
+				for b := 2; b <= 5; b++ {
+					plan := chaos.Plan{Seed: int64(b), Kind: chaos.KillMachine, KillMachine: b % 64, AtSuperstep: b}
+					inj := plan.Injector()
+					c := sim.NewSize(64)
+					c.SetInjector(inj)
+					got := pregel.New().Run(c, f.Dataset, w, opt)
+					if !inj.Fired() {
+						break
+					}
+					if got.Status != sim.OK {
+						t.Fatalf("boundary %d: recovered run status %v (%v)", b, got.Status, got.Err)
+					}
+					requireSameComputation(t, plan.String(), clean, got)
+					if got.Costs.Failures != 1 {
+						t.Fatalf("boundary %d: Costs.Failures = %d, want 1", b, got.Costs.Failures)
+					}
+				}
+			})
+		}
+	}
+}
+
+// requireIdenticalIterStats asserts the per-iteration traces match
+// exactly: same superstep count, and bitwise-equal active counts,
+// update counts, and modeled seconds at every superstep. This is the
+// strongest form of the bit-identity contract — a pull sweep that
+// miscounts activity or message volume at any single superstep fails
+// here even if the final outputs happen to agree.
+func requireIdenticalIterStats(t *testing.T, shards int, want, got *engine.Result) {
+	t.Helper()
+	if len(got.PerIteration) != len(want.PerIteration) {
+		t.Fatalf("shards=%d: %d iteration stats, want %d", shards, len(got.PerIteration), len(want.PerIteration))
+	}
+	for i, w := range want.PerIteration {
+		g := got.PerIteration[i]
+		if g != w {
+			t.Fatalf("shards=%d: PerIteration[%d] = %+v, want %+v", shards, i, g, w)
+		}
+	}
+}

@@ -224,16 +224,35 @@ func (ex *execution) syncPageRank() error {
 		}
 		if approx {
 			// Deactivate converged vertices; reactivate targets of
-			// changed ranks.
+			// changed ranks. The reactivation set is a pure boolean OR, so
+			// it can be built in either direction: scattering along the
+			// changed vertices' out-edges touches Σ outdeg(changed) edges,
+			// gathering along every vertex's in-edges (with an early break
+			// on the first changed in-neighbor) touches at most |E| but
+			// usually far fewer when most vertices changed. Flip on the
+			// same edge-mass threshold the traversal frontiers use; both
+			// directions produce the identical active set.
 			for v := 0; v < n; v++ {
 				ex.active[v] = false
 			}
 			anyActive := false
-			for v := 0; v < n; v++ {
-				if changed[v] {
-					for _, w := range ex.g.OutNeighbors(graph.VertexID(v)) {
-						ex.active[w] = true
-						anyActive = true
+			if scatterEdges > float64(ex.g.NumEdges())/graph.FrontierAlpha {
+				for w := 0; w < n; w++ {
+					for _, u := range ex.g.InNeighbors(graph.VertexID(w)) {
+						if changed[u] {
+							ex.active[w] = true
+							anyActive = true
+							break
+						}
+					}
+				}
+			} else {
+				for v := 0; v < n; v++ {
+					if changed[v] {
+						for _, w := range ex.g.OutNeighbors(graph.VertexID(v)) {
+							ex.active[w] = true
+							anyActive = true
+						}
 					}
 				}
 			}
@@ -264,39 +283,36 @@ func (ex *execution) syncPageRank() error {
 // guarantee the determinism tests enforce.
 func (ex *execution) syncPropagate() error {
 	n := ex.g.NumVertices()
-	frontier := make([]graph.VertexID, 0, n)
+	// Two bitset frontiers, swapped each round: Add dedupes enqueues in
+	// O(1) (the job a per-round map used to do, allocating every round)
+	// and Clear resets only the set bits, so steady-state rounds are
+	// allocation-free.
+	frontier := graph.NewFrontier(n)
+	next := graph.NewFrontier(n)
 	switch ex.w.Kind {
 	case engine.WCC:
 		for v := 0; v < n; v++ {
-			frontier = append(frontier, graph.VertexID(v))
+			frontier.Add(graph.VertexID(v), 0)
 		}
 	default:
 		// The source's distance is applied at init; its scatter seeds
 		// the first frontier, whose members gather from it.
 		ex.values[ex.d.Source] = 0
-		seen := make(map[graph.VertexID]bool)
 		for _, w := range ex.g.OutNeighbors(ex.d.Source) {
-			if w != ex.d.Source && !seen[w] {
-				seen[w] = true
-				frontier = append(frontier, w)
+			if w != ex.d.Source {
+				frontier.Add(w, 0)
 			}
 		}
 	}
 
 	iters := 0
-	inFrontier := make([]bool, n)
-	// next is retained across rounds and swapped with frontier — the
-	// frontier queues are the one O(frontier) growth in this loop, so
-	// reusing the two buffers makes steady-state rounds allocation-free.
-	next := make([]graph.VertexID, 0, n)
-	for len(frontier) > 0 {
+	for frontier.Len() > 0 {
 		iters++
 		if ex.w.Kind == engine.KHop && iters > ex.w.K {
 			break
 		}
 		var gatherEdges, scatterEdges, mirrorMsgs float64
-		next = next[:0]
-		for _, v := range frontier {
+		for _, v := range frontier.Members() {
 			mirrorMsgs += 2 * float64(ex.replicasM[v])
 			var newVal float64
 			switch ex.w.Kind {
@@ -325,38 +341,32 @@ func (ex *execution) syncPropagate() error {
 			if newVal < ex.values[v] {
 				ex.values[v] = newVal
 				scatterEdges += float64(ex.g.OutDegree(v))
-				targets := ex.g.OutNeighbors(v)
-				for _, w := range targets {
-					if !inFrontier[w] && w != v {
-						inFrontier[w] = true
-						next = append(next, w)
+				for _, w := range ex.g.OutNeighbors(v) {
+					if w != v {
+						next.Add(w, 0)
 					}
 				}
 				if ex.w.Kind == engine.WCC {
 					scatterEdges += float64(ex.g.InDegree(v))
 					for _, w := range ex.g.InNeighbors(v) {
-						if !inFrontier[w] && w != v {
-							inFrontier[w] = true
-							next = append(next, w)
+						if w != v {
+							next.Add(w, 0)
 						}
 					}
 				}
 			}
 		}
 		ex.res.PerIteration = append(ex.res.PerIteration, engine.IterStat{
-			Iteration: iters, Active: len(frontier), Updates: len(next),
+			Iteration: iters, Active: frontier.Len(), Updates: next.Len(),
 		})
-		if err := ex.chargeIteration(float64(len(frontier)), gatherEdges, scatterEdges, mirrorMsgs, 1); err != nil {
+		if err := ex.chargeIteration(float64(frontier.Len()), gatherEdges, scatterEdges, mirrorMsgs, 1); err != nil {
 			ex.finishPropagate(iters)
 			return err
 		}
-		// Keep only vertices that can still improve: swap the queue
-		// buffers and reset the membership flags — only members of next
-		// are set, so the clear is O(frontier), not O(n).
-		for _, v := range next {
-			inFrontier[v] = false
-		}
+		// Keep only vertices that can still improve: swap the two
+		// frontiers and clear the consumed one (O(members), not O(n)).
 		frontier, next = next, frontier
+		next.Clear()
 	}
 	ex.finishPropagate(iters)
 	return nil

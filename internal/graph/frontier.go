@@ -1,0 +1,126 @@
+package graph
+
+import "math/bits"
+
+// Direction-optimizing traversal thresholds (Beamer et al., "Direction-
+// Optimizing Breadth-First Search"). A sweep switches from top-down push
+// to bottom-up pull when the frontier's out-edge mass exceeds the
+// unvisited edge mass divided by FrontierAlpha — the point where scanning
+// the unvisited side's in-edges touches fewer edges than pushing along
+// every frontier out-edge. It switches back to push when the frontier
+// shrinks below NumVertices/FrontierBeta, where a full bottom-up scan
+// would mostly visit vertices whose parents cannot be in the frontier.
+// FrontierAlpha matches the remaining/8 rule the singlethread SSSP oracle
+// has always used, so the shared heuristic and the oracle flip modes on
+// the same superstep.
+const (
+	FrontierAlpha = 8
+	FrontierBeta  = 20
+)
+
+// Frontier is a vertex set engineered for traversal sweeps: a dense
+// bitmap for O(1) membership tests alongside a sparse insertion-ordered
+// list for O(len) iteration, with the members' accumulated edge mass
+// tracked on the side so density queries (Len, Edges) are O(1). The same
+// set therefore serves both directions of a direction-optimizing sweep:
+// push iterates Members, pull probes Contains.
+//
+// The zero value is an empty frontier for a zero-vertex graph; use
+// NewFrontier or Resize to size it. Frontier is not safe for concurrent
+// mutation; concurrent Contains probes against a quiescent frontier are
+// fine.
+type Frontier struct {
+	bits  []uint64
+	list  []VertexID
+	edges int64
+}
+
+// NewFrontier returns an empty frontier over n vertices.
+func NewFrontier(n int) *Frontier {
+	f := &Frontier{}
+	f.Resize(n)
+	return f
+}
+
+// Resize empties the frontier and sizes it for n vertices, reusing the
+// existing backing arrays when they are large enough.
+func (f *Frontier) Resize(n int) {
+	words := (n + 63) / 64
+	if cap(f.bits) < words {
+		f.bits = make([]uint64, words)
+	} else {
+		f.bits = f.bits[:words]
+		clear(f.bits)
+	}
+	f.list = f.list[:0]
+	f.edges = 0
+}
+
+// Add inserts v with the given edge weight (typically its out-degree for
+// push-cost accounting) and reports whether v was newly added. Adding an
+// existing member is a no-op.
+func (f *Frontier) Add(v VertexID, degree int) bool {
+	w, b := uint(v)>>6, uint64(1)<<(uint(v)&63)
+	if f.bits[w]&b != 0 {
+		return false
+	}
+	f.bits[w] |= b
+	f.list = append(f.list, v)
+	f.edges += int64(degree)
+	return true
+}
+
+// Contains reports whether v is in the frontier.
+func (f *Frontier) Contains(v VertexID) bool {
+	return f.bits[uint(v)>>6]&(uint64(1)<<(uint(v)&63)) != 0
+}
+
+// Len returns the number of members. O(1).
+func (f *Frontier) Len() int { return len(f.list) }
+
+// Edges returns the accumulated edge mass of the members. O(1).
+func (f *Frontier) Edges() int64 { return f.edges }
+
+// Members returns the members in insertion order. The slice aliases
+// internal storage: it is valid until the next Add, Clear, or Resize,
+// and must not be modified.
+func (f *Frontier) Members() []VertexID { return f.list }
+
+// Clear empties the frontier, keeping capacity. Sparse frontiers clear
+// only the set bits (O(len)); dense ones clear the whole bitmap with one
+// memclr, whichever touches less memory.
+func (f *Frontier) Clear() {
+	if len(f.list) < len(f.bits) {
+		for _, v := range f.list {
+			f.bits[uint(v)>>6] &^= uint64(1) << (uint(v) & 63)
+		}
+	} else {
+		clear(f.bits)
+	}
+	f.list = f.list[:0]
+	f.edges = 0
+}
+
+// Dense reports whether a sweep over this frontier should run bottom-up
+// (pull): true when the frontier's edge mass exceeds the unvisited edge
+// mass divided by FrontierAlpha.
+func (f *Frontier) Dense(unvisitedEdges int64) bool {
+	return f.edges > unvisitedEdges/FrontierAlpha
+}
+
+// Sparse reports whether a pull-mode sweep should fall back to top-down
+// push: true when fewer than n/FrontierBeta vertices remain in the
+// frontier.
+func (f *Frontier) Sparse(n int) bool {
+	return len(f.list) < n/FrontierBeta
+}
+
+// Count returns the number of set bits by scanning the bitmap — used by
+// tests to cross-check Len against the dense representation.
+func (f *Frontier) Count() int {
+	total := 0
+	for _, w := range f.bits {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFrontierBasics(t *testing.T) {
+	f := NewFrontier(130) // spans three bitmap words
+	if f.Len() != 0 || f.Edges() != 0 || f.Count() != 0 {
+		t.Fatalf("new frontier not empty: len=%d edges=%d count=%d", f.Len(), f.Edges(), f.Count())
+	}
+	if !f.Add(5, 3) || !f.Add(129, 7) || !f.Add(64, 0) {
+		t.Fatal("Add of fresh vertices returned false")
+	}
+	if f.Add(5, 100) {
+		t.Fatal("Add of existing member returned true")
+	}
+	if f.Len() != 3 || f.Edges() != 10 || f.Count() != 3 {
+		t.Fatalf("after adds: len=%d edges=%d count=%d", f.Len(), f.Edges(), f.Count())
+	}
+	for _, v := range []VertexID{5, 64, 129} {
+		if !f.Contains(v) {
+			t.Fatalf("Contains(%d) = false", v)
+		}
+	}
+	if f.Contains(6) || f.Contains(128) {
+		t.Fatal("Contains reported a non-member")
+	}
+	got := f.Members()
+	want := []VertexID{5, 129, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members() = %v, want insertion order %v", got, want)
+		}
+	}
+	f.Clear()
+	if f.Len() != 0 || f.Edges() != 0 || f.Count() != 0 || f.Contains(5) {
+		t.Fatal("Clear left members behind")
+	}
+}
+
+func TestFrontierDenseClearAndResize(t *testing.T) {
+	f := NewFrontier(256)
+	for v := 0; v < 256; v++ {
+		f.Add(VertexID(v), 1)
+	}
+	f.Clear() // len(list) >= words: whole-bitmap memclr path
+	if f.Count() != 0 || f.Len() != 0 {
+		t.Fatal("dense Clear left bits set")
+	}
+	f.Add(200, 2)
+	f.Resize(64)
+	if f.Len() != 0 || f.Edges() != 0 || f.Count() != 0 {
+		t.Fatal("Resize did not empty the frontier")
+	}
+	f.Add(63, 1)
+	if !f.Contains(63) || f.Contains(62) {
+		t.Fatal("membership broken after Resize")
+	}
+}
+
+func TestFrontierDensityQueries(t *testing.T) {
+	f := NewFrontier(100)
+	if f.Dense(1000) {
+		t.Fatal("empty frontier reported dense")
+	}
+	if !f.Sparse(100) {
+		t.Fatal("empty frontier not sparse")
+	}
+	f.Add(0, 200)
+	if !f.Dense(1000) { // 200 > 1000/FrontierAlpha = 125
+		t.Fatal("edge-heavy frontier not dense")
+	}
+	for v := 1; v < 10; v++ {
+		f.Add(VertexID(v), 0)
+	}
+	if f.Sparse(100) { // 10 members, threshold 100/FrontierBeta = 5
+		t.Fatal("10-member frontier reported sparse at n=100")
+	}
+}
+
+// pushOnlyBFS is the pre-Frontier push-only reference implementation.
+func pushOnlyBFS(g *Graph, source VertexID) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if g.NumVertices() == 0 {
+		return dist
+	}
+	dist[source] = 0
+	frontier := []VertexID{source}
+	for level := int32(1); len(frontier) > 0; level++ {
+		var next []VertexID
+		for _, v := range frontier {
+			for _, w := range g.OutNeighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = level
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// TestBFSDirectionOptimizingMatchesPush proves the switching sweep is
+// bit-identical to the push-only reference on random graphs, including
+// shapes dense enough to force the pull path.
+func TestBFSDirectionOptimizingMatchesPush(t *testing.T) {
+	var tr Traversal
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80)
+		b := NewBuilder(n)
+		m := rng.Intn(8 * n) // spans sparse chains to dense pull-mode blobs
+		for i := 0; i < m; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		src := VertexID(rng.Intn(n))
+		want := pushOnlyBFS(g, src)
+		got := tr.BFSDistances(g, src, nil)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: dist[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// hashMinRoundsReference is the pre-Frontier map-based implementation.
+func hashMinRoundsReference(g *Graph) int {
+	u := g.Undirected()
+	n := u.NumVertices()
+	labels := make([]VertexID, n)
+	for i := range labels {
+		labels[i] = VertexID(i)
+	}
+	frontier := make([]VertexID, n)
+	for i := range frontier {
+		frontier[i] = VertexID(i)
+	}
+	rounds := 0
+	for len(frontier) > 0 {
+		rounds++
+		var next []VertexID
+		updates := make(map[VertexID]VertexID)
+		for _, v := range frontier {
+			for _, w := range u.OutNeighbors(v) {
+				if labels[v] < labels[w] {
+					if cur, ok := updates[w]; !ok || labels[v] < cur {
+						updates[w] = labels[v]
+					}
+				}
+			}
+		}
+		for w, l := range updates {
+			labels[w] = l
+			next = append(next, w)
+		}
+		frontier = next
+	}
+	return rounds
+}
+
+func TestHashMinRoundsMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		n := 1 + rng.Intn(60)
+		b := NewBuilder(n)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		if got, want := HashMinRounds(g), hashMinRoundsReference(g); got != want {
+			t.Fatalf("seed %d: HashMinRounds = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestEstimateDiameterUnchangedByFrontierReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 200
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ { // path graph plus chords: nontrivial diameter
+		b.AddEdge(VertexID(v-1), VertexID(v))
+	}
+	for i := 0; i < 40; i++ {
+		b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+	}
+	g := b.Build()
+	want := 0
+	{ // double-sweep using the one-shot wrapper, mirroring the old code path
+		u := g.Undirected()
+		r := rand.New(rand.NewSource(5))
+		for s := 0; s < 3; s++ {
+			start := VertexID(r.Intn(n))
+			dist := BFSDistances(u, start)
+			far, farD := start, int32(0)
+			for v, d := range dist {
+				if d > farD {
+					far, farD = VertexID(v), d
+				}
+			}
+			if ecc := Eccentricity(u, far); ecc > want {
+				want = ecc
+			}
+		}
+	}
+	if got := EstimateDiameter(g, 3, 5); got != want {
+		t.Fatalf("EstimateDiameter = %d, want %d", got, want)
+	}
+}

@@ -2,33 +2,89 @@ package graph
 
 import "math/rand"
 
-// BFSDistances returns the hop distance from source to every vertex over
-// the directed out-edges, with -1 for unreachable vertices. It is the
-// shared traversal primitive used by diameter estimation and by the
-// single-thread oracles.
-func BFSDistances(g *Graph, source VertexID) []int32 {
-	dist := make([]int32, g.NumVertices())
+// Traversal holds the double-buffered Frontier scratch reused across BFS
+// sweeps, so repeated callers (EstimateDiameter runs 2×samples sweeps per
+// dataset) pay for the frontier buffers once instead of regrowing them
+// from nil at every level of every sweep. The zero value is ready to use.
+type Traversal struct {
+	cur, next Frontier
+}
+
+// BFSDistances computes the hop distance from source to every vertex over
+// the directed out-edges into dist, with -1 for unreachable vertices, and
+// returns dist (allocating it when nil). The sweep is direction-
+// optimizing: top-down push over the frontier's out-edges while the
+// frontier is sparse, bottom-up pull over the unvisited vertices'
+// in-edges once the frontier's edge mass dominates (see FrontierAlpha/
+// FrontierBeta). Both directions assign identical levels, so the output
+// never depends on the mode schedule.
+func (t *Traversal) BFSDistances(g *Graph, source VertexID, dist []int32) []int32 {
+	n := g.NumVertices()
+	if dist == nil {
+		dist = make([]int32, n)
+	}
 	for i := range dist {
 		dist[i] = -1
 	}
-	if g.NumVertices() == 0 {
+	if n == 0 {
 		return dist
 	}
+	t.cur.Resize(n)
+	t.next.Resize(n)
+	cur, next := &t.cur, &t.next
+
 	dist[source] = 0
-	frontier := []VertexID{source}
-	for level := int32(1); len(frontier) > 0; level++ {
-		var next []VertexID
-		for _, v := range frontier {
-			for _, w := range g.OutNeighbors(v) {
-				if dist[w] < 0 {
-					dist[w] = level
-					next = append(next, w)
+	cur.Add(source, g.OutDegree(source))
+	remaining := int64(g.NumEdges()) - cur.Edges() // out-edge mass of unvisited vertices
+	pull := false
+	for level := int32(1); cur.Len() > 0; level++ {
+		if pull {
+			if cur.Sparse(n) {
+				pull = false
+			}
+		} else if cur.Dense(remaining) {
+			pull = true
+		}
+		if pull {
+			for v := 0; v < n; v++ {
+				if dist[v] >= 0 {
+					continue
+				}
+				for _, u := range g.InNeighbors(VertexID(v)) {
+					if cur.Contains(u) {
+						dist[v] = level
+						next.Add(VertexID(v), g.OutDegree(VertexID(v)))
+						break
+					}
+				}
+			}
+		} else {
+			for _, v := range cur.Members() {
+				for _, w := range g.OutNeighbors(v) {
+					if dist[w] < 0 {
+						dist[w] = level
+						next.Add(w, g.OutDegree(w))
+					}
 				}
 			}
 		}
-		frontier = next
+		remaining -= next.Edges()
+		cur, next = next, cur
+		next.Clear()
 	}
+	cur.Clear()
 	return dist
+}
+
+// BFSDistances returns the hop distance from source to every vertex over
+// the directed out-edges, with -1 for unreachable vertices. It is the
+// shared traversal primitive used by diameter estimation and by the
+// single-thread oracles. Callers running many sweeps should reuse a
+// Traversal and pass a dist buffer instead; this wrapper allocates fresh
+// scratch per call.
+func BFSDistances(g *Graph, source VertexID) []int32 {
+	var t Traversal
+	return t.BFSDistances(g, source, nil)
 }
 
 // Eccentricity returns the maximum finite BFS distance from source.
@@ -46,7 +102,8 @@ func Eccentricity(g *Graph, source VertexID) int {
 // a double-sweep heuristic repeated from `samples` random seeds: BFS from
 // a random vertex, then BFS again from the farthest vertex found. The
 // result is a lower bound that is exact on trees and very tight on road
-// networks, which is where diameter matters in the paper.
+// networks, which is where diameter matters in the paper. All 2×samples
+// sweeps share one Traversal and one distance buffer.
 func EstimateDiameter(g *Graph, samples int, seed int64) int {
 	u := g.Undirected()
 	n := u.NumVertices()
@@ -54,18 +111,27 @@ func EstimateDiameter(g *Graph, samples int, seed int64) int {
 		return 0
 	}
 	rng := rand.New(rand.NewSource(seed))
+	var t Traversal
+	dist := make([]int32, n)
 	best := 0
 	for s := 0; s < samples; s++ {
 		start := VertexID(rng.Intn(n))
-		dist := BFSDistances(u, start)
+		t.BFSDistances(u, start, dist)
 		far, farD := start, int32(0)
 		for v, d := range dist {
 			if d > farD {
 				far, farD = VertexID(v), d
 			}
 		}
-		if ecc := Eccentricity(u, far); ecc > best {
-			best = ecc
+		t.BFSDistances(u, far, dist)
+		ecc := int32(0)
+		for _, d := range dist {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if int(ecc) > best {
+			best = int(ecc)
 		}
 	}
 	return best
@@ -73,8 +139,12 @@ func EstimateDiameter(g *Graph, samples int, seed int64) int {
 
 // HashMinRounds returns the number of synchronous label-propagation
 // rounds HashMin WCC needs on g until fixpoint — the exact iteration
-// count a BSP engine will take, used to normalize iteration dilation
-// for down-scaled datasets.
+// count a BSP engine will take, used to normalize iteration dilation for
+// down-scaled datasets. The sweep is direction-optimizing: dense rounds
+// pull the minimum over each vertex's full neighbor list, sparse rounds
+// push only the frontier's labels. Updates commit after the scan in both
+// modes, so every round sees only the previous round's labels and the
+// round count is identical to a push-only BSP engine's.
 func HashMinRounds(g *Graph) int {
 	u := g.Undirected()
 	n := u.NumVertices()
@@ -82,36 +152,60 @@ func HashMinRounds(g *Graph) int {
 	for i := range labels {
 		labels[i] = VertexID(i)
 	}
-	frontier := make([]VertexID, n)
-	for i := range frontier {
-		frontier[i] = VertexID(i)
+	cur, next := NewFrontier(n), NewFrontier(n)
+	for v := 0; v < n; v++ {
+		cur.Add(VertexID(v), u.OutDegree(VertexID(v)))
 	}
-	inFrontier := make([]bool, n)
+	totalEdges := int64(u.NumEdges())
+	// cand[w] is the best label proposed for w this round (-1 = none);
+	// touched lists the vertices with a proposal so commit and reset stay
+	// O(updates) instead of allocating a map per round.
+	cand := make([]VertexID, n)
+	for i := range cand {
+		cand[i] = -1
+	}
+	touched := make([]VertexID, 0, n)
 	rounds := 0
-	for len(frontier) > 0 {
+	for cur.Len() > 0 {
 		rounds++
-		var next []VertexID
-		for i := range inFrontier {
-			inFrontier[i] = false
-		}
-		updates := make(map[VertexID]VertexID)
-		for _, v := range frontier {
-			for _, w := range u.OutNeighbors(v) {
-				if labels[v] < labels[w] {
-					if cur, ok := updates[w]; !ok || labels[v] < cur {
-						updates[w] = labels[v]
+		if cur.Dense(totalEdges) {
+			// Pull: non-frontier neighbors hold labels the vertex already
+			// absorbed in an earlier round, so the min over the full
+			// neighbor list equals the min over frontier neighbors.
+			for w := 0; w < n; w++ {
+				best := labels[w]
+				for _, x := range u.OutNeighbors(VertexID(w)) {
+					if labels[x] < best {
+						best = labels[x]
+					}
+				}
+				if best < labels[w] {
+					cand[w] = best
+					touched = append(touched, VertexID(w))
+				}
+			}
+		} else {
+			for _, v := range cur.Members() {
+				for _, w := range u.OutNeighbors(v) {
+					if labels[v] < labels[w] {
+						if cand[w] < 0 {
+							cand[w] = labels[v]
+							touched = append(touched, w)
+						} else if labels[v] < cand[w] {
+							cand[w] = labels[v]
+						}
 					}
 				}
 			}
 		}
-		for w, l := range updates {
-			labels[w] = l
-			if !inFrontier[w] {
-				inFrontier[w] = true
-				next = append(next, w)
-			}
+		next.Clear()
+		for _, w := range touched {
+			labels[w] = cand[w]
+			cand[w] = -1
+			next.Add(w, u.OutDegree(w))
 		}
-		frontier = next
+		touched = touched[:0]
+		cur, next = next, cur
 	}
 	return rounds
 }

@@ -104,6 +104,7 @@ func (g *Giraph) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 		Pool:            opt.Pool,
 		RecordIterStats: true,
 		CheckpointEvery: opt.CheckpointInterval(),
+		Direction:       opt.Direction,
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)

@@ -3,7 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
-	"sync/atomic"
+	"sync"
 
 	"graphbench/internal/par"
 )
@@ -18,21 +18,31 @@ var errOverloaded = errors.New("serve: server overloaded")
 // the machine; carrying the pool in the slot means every admitted run
 // dispatches onto warm, parked workers — steady-state requests spawn no
 // engine goroutines at all.
+//
+// All admission state (running count, wait queue, idle pools) lives
+// under one mutex, and a released pool is handed directly to the first
+// waiter without passing through the idle list. That gives two
+// invariants the old channel-derived gauges could not: running never
+// exceeds the slot count even mid-acquire, and queue length never
+// exceeds maxWait, so a /metrics scrape reading snapshot() always sees a
+// consistent (in-flight ≤ MaxInFlight, queued ≤ MaxQueue) pair.
 type scheduler struct {
-	slots   chan *par.Pool
-	waiting atomic.Int64
-	maxWait int64
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled when running drops, for close()
+	running int
+	maxRun  int
+	maxWait int
+	free    []*par.Pool      // idle pools; len == maxRun - running - handoffs
+	queue   []chan *par.Pool // FIFO waiters, each with a 1-buffered handoff chan
 }
 
 // newScheduler creates inFlight slots whose pools run shards worker
 // goroutines each, with at most maxWait callers queued behind them.
 func newScheduler(inFlight, maxWait, shards int) *scheduler {
-	s := &scheduler{
-		slots:   make(chan *par.Pool, inFlight),
-		maxWait: int64(maxWait),
-	}
+	s := &scheduler{maxRun: inFlight, maxWait: maxWait}
+	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < inFlight; i++ {
-		s.slots <- par.New(shards)
+		s.free = append(s.free, par.New(shards))
 	}
 	return s
 }
@@ -41,38 +51,94 @@ func newScheduler(inFlight, maxWait, shards int) *scheduler {
 // fails fast with errOverloaded when the queue is already full, and
 // with ctx.Err() when the caller's deadline expires while queued.
 func (s *scheduler) acquire(ctx context.Context) (*par.Pool, error) {
-	select {
-	case p := <-s.slots:
+	s.mu.Lock()
+	if s.running < s.maxRun {
+		p := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.running++
+		s.mu.Unlock()
 		return p, nil
-	default:
 	}
-	if s.waiting.Add(1) > s.maxWait {
-		s.waiting.Add(-1)
+	if len(s.queue) >= s.maxWait {
+		s.mu.Unlock()
 		return nil, errOverloaded
 	}
-	defer s.waiting.Add(-1)
+	ch := make(chan *par.Pool, 1)
+	s.queue = append(s.queue, ch)
+	s.mu.Unlock()
+
 	select {
-	case p := <-s.slots:
+	case p := <-ch:
 		return p, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
 	}
+	// Deadline expired. Dequeue ourselves — unless release already
+	// committed a handoff (we left the queue and count as running), in
+	// which case the pool must go back.
+	s.mu.Lock()
+	for i, c := range s.queue {
+		if c == ch {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+	s.mu.Unlock()
+	s.release(<-ch)
+	return nil, ctx.Err()
 }
 
-// release returns a pool to its slot.
-func (s *scheduler) release(p *par.Pool) { s.slots <- p }
+// release returns a pool: directly to the first queued waiter if any
+// (the slot stays running, so the in-flight gauge never dips and spikes
+// across a handoff), otherwise onto the idle list.
+func (s *scheduler) release(p *par.Pool) {
+	s.mu.Lock()
+	if len(s.queue) > 0 {
+		ch := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		ch <- p
+		return
+	}
+	s.running--
+	s.free = append(s.free, p)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// snapshot returns the in-flight and queued counts read atomically under
+// one lock hold, so the pair is consistent: inFlight ≤ maxRun and
+// queued ≤ maxWait simultaneously.
+func (s *scheduler) snapshot() (inFlight int, queued int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running, int64(len(s.queue))
+}
 
 // queueDepth reports how many callers are waiting for a slot.
-func (s *scheduler) queueDepth() int64 { return s.waiting.Load() }
+func (s *scheduler) queueDepth() int64 {
+	_, q := s.snapshot()
+	return q
+}
 
 // inFlight reports how many slots are currently running.
-func (s *scheduler) inFlight() int { return cap(s.slots) - len(s.slots) }
+func (s *scheduler) inFlight() int {
+	r, _ := s.snapshot()
+	return r
+}
 
 // close reclaims every slot — blocking until in-flight runs release
 // theirs — and shuts the pools down, so a server shutdown leaves no
 // worker goroutines behind.
 func (s *scheduler) close() {
-	for i := 0; i < cap(s.slots); i++ {
-		(<-s.slots).Close()
+	s.mu.Lock()
+	for s.running > 0 || len(s.queue) > 0 {
+		s.cond.Wait()
+	}
+	pools := s.free
+	s.free = nil
+	s.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
 	}
 }

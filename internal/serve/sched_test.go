@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphbench/internal/par"
+)
+
+// TestBackoffDelayHighAttempts is the regression test for the shift
+// overflow: base << (attempt-1) at attempt ≥ 40 went negative and made
+// rand.Int64N panic, killing the request goroutine. The delay must stay
+// capped at 1s and positive for every attempt count.
+func TestBackoffDelayHighAttempts(t *testing.T) {
+	cases := []struct {
+		base    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{10 * time.Millisecond, 1, 10 * time.Millisecond},
+		{10 * time.Millisecond, 3, 40 * time.Millisecond},
+		{10 * time.Millisecond, 7, 640 * time.Millisecond},
+		{10 * time.Millisecond, 8, time.Second}, // first capped attempt
+		{10 * time.Millisecond, 40, time.Second},
+		{10 * time.Millisecond, 64, time.Second},
+		{10 * time.Millisecond, 1 << 20, time.Second},
+		{time.Nanosecond, 63, time.Second},
+		{time.Nanosecond, 10_000, time.Second},
+		{2 * time.Second, 1, time.Second}, // base above the cap
+		{0, 40, 0},
+	}
+	for _, c := range cases {
+		if got := backoffDelay(c.base, c.attempt); got != c.want {
+			t.Errorf("backoffDelay(%v, %d) = %v, want %v", c.base, c.attempt, got, c.want)
+		}
+	}
+	// The full sleep path (delay + jitter draw) must not panic at high
+	// attempt counts; a nanosecond-scale capped value keeps it fast only
+	// when the base is tiny and the attempt is small.
+	sleepBackoff(time.Nanosecond, 1)
+	sleepBackoff(0, 1<<30)
+}
+
+// TestSchedulerGaugeBoundsUnderLoad hammers acquire/release from many
+// goroutines while concurrently scraping snapshot(), asserting the
+// consistent-snapshot contract: in-flight never exceeds the slot count
+// and queue depth never exceeds maxWait, even mid-acquire.
+func TestSchedulerGaugeBoundsUnderLoad(t *testing.T) {
+	cases := []struct {
+		name             string
+		slots, wait, par int
+	}{
+		{"1slot", 1, 2, 8},
+		{"2slots", 2, 3, 12},
+		{"4slots", 4, 8, 16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := newScheduler(c.slots, c.wait, 1)
+			defer s.close()
+
+			var stop atomic.Bool
+			var violations atomic.Int64
+			var scraper sync.WaitGroup
+			scraper.Add(1)
+			go func() {
+				defer scraper.Done()
+				for !stop.Load() {
+					inFlight, queued := s.snapshot()
+					if inFlight < 0 || inFlight > c.slots || queued < 0 || queued > int64(c.wait) {
+						violations.Add(1)
+						return
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for i := 0; i < c.par; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 200; j++ {
+						ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+						p, err := s.acquire(ctx)
+						if err == nil {
+							s.release(p)
+						}
+						cancel()
+					}
+				}()
+			}
+			wg.Wait()
+			stop.Store(true)
+			scraper.Wait()
+			if n := violations.Load(); n > 0 {
+				t.Fatalf("gauge snapshot out of bounds %d times", n)
+			}
+			if inFlight, queued := s.snapshot(); inFlight != 0 || queued != 0 {
+				t.Fatalf("idle scheduler reports inFlight=%d queued=%d", inFlight, queued)
+			}
+		})
+	}
+}
+
+// TestSchedulerOverloadAndHandoff checks the admission edges: queue
+// fills to exactly maxWait then sheds, and a release hands the pool to
+// the first waiter without the in-flight gauge dipping.
+func TestSchedulerOverloadAndHandoff(t *testing.T) {
+	s := newScheduler(1, 1, 1)
+	defer s.close()
+
+	p, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		p   *par.Pool
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		wp, werr := s.acquire(context.Background())
+		done <- res{wp, werr}
+	}()
+	waitFor(t, func() bool { return s.queueDepth() == 1 })
+	if _, err := s.acquire(context.Background()); err != errOverloaded {
+		t.Fatalf("expected errOverloaded with full queue, got %v", err)
+	}
+	s.release(p)
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("queued acquire failed: %v", r.err)
+	}
+	if inFlight, queued := s.snapshot(); inFlight != 1 || queued != 0 {
+		t.Fatalf("after handoff: inFlight=%d queued=%d, want 1, 0", inFlight, queued)
+	}
+	s.release(r.p)
+}
+
+// TestSchedulerCtxExpiredWhileQueued checks that a waiter whose context
+// expires leaves no queue residue and loses no pool, including the race
+// where release commits a handoff concurrently with the timeout.
+func TestSchedulerCtxExpiredWhileQueued(t *testing.T) {
+	s := newScheduler(1, 4, 1)
+	defer s.close()
+	p, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := s.acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+	if inFlight, queued := s.snapshot(); inFlight != 1 || queued != 0 {
+		t.Fatalf("after expiry: inFlight=%d queued=%d, want 1, 0", inFlight, queued)
+	}
+	s.release(p)
+	// The slot must still be acquirable: the expired waiter returned any
+	// handed-off pool.
+	p2, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.release(p2)
+}

@@ -346,8 +346,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		P99:   finiteQuantile(s.latency, 0.99),
 	}
 	body.Cache = cacheBody{Hits: hits, Misses: misses, Coalesced: coalesced, HitRate: rate}
-	body.QueueDepth = s.sched.queueDepth()
-	body.InFlight = s.sched.inFlight()
+	body.InFlight, body.QueueDepth = s.sched.snapshot()
 	chaosRate := 0.0
 	if s.cfg.Chaos != nil {
 		chaosRate = s.cfg.Chaos.Rate()
@@ -601,13 +600,30 @@ func (s *Server) runWithRetry(pool *par.Pool, q query, kind engine.Kind) (*engin
 
 // sleepBackoff sleeps the exponential backoff for retry attempt
 // (1-based): base doubling per attempt, capped at 1s, plus up to 50%
-// random jitter to decorrelate concurrent retriers.
+// random jitter to decorrelate concurrent retriers. The doubling stops
+// as soon as the cap is reached — a single shift by attempt-1 would
+// overflow to a negative duration during a long retry storm (attempt
+// ≥ ~33 for a millisecond base) and panic in rand.Int64N.
 func sleepBackoff(base time.Duration, attempt int) {
-	d := base << (attempt - 1)
+	if d := backoffDelay(base, attempt); d > 0 {
+		time.Sleep(d + time.Duration(rand.Int64N(int64(d)+1))/2)
+	}
+}
+
+// backoffDelay returns the pre-jitter delay for retry attempt (1-based):
+// base·2^(attempt-1), capped at 1s. Always in (0, 1s] for base > 0.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < time.Second; i++ {
+		d <<= 1
+	}
 	if d > time.Second {
 		d = time.Second
 	}
-	time.Sleep(d + time.Duration(rand.Int64N(int64(d)+1))/2)
+	return d
 }
 
 // breakerRetryAfter renders the breaker cooldown as a Retry-After
