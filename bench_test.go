@@ -20,6 +20,7 @@ import (
 	"graphbench/internal/core"
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
+	"graphbench/internal/govern"
 	"graphbench/internal/graph"
 	"graphbench/internal/graphx"
 	"graphbench/internal/haloop"
@@ -570,6 +571,66 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// spillFixture generates the scale-up UK analogue (datagen -preset
+// scale-up) shared by the spill benchmarks: large enough that a BSP
+// run's lean residency (~8 MB: CSR both sides, twin inbox arenas, send
+// buckets) overflows the benchmark's 4 MiB budget, forcing the
+// out-of-core tier.
+var spillFixture = sync.OnceValue(func() *graph.Graph {
+	return datasets.Generate(datasets.UK, datasets.Options{Scale: datasets.ScaleUpScale, Seed: 1})
+})
+
+// BenchmarkSpill compares one governed out-of-core PageRank superstep
+// sequence against the identical in-core run — same graph, same
+// partition, same program — so the throughput cost of spilling the
+// message plane to checksummed segments is a tracked number. The
+// acceptance bar for the memory governor is Spill staying within a
+// small constant factor of InCore — ~2x for traversal workloads, ~4x
+// for PageRank, which rewrites the full message plane every superstep —
+// while its tracked peak stays under the 4 MiB budget (asserted below;
+// the bit-identity of outputs and modeled costs is pinned by
+// internal/enginetest's acceptance test, not re-checked per iteration).
+// Shards is fixed at 1 so allocs/op is deterministic for the
+// scripts/bench.sh --compare gate.
+func BenchmarkSpill(b *testing.B) {
+	g := spillFixture()
+	const m = 16
+	cut := partition.EdgeCut{M: m, Seed: 7}
+	cfg := bsp.Config{
+		Graph: g, Scale: 1, M: m, MachineOf: cut.MachineOf, Profile: &blogel.Profile,
+		Program: &bsp.PageRankProgram{Damping: 0.15}, Combine: bsp.SumCombine,
+		FixedSupersteps: 10, Shards: 1,
+	}
+	b.Run("InCore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bsp.Run(sim.NewSize(m), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Spill", func(b *testing.B) {
+		gov, err := govern.New(4<<20, b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer gov.Close()
+		govCfg := cfg
+		govCfg.Governor = gov
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := bsp.Run(sim.NewSize(m), govCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.Govern.Spilled || out.Govern.PeakBytes > gov.Budget() {
+				b.Fatalf("run not bounded out-of-core: %+v", out.Govern)
+			}
+		}
+	})
 }
 
 // BenchmarkTextDecode measures the line-by-line path the snapshot

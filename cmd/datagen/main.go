@@ -29,8 +29,20 @@ func main() {
 		format  = flag.String("format", "adj", "adj, adj-long, edge, or csrbin (binary CSR snapshot)")
 		out     = flag.String("out", "", "output file (default stdout)")
 		stats   = flag.Bool("stats", false, "print dataset statistics instead of data")
+		preset  = flag.String("preset", "",
+			"named fixture preset overriding -scale: scale-up (datasets.ScaleUpScale,\n"+
+				"the bounded-memory CI fixture)")
 	)
 	flag.Parse()
+
+	switch *preset {
+	case "":
+	case "scale-up":
+		*scale = datasets.ScaleUpScale
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
 
 	var f graph.Format
 	csrbin := false

@@ -38,6 +38,7 @@ import (
 	"graphbench/internal/core"
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
+	"graphbench/internal/govern"
 	"graphbench/internal/harness"
 	"graphbench/internal/metrics"
 	"graphbench/internal/sim"
@@ -61,6 +62,10 @@ func main() {
 			"cache dataset fixtures as binary CSR snapshots in this directory\n"+
 				"(keyed by name/scale/seed/format version; later runs load instead of\n"+
 				"regenerating; default $GRAPHBENCH_SNAPSHOT_DIR)")
+		memBudget = flag.String("mem-budget", "",
+			"host memory budget per process, e.g. 512m or 2g (0/empty = unbounded);\n"+
+				"runs shed scratch and spill to disk under pressure instead of growing\n"+
+				"past it; default $GRAPHBENCH_MEM_BUDGET")
 	)
 	flag.Parse()
 
@@ -75,6 +80,15 @@ func main() {
 	if *snapDir != "" {
 		r.SnapshotDir = *snapDir
 	}
+	if *memBudget != "" {
+		b, err := govern.ParseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(2)
+		}
+		r.MemoryBudget = b
+	}
+	defer r.Close()
 	switch {
 	case *artifact != "":
 		printArtifacts(r, *artifact, *scale, *seed)

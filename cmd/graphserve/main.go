@@ -53,6 +53,7 @@ import (
 
 	"graphbench/internal/chaos"
 	"graphbench/internal/datasets"
+	"graphbench/internal/govern"
 	"graphbench/internal/serve"
 )
 
@@ -78,8 +79,18 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the chaos fault schedule")
 		recov     = flag.Bool("recover", false,
 			"absorb injected faults inside the engines (checkpoint/retry/lineage recovery)")
+		memBudget = flag.String("mem-budget", os.Getenv("GRAPHBENCH_MEM_BUDGET"),
+			"host memory budget for served runs, e.g. 512m or 2g (empty = unbounded);\n"+
+				"runs spill to disk under pressure, and requests whose floor cannot fit\n"+
+				"answer 503 + Retry-After; default $GRAPHBENCH_MEM_BUDGET")
 	)
 	flag.Parse()
+
+	budget, err := govern.ParseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphserve:", err)
+		os.Exit(2)
+	}
 
 	cfg := serve.Config{
 		Scale:            *scale,
@@ -93,6 +104,7 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		Recover:          *recov,
+		MemBudget:        budget,
 	}
 	if *chaosRate > 0 {
 		cfg.Chaos = chaos.NewSource(*chaosSeed, *chaosRate)

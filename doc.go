@@ -319,4 +319,53 @@
 // not breaker failures. cmd/graphserve exposes the knobs: -retries,
 // -breaker-threshold, -breaker-cooldown, -chaos-rate, -chaos-seed,
 // -recover.
+//
+// # Out-of-core execution & the memory governor
+//
+// internal/govern bounds the host-side working set of a run — the real
+// bytes this process allocates, a separate ledger from the *modeled*
+// cluster memory above. One Governor (core.Runner.MemoryBudget,
+// $GRAPHBENCH_MEM_BUDGET, -mem-budget on cmd/graphbench and
+// cmd/graphserve) is shared by all runs of a Runner; each run charges
+// its large allocations — snapshot arenas, BSP inbox arenas, send
+// buckets, combiner planes, streaming windows — against a per-run
+// Lease and reacts to pressure in tiers:
+//
+//   - Soft (projected residency past half the headroom): the run sheds
+//     optional scratch — traversal workloads force the push-direction
+//     plane instead of keeping pull mirrors, and dataset fixtures load
+//     demand-paged (snapshot.LoadLazy) instead of prefaulted.
+//   - Hard (lean residency does not fit): the BSP runtime switches to
+//     out-of-core supersteps. Edge blocks are re-laid into run-local
+//     segment files and streamed through fixed windows (so derived
+//     graphs — e.g. triangle counting's forward orientation — stream
+//     too); send buckets flush to raw spill chunks past a threshold;
+//     inbox arenas live in segment files, double-buffered like their
+//     in-core twins. Replay order is preserved — spilled chunks in
+//     flush order, then the in-memory remainder, per source shard — so
+//     outputs, IterStats, and modeled costs stay bit-identical to
+//     in-core execution at every shard count. Checkpoints copy the live
+//     inbox segments; rollback restores them byte-for-byte, so chaos
+//     kills mid-spill recover exactly (enforced by the spill fault
+//     matrix in internal/enginetest).
+//   - Reject (even the out-of-core floor does not fit): the run fails
+//     with an error unwrapping to govern.ErrBudget and modeled status
+//     OOM. The serve path maps it to 503 + Retry-After, never caches
+//     it, and excludes it from breaker accounting — the request was
+//     fine, the moment was not.
+//
+// Spill files are checksummed paged segments (govern.PageBytes pages,
+// CRC-32C per page, a trailer with payload length and magic): a torn
+// or bit-flipped segment refuses to open or read rather than feeding
+// corrupt messages back into a superstep. Send-bucket chunks use raw
+// triplet files ([dst][srcM][val] columns) with their CRCs held in
+// memory, since they never outlive one superstep. All spill lives
+// under a per-run directory that Lease.Close removes unconditionally —
+// a crashed run cannot leak budget or temp files.
+//
+// Result.Govern reports the run's ledger slice (tracked peak, spill
+// volume, pressure events); /metrics adds the governor's process-wide
+// gauges. The acceptance test (internal/enginetest) pins bit-identity
+// between spilled and in-core runs; BenchmarkSpill tracks the
+// throughput cost of spilling against the same run unbounded.
 package graphbench

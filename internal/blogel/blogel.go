@@ -98,12 +98,14 @@ func (e *VEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 		RecordIterStats: true,
 		CheckpointEvery: opt.CheckpointInterval(),
 		Direction:       opt.Direction,
+		Governor:        opt.Governor,
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)
 	res.Exec = c.Clock() - mark
 	res.Iterations = dilated(out.Supersteps, cfg.TimeDilation)
 	res.Costs = out.Recovery
+	res.Govern = out.Govern
 	res.PerIteration = out.IterStats
 	fillOutputs(res, w, out)
 	if err != nil {

@@ -14,6 +14,7 @@ package bsp
 
 import (
 	"graphbench/internal/engine"
+	"graphbench/internal/govern"
 	"graphbench/internal/graph"
 	"graphbench/internal/par"
 	"graphbench/internal/sim"
@@ -106,6 +107,16 @@ type Config struct {
 
 	RecordIterStats bool
 
+	// Governor, when enabled, bounds the run's host working set: the
+	// run reserves its projected sizes against the shared budget and
+	// degrades in tiers — shedding optional scratch under soft
+	// pressure, switching to out-of-core spilled supersteps under hard
+	// pressure (see ooc.go) — rather than growing without bound.
+	// Outputs, IterStats, and modeled costs are bit-identical in every
+	// mode; a budget below even the out-of-core floor fails the run
+	// with an error unwrapping to govern.ErrBudget.
+	Governor *govern.Governor
+
 	// probe, when non-nil, counts direction-machinery events; used only
 	// by in-package tests to assert their scenarios are not vacuous.
 	probe *directionProbe
@@ -126,6 +137,11 @@ type Output struct {
 	// failures survived by rollback-replay (zero when CheckpointEvery
 	// is 0 or no fault fired).
 	Recovery engine.RecoveryCosts
+
+	// Govern is the run's memory-governor ledger (zero when no
+	// governor was configured): peak tracked bytes, spill volume, and
+	// pressure reactions.
+	Govern govern.RunStats
 }
 
 // Context is the per-vertex view handed to Program.Compute. It routes
@@ -161,8 +177,15 @@ func (c *Context) SetValue(x float64) {
 func (c *Context) OutDegree() int { return c.rt.cfg.Graph.OutDegree(c.v) }
 
 // OutNeighbors returns the vertex's out-neighbors, sorted ascending.
-// The slice aliases graph storage and must not be modified.
-func (c *Context) OutNeighbors() []graph.VertexID { return c.rt.cfg.Graph.OutNeighbors(c.v) }
+// The slice aliases graph storage (or, out-of-core, the shard's
+// streaming window, where it stays valid until the shard's next
+// neighbor fetch) and must not be modified.
+func (c *Context) OutNeighbors() []graph.VertexID {
+	if c.ss.edgeOut != nil {
+		return c.ss.edgeOut.neighbors(c.v)
+	}
+	return c.rt.cfg.Graph.OutNeighbors(c.v)
+}
 
 // NumVertices returns the graph's vertex count.
 func (c *Context) NumVertices() int { return c.rt.cfg.Graph.NumVertices() }
@@ -172,7 +195,7 @@ func (c *Context) Send(dst graph.VertexID, val float64) { c.ss.send(c.srcM, dst,
 
 // SendToOut sends val to every out-neighbor.
 func (c *Context) SendToOut(val float64) {
-	for _, w := range c.rt.cfg.Graph.OutNeighbors(c.v) {
+	for _, w := range c.OutNeighbors() {
 		c.ss.send(c.srcM, w, val)
 	}
 }
@@ -182,6 +205,12 @@ func (c *Context) SendToOut(val float64) {
 func (c *Context) SendToAllNeighbors(val float64) {
 	c.SendToOut(val)
 	if c.rt.cfg.UseInNeighbors && c.rt.superstep >= 1 {
+		if c.ss.edgeIn != nil {
+			for _, w := range c.ss.edgeIn.neighbors(c.v) {
+				c.ss.send(c.srcM, w, val)
+			}
+			return
+		}
 		for _, w := range c.rt.cfg.Graph.InNeighbors(c.v) {
 			c.ss.send(c.srcM, w, val)
 		}
@@ -233,6 +262,12 @@ type shardState struct {
 	pullStamp []int32          // machine -> receiver tag, distinct-machine scratch
 	pullSlot  []int32          // machine -> claimed slot (combined pull sums)
 	pullAcc   []float64        // per-slot partial sums in first-claim order
+
+	// Out-of-core state (nil on in-core runs, see ooc.go): streamed
+	// edge blocks and the shard's bucket spill.
+	edgeOut *edgeStream
+	edgeIn  *edgeStream
+	spill   *bucketSpill
 }
 
 // delivery is one destination shard's merge-pass accounting. receivers
@@ -333,6 +368,11 @@ type runtime struct {
 	recovery  engine.RecoveryCosts
 	replaying bool
 	replayTo  int // last superstep index being replayed
+
+	// Memory-governor state (Config.Governor enabled): the run's
+	// budget lease and, under hard pressure, the out-of-core machinery.
+	lease *govern.Lease
+	oc    *oocState
 }
 
 // checkpoint is a superstep-entry snapshot: the vertex-value plane,
@@ -469,6 +509,15 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		}
 		rt.merged[i] = d
 	}
+	out := &Output{}
+	// The governor decides the execution mode before planes grow: it
+	// may force push (shedding pull scratch) or swap in the out-of-core
+	// phase bodies. It must run before setupDirection and the combiner
+	// allocation below.
+	if err := rt.setupGovernor(); err != nil {
+		return out, err
+	}
+	defer rt.finishGovernor(out)
 	for v := 0; v < n; v++ {
 		rt.values[v] = cfg.Program.Init(graph.VertexID(v))
 		rt.owner[v] = int32(cfg.MachineOf(graph.VertexID(v)))
@@ -486,7 +535,6 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		}
 	}
 
-	out := &Output{}
 	rt.superstep = 0
 	rt.arenaFresh = true
 	for rt.superstep < cfg.MaxSupersteps {
@@ -506,6 +554,12 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 				rt.materializeInbox()
 			}
 			active = rt.computePhase()
+		}
+		if rt.oc != nil {
+			if oerr := rt.oc.firstErr(); oerr != nil {
+				rt.fill(out)
+				return out, wrapBudget(oerr)
+			}
 		}
 		err := rt.chargeSuperstep()
 		if rt.replaying {
@@ -584,6 +638,13 @@ func (rt *runtime) takeCheckpoint(iterLen int) error {
 		ck.inVals = append(ck.inVals[:0], rt.inVals...)
 		ck.inStart = append(ck.inStart[:0], rt.inStart...)
 		ck.inLen = append(ck.inLen[:0], rt.inLen...)
+		if rt.oc != nil {
+			// Spilled runs keep the inbox values in segment files;
+			// checkpoint copies them next to the resident planes.
+			if err := rt.oc.saveInbox(); err != nil {
+				return err
+			}
+		}
 	} else {
 		// The previous superstep pulled: the pending messages exist only
 		// as the sender frontier, which is far smaller than the arena it
@@ -653,6 +714,13 @@ func (rt *runtime) rollback(out *Output) error {
 		copy(rt.inStart, ck.inStart)
 		copy(rt.inLen, ck.inLen)
 	}
+	if rt.oc != nil {
+		// Restore the checkpointed inbox segments and invalidate every
+		// spill file written since; replay regenerates them.
+		if rerr := rt.oc.restoreInbox(); rerr != nil {
+			return rerr
+		}
+	}
 	rt.arenaFresh = ck.arenaFresh
 	rt.prevRaw = ck.prevRaw
 	rt.recvPrev = ck.recvPrev
@@ -703,16 +771,24 @@ func (rt *runtime) computePhase() int {
 	rt.pool.ForEach(rt.plan.Count(), rt.computeFn)
 
 	// Arena layout: each destination shard's region of the value arena
-	// is the sum of the bucket lengths bound for it; the arena grows
-	// (retaining capacity) to this superstep's raw send count.
+	// is the sum of the bucket lengths bound for it — including, out of
+	// core, the messages already spilled to chunk files; the arena grows
+	// (retaining capacity) to this superstep's raw send count. Spilled
+	// runs skip the arena: each merge shard fills a region buffer and
+	// seals it to a segment file instead.
 	total := 0
 	for d := range rt.shardBase {
 		rt.shardBase[d] = int32(total)
 		for _, ss := range rt.shards {
 			total += len(ss.out[d].dst)
+			if ss.spill != nil {
+				total += ss.spill.counts[d]
+			}
 		}
 	}
-	rt.nextVals = par.Grow(rt.nextVals, total)
+	if rt.oc == nil {
+		rt.nextVals = par.Grow(rt.nextVals, total)
+	}
 
 	// Fused count+layout+deposit pass: destination shards, source-shard
 	// order within each — combined messages fold into already-claimed
@@ -746,6 +822,9 @@ func (ss *shardState) send(srcM int32, dst graph.VertexID, val float64) {
 	b.dst = append(b.dst, dst)
 	b.srcM = append(b.srcM, srcM)
 	b.val = append(b.val, val)
+	if ss.spill != nil {
+		ss.spill.noteSend(ss)
+	}
 }
 
 // deposit applies one buffered message to the destination's arena
@@ -844,6 +923,9 @@ func (rt *runtime) deliver() {
 	rt.inVals, rt.nextVals = rt.nextVals, rt.inVals
 	rt.inStart, rt.nextStart = rt.nextStart, rt.inStart
 	rt.inLen, rt.nextLen = rt.nextLen, rt.inLen
+	if rt.oc != nil {
+		rt.oc.flip()
+	}
 }
 
 func (rt *runtime) shouldStop(active int) bool {

@@ -17,6 +17,7 @@ import (
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
 	"graphbench/internal/gas"
+	"graphbench/internal/govern"
 	"graphbench/internal/graph"
 	"graphbench/internal/graphx"
 	"graphbench/internal/haloop"
@@ -144,9 +145,22 @@ type Runner struct {
 	// overrides. Set before the first Dataset call.
 	SnapshotDir string
 
+	// MemoryBudget, when positive, bounds the host-side working set of
+	// every run this runner executes: a shared govern.Governor charges
+	// the engines' large allocations against it, and runs degrade in
+	// tiers — shed scratch, demand-page snapshot arenas, go out-of-core
+	// with spill-to-disk — instead of growing past the budget. Runs
+	// whose floor does not fit fail with an error unwrapping to
+	// govern.ErrBudget. NewRunner seeds it from $GRAPHBENCH_MEM_BUDGET
+	// (govern.ParseBytes syntax, e.g. "512m"); cmd flags override. Set
+	// before the first run.
+	MemoryBudget int64
+
 	mu       sync.Mutex
 	fixtures map[datasets.Name]*engine.Dataset
 	pool     *par.Pool
+	governor *govern.Governor
+	governed bool // governor initialized (possibly to nil on error)
 }
 
 // NewRunner returns a Runner at the given reduction scale (0 means
@@ -157,12 +171,43 @@ func NewRunner(scale float64, seed int64) *Runner {
 	if scale <= 0 {
 		scale = datasets.DefaultScale
 	}
-	return &Runner{
-		Scale:       scale,
-		Seed:        seed,
-		SnapshotDir: os.Getenv("GRAPHBENCH_SNAPSHOT_DIR"),
-		fixtures:    make(map[datasets.Name]*engine.Dataset),
+	budget, err := govern.ParseBytes(os.Getenv("GRAPHBENCH_MEM_BUDGET"))
+	if err != nil {
+		// A malformed budget must not silently run ungoverned — but
+		// NewRunner has no error path, so surface it loudly and run
+		// without a budget rather than guessing one.
+		fmt.Fprintf(os.Stderr, "graphbench: ignoring $GRAPHBENCH_MEM_BUDGET: %v\n", err)
+		budget = 0
 	}
+	return &Runner{
+		Scale:        scale,
+		Seed:         seed,
+		SnapshotDir:  os.Getenv("GRAPHBENCH_SNAPSHOT_DIR"),
+		MemoryBudget: budget,
+		fixtures:     make(map[datasets.Name]*engine.Dataset),
+	}
+}
+
+// Governor returns the runner's shared memory governor, created on
+// first use from MemoryBudget (nil — governing disabled — when the
+// budget is zero or the spill root cannot be created). MemoryBudget
+// must be set before the first run.
+func (r *Runner) Governor() *govern.Governor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.governorLocked()
+}
+
+func (r *Runner) governorLocked() *govern.Governor {
+	if !r.governed {
+		g, err := govern.New(r.MemoryBudget, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphbench: memory governor disabled: %v\n", err)
+		}
+		r.governor = g
+		r.governed = true
+	}
+	return r.governor
 }
 
 // TryDataset returns the prepared fixture for name, generating it on
@@ -183,7 +228,13 @@ func (r *Runner) TryDataset(name datasets.Name) (*engine.Dataset, error) {
 	opt := datasets.Options{Scale: r.Scale, Seed: r.Seed}
 	var g *graph.Graph
 	if r.SnapshotDir != "" {
-		g = datasets.NewCache(r.SnapshotDir).Generate(name, opt)
+		cache := datasets.NewCache(r.SnapshotDir)
+		// Soft pressure: load the snapshot arena demand-paged instead
+		// of prefaulted, so cold fixture regions never turn resident.
+		if gov := r.governorLocked(); gov.Pressure() >= govern.PressureSoft {
+			cache.Lazy = true
+		}
+		g = cache.Generate(name, opt)
 	} else {
 		g = datasets.Generate(name, opt)
 	}
@@ -358,6 +409,7 @@ func (r *Runner) tryRun(s System, name datasets.Name, kind engine.Kind, machines
 	if s.Key == "graphx" && opt.NumPartitions == 0 {
 		opt.NumPartitions = graphx.TunedPartitions(d, machines)
 	}
+	opt.Governor = r.Governor()
 	c := sim.NewSize(machines)
 	if f.Injector != nil {
 		c.SetInjector(f.Injector)
@@ -391,10 +443,11 @@ func (r *Runner) Pool() *par.Pool {
 	return r.pool
 }
 
-// Close shuts down the runner's matrix pool, if one was created. The
-// finalizer would eventually do the same; owners with a clear
-// lifecycle (a server shutting down, a test) should call Close so
-// goroutine accounting is deterministic.
+// Close shuts down the runner's matrix pool and memory governor, if
+// created. The pool finalizer would eventually do the same; owners with
+// a clear lifecycle (a server shutting down, a test) should call Close
+// so goroutine accounting is deterministic and the governor's spill
+// root is removed promptly.
 func (r *Runner) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -402,6 +455,11 @@ func (r *Runner) Close() {
 		r.pool.Close()
 		r.pool = nil
 	}
+	if r.governor != nil {
+		_ = r.governor.Close()
+		r.governor = nil
+	}
+	r.governed = false
 }
 
 // RunGrid executes the cells concurrently on the runner's pool (each

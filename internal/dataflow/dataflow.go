@@ -136,12 +136,14 @@ func (g *Gelly) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt en
 		RecordIterStats: true,
 		CheckpointEvery: opt.CheckpointInterval(),
 		Direction:       opt.Direction,
+		Governor:        opt.Governor,
 	}
 	configureWorkload(&cfg, w, d)
 	out, err := bsp.Run(c, cfg)
 	res.Exec = c.Clock() - mark
 	res.Iterations = dilatedIters(out.Supersteps, cfg.TimeDilation)
 	res.Costs = out.Recovery
+	res.Govern = out.Govern
 	res.PerIteration = out.IterStats
 	fillOutputs(res, w, out)
 	if err != nil {

@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"log"
 	"path/filepath"
 	"strconv"
 
@@ -18,6 +19,16 @@ import (
 // rewrites the entry), never to an error.
 type Cache struct {
 	Dir string
+
+	// Lazy loads snapshot arenas demand-paged (snapshot.LoadLazy)
+	// instead of prefaulted: the memory governor's soft-pressure tier
+	// sets it so cold fixture regions never become resident. Loads stay
+	// bit-identical — only residency timing changes.
+	Lazy bool
+
+	// Logf receives degradation warnings (an unwritable or full cache
+	// directory). Nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // NewCache returns a cache rooted at dir. The directory is created on
@@ -54,16 +65,31 @@ func (c *Cache) Generate(name Name, opt Options) *graph.Graph {
 		opt.Scale = DefaultScale
 	}
 	path := c.Path(name, opt)
-	if g, seed, err := snapshot.Load(path); err == nil &&
+	load := snapshot.Load
+	if c.Lazy {
+		load = snapshot.LoadLazy
+	}
+	if g, seed, err := load(path); err == nil &&
 		g.Name() == string(name) && g.ScaleFactor() == opt.Scale && seed == opt.Seed {
 		return g
 	}
 	g := Generate(name, opt)
 	// Best-effort save: a read-only or full cache directory must not
-	// fail the run, it just keeps regenerating. A mismatched entry is
-	// overwritten with the correct one (heal-on-miss).
-	_ = snapshot.Save(path, g, opt.Seed)
+	// fail the run — it degrades to serving the in-memory graph and
+	// regenerating next time. A mismatched entry is overwritten with
+	// the correct one (heal-on-miss).
+	if err := snapshot.Save(path, g, opt.Seed); err != nil {
+		c.warnf("datasets: snapshot cache unwritable, serving %s from memory: %v", name, err)
+	}
 	return g
+}
+
+func (c *Cache) warnf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Catalog mirrors the package-level Catalog through the cache.

@@ -137,3 +137,40 @@ func TestCacheCatalog(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheDegradesWhenDirUnwritable: a cache whose directory cannot be
+// created or written (read-only volume, ENOSPC, a file squatting on the
+// path) must not fail the run — it warns once and serves the generated
+// in-memory graph, bit-identical to an uncached generation.
+func TestCacheDegradesWhenDirUnwritable(t *testing.T) {
+	// A regular file where the cache directory should be: MkdirAll and
+	// every write under it fail regardless of uid (chmod-based read-only
+	// setups are defeated by root, which CI containers run as).
+	squat := filepath.Join(t.TempDir(), "notadir")
+	if err := os.WriteFile(squat, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(filepath.Join(squat, "cache"))
+	var warnings []string
+	c.Logf = func(format string, args ...any) {
+		warnings = append(warnings, format)
+	}
+
+	opt := Options{Scale: cacheScale, Seed: 7}
+	got := c.Generate(Twitter, opt)
+	if !sameGraph(Generate(Twitter, opt), got) {
+		t.Fatal("degraded cache served a graph that differs from generation")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "unwritable") {
+		t.Fatalf("degradation warnings = %q, want one unwritable warning", warnings)
+	}
+
+	// Still serving (and still warning) on the next call: degradation
+	// is per-attempt, not a poisoned state.
+	if !sameGraph(Generate(Twitter, opt), c.Generate(Twitter, opt)) {
+		t.Fatal("second degraded generation differs")
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("second miss warned %d times total, want 2", len(warnings))
+	}
+}

@@ -138,6 +138,14 @@ type Options struct {
 // shape property survives.
 const DefaultScale = 100_000
 
+// ScaleUpScale is the reduction of the "scale-up" fixture used by the
+// bounded-memory CI leg and the spill benchmark (datagen -preset
+// scale-up): 5× the vertices and edges of DefaultScale, sized so a BSP
+// run's message plane overflows a few-MiB memory budget — forcing the
+// governor's out-of-core tier — while generation still takes well under
+// a second.
+const ScaleUpScale = 20_000
+
 // Generate builds the synthetic analogue of the named dataset.
 func Generate(name Name, opt Options) *graph.Graph {
 	spec := SpecFor(name)

@@ -8,6 +8,7 @@ package engine
 import (
 	"fmt"
 
+	"graphbench/internal/govern"
 	"graphbench/internal/graph"
 	"graphbench/internal/hdfs"
 	"graphbench/internal/par"
@@ -212,6 +213,16 @@ type Options struct {
 	// policy produces bit-identical outputs and modeled costs — the
 	// direction only changes host wall-clock time.
 	Direction Direction
+
+	// Governor, when non-nil, bounds the host-side working set of the
+	// run: large allocations (inbox arenas, send buckets, traversal
+	// scratch) are charged against its byte budget, and BSP engines
+	// degrade — shed optional scratch, then go out-of-core with
+	// spill-to-disk — instead of growing past it. Runs whose floor does
+	// not fit fail with an error unwrapping to govern.ErrBudget.
+	// Governed and ungoverned runs produce bit-identical outputs,
+	// IterStats, and modeled costs.
+	Governor *govern.Governor
 }
 
 // Direction is a traversal direction policy; see Options.Direction.
@@ -323,6 +334,12 @@ type Result struct {
 	Costs RecoveryCosts
 
 	PerIteration []IterStat
+
+	// Govern is the run's slice of the memory governor's ledger (zero
+	// for ungoverned runs): peak tracked host bytes, spill volume, and
+	// pressure reactions. Host-side accounting — distinct from the
+	// modeled MemTotal/MemMax above.
+	Govern govern.RunStats
 
 	// Outputs for verification against the single-thread oracles.
 	Ranks     []float64        // PageRank

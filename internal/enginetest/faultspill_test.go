@@ -1,0 +1,112 @@
+package enginetest
+
+import (
+	"os"
+	"testing"
+
+	"graphbench/internal/chaos"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/govern"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+// TestFaultMatrixSpillRecovery extends the fault matrix to out-of-core
+// runs: a machine kill fired at each superstep boundary — while spill
+// segments are live on disk — must recover to outputs bit-identical to
+// the failure-free spilled run (which itself matches the in-core run),
+// and every recovery must leave the spill root empty: rollback either
+// restores checkpointed segments or invalidates them; it never leaks.
+func TestFaultMatrixSpillRecovery(t *testing.T) {
+	f := Prepare(t, datasets.UK, datasets.ScaleUpScale)
+	const machines = 64
+
+	workloads := []engine.Workload{
+		engine.NewPageRank(),
+		engine.NewWCC(),
+	}
+	runWith := func(w engine.Workload, gov *govern.Governor, inj sim.Injector, opt engine.Options) *engine.Result {
+		opt.Governor = gov
+		c := sim.NewSize(machines)
+		if inj != nil {
+			c.SetInjector(inj)
+		}
+		return pregel.New().Run(c, f.Dataset, w, opt)
+	}
+	requireCleanRoot := func(t *testing.T, gov *govern.Governor, label string) {
+		t.Helper()
+		ents, err := os.ReadDir(gov.Root())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("%s: spill root holds %d leftover entries", label, len(ents))
+		}
+	}
+
+	opt := engine.Options{Shards: 1, Recover: true, CheckpointEvery: 2}
+	for _, w := range workloads {
+		t.Run(w.Kind.String(), func(t *testing.T) {
+			gov, err := govern.New(oocBudget(w.Kind), t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer gov.Close()
+
+			// The checkpointing spilled run computes exactly what the
+			// unbounded, checkpoint-free run computes.
+			plain := RunOK(t, pregel.New(), f, machines, w, engine.Options{Shards: 1})
+			clean := runWith(w, gov, nil, opt)
+			if clean.Status != sim.OK {
+				t.Fatalf("failure-free spilled run: status %v (%v)", clean.Status, clean.Err)
+			}
+			if !clean.Govern.Spilled || clean.Govern.SpillBytes == 0 {
+				t.Fatalf("run stayed in-core (%+v); the fixture no longer overflows the budget", clean.Govern)
+			}
+			requireSameComputation(t, "spilled vs in-core", plain, clean)
+			requireCleanRoot(t, gov, "failure-free spilled run")
+
+			boundaries := 0
+			for b := 0; b <= maxFaultBoundaries; b++ {
+				if b == maxFaultBoundaries {
+					t.Fatalf("still crossing boundaries after %d injections", b)
+				}
+				plan := chaos.Plan{
+					Seed:        int64(b),
+					Kind:        chaos.KillMachine,
+					KillMachine: b % machines,
+					AtSuperstep: b,
+				}
+				inj := plan.Injector()
+				got := runWith(w, gov, inj, opt)
+				if !inj.Fired() {
+					boundaries = b
+					break
+				}
+				if got.Status != sim.OK {
+					t.Fatalf("boundary %d: recovered spilled run status %v (%v)", b, got.Status, got.Err)
+				}
+				requireSameComputation(t, plan.String(), clean, got)
+				if !got.Govern.Spilled {
+					t.Fatalf("boundary %d: recovered run did not stay out-of-core: %+v", b, got.Govern)
+				}
+				if got.Costs.Failures != 1 {
+					t.Fatalf("boundary %d: Costs.Failures = %d, want 1", b, got.Costs.Failures)
+				}
+				requireCleanRoot(t, gov, plan.String())
+			}
+			if boundaries == 0 {
+				t.Fatal("no boundary ever crossed: injection is not reaching the spilled run")
+			}
+
+			root := gov.Root()
+			if err := gov.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(root); !os.IsNotExist(err) {
+				t.Fatalf("governor Close left spill root behind (stat err %v)", err)
+			}
+		})
+	}
+}

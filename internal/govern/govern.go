@@ -1,0 +1,404 @@
+// Package govern is the host-side memory governor: one byte budget that
+// every large allocation of a run — snapshot arenas, BSP inbox arenas,
+// send buckets, streaming windows — is charged against, with tiered
+// degradation instead of an OOM kill when the budget tightens.
+//
+// The governor tracks the *working set the runtime controls*, not the Go
+// heap: callers charge the byte sizes of the buffers they are about to
+// grow and release them when the run ends. Under soft pressure runs
+// shrink reusable scratch (forced-push traversal, demand-paged snapshot
+// arenas); under hard pressure the BSP runtime switches to out-of-core
+// supersteps that spill the message plane to checksummed segment files
+// (see internal/bsp); and when even the out-of-core floor does not fit,
+// charging fails with a typed ErrBudget that the serve path maps to
+// 503 + Retry-After.
+//
+// A Governor is shared by every run of a core.Runner; each run holds a
+// Lease, a child ledger whose Close returns everything the run still
+// holds and deletes its spill directory, so a crashed or abandoned run
+// can never leak budget or temp files.
+package govern
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrBudget is the sentinel all budget-rejection errors unwrap to. The
+// serve path maps it to 503 + Retry-After and excludes it from circuit-
+// breaker failure accounting: the request was fine, the moment was not.
+var ErrBudget = errors.New("memory budget exceeded")
+
+// BudgetError reports a charge that did not fit the budget.
+type BudgetError struct {
+	Need   int64 // bytes the charge needed
+	Budget int64 // configured budget
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("memory budget exceeded: need %d bytes of %d budget", e.Need, e.Budget)
+}
+
+// Unwrap ties every BudgetError to the ErrBudget sentinel.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// Pressure classifies how much of the budget is currently charged.
+type Pressure int
+
+const (
+	// PressureNone: comfortably inside the budget.
+	PressureNone Pressure = iota
+	// PressureSoft: past SoftFraction — release reusable scratch,
+	// prefer demand paging over pre-faulted arenas.
+	PressureSoft
+	// PressureHard: past HardFraction — new runs should go out-of-core.
+	PressureHard
+)
+
+// SoftFraction and HardFraction are the budget fractions at which
+// Pressure moves to soft and hard. The BSP runtime also uses
+// SoftFraction as the headroom bound past which an in-core run sheds
+// its optional scratch.
+const (
+	SoftFraction = 0.5
+	HardFraction = 0.875
+)
+
+// Stats is a snapshot of a Governor's counters.
+type Stats struct {
+	BudgetBytes int64  `json:"budget_bytes"`
+	UsedBytes   int64  `json:"used_bytes"`
+	PeakBytes   int64  `json:"peak_bytes"`
+	SpillBytes  int64  `json:"spill_bytes"`
+	SoftEvents  uint64 `json:"soft_events"`
+	HardEvents  uint64 `json:"hard_events"`
+	Rejections  uint64 `json:"rejections"`
+}
+
+// RunStats is one run's slice of the ledger, surfaced on engine results
+// and /metrics.
+type RunStats struct {
+	BudgetBytes int64
+	PeakBytes   int64  // peak bytes the run held at once
+	SpillBytes  int64  // bytes written to spill segments
+	SoftEvents  uint64 // soft-pressure reactions (scratch shed, lazy arenas)
+	HardEvents  uint64 // hard-pressure reactions (out-of-core supersteps)
+	Spilled     bool   // true when the run executed out-of-core
+}
+
+// Governor is the shared budget ledger. The nil Governor is valid and
+// disables all governing: every charge succeeds and records nothing.
+type Governor struct {
+	budget int64
+	root   string // spill root; per-run directories live under it
+
+	mu         sync.Mutex
+	used       int64
+	peak       int64
+	spillBytes int64
+	soft       uint64
+	hard       uint64
+	rejections uint64
+}
+
+// New creates a Governor with the given byte budget. Its spill root is
+// created under dir (os.TempDir() when dir is empty) and removed by
+// Close. A budget <= 0 returns nil: governing disabled.
+func New(budget int64, dir string) (*Governor, error) {
+	if budget <= 0 {
+		return nil, nil
+	}
+	root, err := os.MkdirTemp(dir, "graphbench-spill-")
+	if err != nil {
+		return nil, fmt.Errorf("govern: spill root: %w", err)
+	}
+	return &Governor{budget: budget, root: root}, nil
+}
+
+// Enabled reports whether g governs anything (nil-safe).
+func (g *Governor) Enabled() bool { return g != nil && g.budget > 0 }
+
+// Budget returns the configured budget; 0 for the nil Governor.
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// Root returns the spill root directory ("" for the nil Governor).
+func (g *Governor) Root() string {
+	if g == nil {
+		return ""
+	}
+	return g.root
+}
+
+// Pressure classifies current usage against the budget (nil-safe).
+func (g *Governor) Pressure() Pressure {
+	if !g.Enabled() {
+		return PressureNone
+	}
+	g.mu.Lock()
+	used := g.used
+	g.mu.Unlock()
+	switch f := float64(used) / float64(g.budget); {
+	case f >= HardFraction:
+		return PressureHard
+	case f >= SoftFraction:
+		return PressureSoft
+	}
+	return PressureNone
+}
+
+// Stats snapshots the counters (zero value for the nil Governor).
+func (g *Governor) Stats() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		BudgetBytes: g.budget,
+		UsedBytes:   g.used,
+		PeakBytes:   g.peak,
+		SpillBytes:  g.spillBytes,
+		SoftEvents:  g.soft,
+		HardEvents:  g.hard,
+		Rejections:  g.rejections,
+	}
+}
+
+// Close removes the spill root. Outstanding leases must be closed first.
+func (g *Governor) Close() error {
+	if g == nil {
+		return nil
+	}
+	return os.RemoveAll(g.root)
+}
+
+// Lease is one run's ledger against the shared Governor. The nil Lease
+// is valid: charges succeed, stats are zero, Close is a no-op.
+type Lease struct {
+	g *Governor
+
+	mu         sync.Mutex
+	held       int64
+	peak       int64
+	spillBytes int64
+	soft       uint64
+	hard       uint64
+	dir        string
+	dirSeq     uint64
+}
+
+var leaseSeq struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// NewLease opens a run ledger (nil for the nil/disabled Governor).
+func (g *Governor) NewLease() *Lease {
+	if !g.Enabled() {
+		return nil
+	}
+	return &Lease{g: g}
+}
+
+// Available returns the budget bytes not currently charged across the
+// whole Governor. The nil Lease has effectively unlimited headroom.
+func (l *Lease) Available() int64 {
+	if l == nil {
+		return math.MaxInt64
+	}
+	l.g.mu.Lock()
+	defer l.g.mu.Unlock()
+	if a := l.g.budget - l.g.used; a > 0 {
+		return a
+	}
+	return 0
+}
+
+// TryCharge charges n bytes against the budget, failing with a
+// *BudgetError (unwrapping to ErrBudget) when it does not fit. Charges
+// of n <= 0 succeed and record nothing.
+func (l *Lease) TryCharge(n int64) error {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	g := l.g
+	g.mu.Lock()
+	if g.used+n > g.budget {
+		g.rejections++
+		need := g.used + n
+		g.mu.Unlock()
+		return &BudgetError{Need: need, Budget: g.budget}
+	}
+	g.used += n
+	if g.used > g.peak {
+		g.peak = g.used
+	}
+	g.mu.Unlock()
+	l.mu.Lock()
+	l.held += n
+	if l.held > l.peak {
+		l.peak = l.held
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Release returns n charged bytes to the budget.
+func (l *Lease) Release(n int64) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	if n > l.held {
+		n = l.held
+	}
+	l.held -= n
+	l.mu.Unlock()
+	l.g.mu.Lock()
+	l.g.used -= n
+	l.g.mu.Unlock()
+}
+
+// AddSpill records n bytes written to spill segments (disk, not budget).
+func (l *Lease) AddSpill(n int64) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.spillBytes += n
+	l.mu.Unlock()
+	l.g.mu.Lock()
+	l.g.spillBytes += n
+	l.g.mu.Unlock()
+}
+
+// NoteSoft records one soft-pressure reaction.
+func (l *Lease) NoteSoft() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.soft++
+	l.mu.Unlock()
+	l.g.mu.Lock()
+	l.g.soft++
+	l.g.mu.Unlock()
+}
+
+// NoteHard records one hard-pressure reaction.
+func (l *Lease) NoteHard() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.hard++
+	l.mu.Unlock()
+	l.g.mu.Lock()
+	l.g.hard++
+	l.g.mu.Unlock()
+}
+
+// Dir returns the run's private spill directory, creating it on first
+// use. Close removes it recursively.
+func (l *Lease) Dir() (string, error) {
+	if l == nil {
+		return "", errors.New("govern: no lease")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dir != "" {
+		return l.dir, nil
+	}
+	leaseSeq.mu.Lock()
+	leaseSeq.n++
+	seq := leaseSeq.n
+	leaseSeq.mu.Unlock()
+	dir := filepath.Join(l.g.root, fmt.Sprintf("run-%d", seq))
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return "", fmt.Errorf("govern: run spill dir: %w", err)
+	}
+	l.dir = dir
+	return dir, nil
+}
+
+// Stats returns the run's ledger slice; valid after Close (peak, spill
+// and event counts survive the release of held bytes).
+func (l *Lease) Stats() RunStats {
+	if l == nil {
+		return RunStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return RunStats{
+		BudgetBytes: l.g.budget,
+		PeakBytes:   l.peak,
+		SpillBytes:  l.spillBytes,
+		SoftEvents:  l.soft,
+		HardEvents:  l.hard,
+		Spilled:     l.hard > 0,
+	}
+}
+
+// Close releases everything the lease still holds and removes the run's
+// spill directory. Idempotent.
+func (l *Lease) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	held, dir := l.held, l.dir
+	l.held, l.dir = 0, ""
+	l.mu.Unlock()
+	if held > 0 {
+		l.g.mu.Lock()
+		l.g.used -= held
+		l.g.mu.Unlock()
+	}
+	if dir != "" {
+		_ = os.RemoveAll(dir)
+	}
+}
+
+// ParseBytes parses a human byte size: a plain integer byte count, or
+// one with a k/m/g suffix (optionally ...b or ...ib, case-insensitive),
+// all powers of 1024. The empty string parses to 0 (governing off).
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, suf := range []struct {
+		tail string
+		mult int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, suf.tail) {
+			t, mult = strings.TrimSuffix(t, suf.tail), suf.mult
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("govern: bad byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("govern: negative byte size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,177 @@
+package govern
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestNilGovernorIsDisabledAndSafe(t *testing.T) {
+	var g *Governor
+	if g.Enabled() {
+		t.Fatal("nil governor reports enabled")
+	}
+	if g.Budget() != 0 || g.Root() != "" || g.Pressure() != PressureNone {
+		t.Fatal("nil governor leaks state")
+	}
+	if g.Stats() != (Stats{}) {
+		t.Fatal("nil governor has non-zero stats")
+	}
+	l := g.NewLease()
+	if l != nil {
+		t.Fatal("nil governor handed out a lease")
+	}
+	// The nil lease must be a no-op ledger, not a crash.
+	if err := l.TryCharge(1 << 40); err != nil {
+		t.Fatalf("nil lease rejected a charge: %v", err)
+	}
+	l.Release(1)
+	l.AddSpill(1)
+	l.NoteSoft()
+	l.NoteHard()
+	if l.Stats() != (RunStats{}) {
+		t.Fatal("nil lease has non-zero stats")
+	}
+	l.Close()
+	if err := g.Close(); err != nil {
+		t.Fatalf("nil governor Close: %v", err)
+	}
+}
+
+func TestNewZeroBudgetDisables(t *testing.T) {
+	g, err := New(0, t.TempDir())
+	if err != nil || g != nil {
+		t.Fatalf("New(0) = (%v, %v), want (nil, nil)", g, err)
+	}
+}
+
+func TestLedgerChargeReleasePeak(t *testing.T) {
+	g, err := New(1000, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	l := g.NewLease()
+	defer l.Close()
+
+	if err := l.TryCharge(600); err != nil {
+		t.Fatalf("charge within budget: %v", err)
+	}
+	if p := g.Pressure(); p != PressureSoft {
+		t.Fatalf("pressure at 60%% = %v, want soft", p)
+	}
+	if got := l.Available(); got != 400 {
+		t.Fatalf("Available = %d, want 400", got)
+	}
+	err = l.TryCharge(500)
+	if err == nil {
+		t.Fatal("overcommit charge succeeded")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || !errors.Is(err, ErrBudget) {
+		t.Fatalf("rejection is %T (%v), want *BudgetError unwrapping to ErrBudget", err, err)
+	}
+	if be.Need != 1100 || be.Budget != 1000 {
+		t.Fatalf("BudgetError{Need: %d, Budget: %d}, want {1100, 1000}", be.Need, be.Budget)
+	}
+	if err := l.TryCharge(300); err != nil {
+		t.Fatalf("charge to 90%%: %v", err)
+	}
+	if p := g.Pressure(); p != PressureHard {
+		t.Fatalf("pressure at 90%% = %v, want hard", p)
+	}
+	l.Release(700)
+	if got := l.Available(); got != 800 {
+		t.Fatalf("Available after release = %d, want 800", got)
+	}
+	l.AddSpill(4096)
+	l.NoteSoft()
+	l.NoteHard()
+
+	st := g.Stats()
+	if st.UsedBytes != 200 || st.PeakBytes != 900 || st.SpillBytes != 4096 ||
+		st.SoftEvents != 1 || st.HardEvents != 1 || st.Rejections != 1 {
+		t.Fatalf("governor stats %+v", st)
+	}
+	rs := l.Stats()
+	if rs.PeakBytes != 900 || rs.SpillBytes != 4096 || !rs.Spilled {
+		t.Fatalf("lease stats %+v", rs)
+	}
+
+	// Close releases everything still held and keeps the run stats.
+	l.Close()
+	if got := g.Stats().UsedBytes; got != 0 {
+		t.Fatalf("used after lease close = %d, want 0", got)
+	}
+	if rs := l.Stats(); rs.PeakBytes != 900 || !rs.Spilled {
+		t.Fatalf("lease stats lost after close: %+v", rs)
+	}
+}
+
+func TestLeaseDirCreatedAndRemoved(t *testing.T) {
+	g, err := New(1<<20, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	l := g.NewLease()
+	dir, err := l.Dir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := l.Dir()
+	if err != nil || again != dir {
+		t.Fatalf("second Dir() = (%q, %v), want (%q, nil)", again, err, dir)
+	}
+	if err := os.WriteFile(dir+"/seg", []byte("x"), 0o644); err != nil {
+		t.Fatalf("spill dir not writable: %v", err)
+	}
+	l.Close()
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("lease Close left spill dir behind (stat err %v)", err)
+	}
+	// Idempotent.
+	l.Close()
+
+	root := g.Root()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(root); !os.IsNotExist(err) {
+		t.Fatalf("governor Close left spill root behind (stat err %v)", err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"123", 123, false},
+		{"1k", 1024, false},
+		{"1K", 1024, false},
+		{"2kb", 2048, false},
+		{"3kib", 3072, false},
+		{"5m", 5 << 20, false},
+		{"5MiB", 5 << 20, false},
+		{"2g", 2 << 30, false},
+		{"2GB", 2 << 30, false},
+		{" 64 m ", 64 << 20, false},
+		{"-1", 0, true},
+		{"nope", 0, true},
+		{"1q", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseBytes(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Checksummed spill segments: the on-disk format every out-of-core
+// spill in this repository uses (inbox arenas, streamed edge blocks).
+//
+// A segment is a sequence of fixed-size pages of payload followed by a
+// trailer. Payload bytes are stored contiguously — page k's payload
+// occupies file bytes [k·PageBytes, (k+1)·PageBytes) — so readers can
+// map a payload offset to a file offset with no per-page framing
+// arithmetic, and a page-aligned read of an 8-aligned payload range
+// stays 8-aligned in the read buffer (readers alias []int32/[]float64
+// views onto it). The trailer holds one CRC-32C (Castagnoli) per page,
+// the payload length, and a magic, and is written by Finish; a segment
+// without a valid trailer is torn and refuses to open. Every page read
+// is verified against its checksum.
+package govern
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// PageBytes is the segment page size: a multiple of 8 so page-aligned
+// windows keep float64 payloads aligned.
+const PageBytes = 1 << 15 // 32 KiB
+
+// segMagic terminates a finished segment's trailer.
+const segMagic = 0x47425347 // "GBSG"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SegmentWriter writes one segment sequentially.
+type SegmentWriter struct {
+	f     *os.File
+	lease *Lease
+	crcs  []uint32
+	cur   uint32 // running CRC of the partial last page
+	fill  int    // bytes in the partial last page
+	n     int64  // payload bytes written
+	err   error
+}
+
+// CreateSegment creates (truncating) the segment file at path. Written
+// bytes are recorded on the lease as spill volume at Finish.
+func CreateSegment(path string, lease *Lease) (*SegmentWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("govern: create segment: %w", err)
+	}
+	return &SegmentWriter{f: f, lease: lease}, nil
+}
+
+// Write appends payload bytes, accumulating per-page checksums.
+func (w *SegmentWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		k := PageBytes - w.fill
+		if k > len(p) {
+			k = len(p)
+		}
+		w.cur = crc32.Update(w.cur, crcTable, p[:k])
+		if _, err := w.f.Write(p[:k]); err != nil {
+			w.err = err
+			return total - len(p), err
+		}
+		w.fill += k
+		w.n += int64(k)
+		if w.fill == PageBytes {
+			w.crcs = append(w.crcs, w.cur)
+			w.cur, w.fill = 0, 0
+		}
+		p = p[k:]
+	}
+	return total, nil
+}
+
+// Finish seals the segment: flushes the partial page's checksum, writes
+// the trailer, and closes the file. The segment is unreadable until
+// Finish succeeds.
+func (w *SegmentWriter) Finish() error {
+	if w.err != nil {
+		w.f.Close()
+		return w.err
+	}
+	if w.fill > 0 {
+		w.crcs = append(w.crcs, w.cur)
+		w.cur, w.fill = 0, 0
+	}
+	tr := make([]byte, 0, len(w.crcs)*4+12)
+	for _, c := range w.crcs {
+		tr = binary.LittleEndian.AppendUint32(tr, c)
+	}
+	tr = binary.LittleEndian.AppendUint64(tr, uint64(w.n))
+	tr = binary.LittleEndian.AppendUint32(tr, segMagic)
+	if _, err := w.f.Write(tr); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.lease.AddSpill(w.n + int64(len(tr)))
+	return nil
+}
+
+// SegmentReader reads pages back, verifying each against its checksum.
+// Reads use ReadAt and are safe for concurrent use.
+type SegmentReader struct {
+	f    *os.File
+	crcs []uint32
+	size int64 // payload bytes
+}
+
+// OpenSegment opens a finished segment and validates its trailer.
+func OpenSegment(path string) (*SegmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("govern: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fail := func(format string, args ...any) (*SegmentReader, error) {
+		f.Close()
+		return nil, fmt.Errorf("govern: segment %s: "+format, append([]any{path}, args...)...)
+	}
+	if st.Size() < 12 {
+		return fail("truncated (%d bytes)", st.Size())
+	}
+	var tail [12]byte
+	if _, err := f.ReadAt(tail[:], st.Size()-12); err != nil {
+		return fail("trailer: %v", err)
+	}
+	if binary.LittleEndian.Uint32(tail[8:]) != segMagic {
+		return fail("bad magic (torn or foreign file)")
+	}
+	size := int64(binary.LittleEndian.Uint64(tail[:8]))
+	npages := int((size + PageBytes - 1) / PageBytes)
+	if want := size + int64(npages)*4 + 12; st.Size() != want {
+		return fail("size %d, want %d for %d payload bytes", st.Size(), want, size)
+	}
+	crcBytes := make([]byte, npages*4)
+	if _, err := f.ReadAt(crcBytes, size); err != nil {
+		return fail("checksum table: %v", err)
+	}
+	crcs := make([]uint32, npages)
+	for i := range crcs {
+		crcs[i] = binary.LittleEndian.Uint32(crcBytes[i*4:])
+	}
+	return &SegmentReader{f: f, crcs: crcs, size: size}, nil
+}
+
+// Size returns the payload length in bytes.
+func (r *SegmentReader) Size() int64 { return r.size }
+
+// ReadPages fills buf (whose length must be a multiple of PageBytes)
+// with consecutive pages starting at page, verifies each page read
+// against its checksum, and returns the number of payload bytes read
+// (short only at the segment's end).
+func (r *SegmentReader) ReadPages(buf []byte, page int) (int, error) {
+	if len(buf)%PageBytes != 0 {
+		return 0, fmt.Errorf("govern: read buffer %d not page-aligned", len(buf))
+	}
+	off := int64(page) * PageBytes
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	want := r.size - off
+	if want > int64(len(buf)) {
+		want = int64(len(buf))
+	}
+	if _, err := io.ReadFull(io.NewSectionReader(r.f, off, want), buf[:want]); err != nil {
+		return 0, fmt.Errorf("govern: segment read: %w", err)
+	}
+	for i := 0; int64(i*PageBytes) < want; i++ {
+		lo := int64(i * PageBytes)
+		hi := lo + PageBytes
+		if hi > want {
+			hi = want
+		}
+		if got := crc32.Checksum(buf[lo:hi], crcTable); got != r.crcs[page+i] {
+			return 0, fmt.Errorf("govern: segment page %d checksum mismatch (corrupt spill)", page+i)
+		}
+	}
+	return int(want), nil
+}
+
+// Close closes the underlying file.
+func (r *SegmentReader) Close() error { return r.f.Close() }
+
+// CopyFile copies src to dst (truncating dst) — used to checkpoint
+// spill segments so a rollback can restore them byte-identically.
+func CopyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// AlignedBytes returns a zeroed byte slice of length n whose backing
+// array is 8-byte aligned (it is carved from a []uint64), so 8-aligned
+// payload ranges read into it can be aliased as []float64/[]int64.
+func AlignedBytes(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)[:n]
+}

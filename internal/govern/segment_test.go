@@ -1,0 +1,204 @@
+package govern
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSegment(t *testing.T, path string, payload []byte, lease *Lease) {
+	t.Helper()
+	w, err := CreateSegment(path, lease)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write in ragged pieces so page accounting crosses Write calls.
+	for off := 0; off < len(payload); {
+		k := 1000 + off%4096
+		if off+k > len(payload) {
+			k = len(payload) - off
+		}
+		if _, err := w.Write(payload[off : off+k]); err != nil {
+			t.Fatal(err)
+		}
+		off += k
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	// 2.5 pages: exercises full pages, a partial tail page, and reads
+	// that start mid-segment.
+	payload := make([]byte, PageBytes*2+PageBytes/2)
+	rand.New(rand.NewSource(7)).Read(payload)
+	path := filepath.Join(t.TempDir(), "a.seg")
+
+	g, err := New(1<<20, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	l := g.NewLease()
+	defer l.Close()
+
+	writeSegment(t, path, payload, l)
+	if sp := l.Stats().SpillBytes; sp <= int64(len(payload)) {
+		t.Fatalf("spill bytes %d, want > payload %d (trailer included)", sp, len(payload))
+	}
+
+	r, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != int64(len(payload)) {
+		t.Fatalf("Size = %d, want %d", r.Size(), len(payload))
+	}
+
+	// Whole-segment read.
+	buf := AlignedBytes(3 * PageBytes)
+	n, err := r.ReadPages(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(payload) || !bytes.Equal(buf[:n], payload) {
+		t.Fatalf("whole read: %d bytes, equal=%v", n, bytes.Equal(buf[:n], payload))
+	}
+
+	// Page-at-a-time windowed read.
+	win := AlignedBytes(PageBytes)
+	var got []byte
+	for p := 0; ; p++ {
+		n, err := r.ReadPages(win, p)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, win[:n]...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("windowed read differs from payload")
+	}
+
+	if _, err := r.ReadPages(make([]byte, PageBytes-1), 0); err == nil {
+		t.Fatal("unaligned read buffer accepted")
+	}
+}
+
+func TestSegmentDetectsCorruption(t *testing.T) {
+	payload := make([]byte, PageBytes+123)
+	rand.New(rand.NewSource(9)).Read(payload)
+	path := filepath.Join(t.TempDir(), "b.seg")
+	writeSegment(t, path, payload, nil)
+
+	// Flip one payload bit in page 1.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[PageBytes+50] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := AlignedBytes(2 * PageBytes)
+	// Page 0 is intact...
+	if _, err := r.ReadPages(buf[:PageBytes], 0); err != nil {
+		t.Fatalf("intact page rejected: %v", err)
+	}
+	// ...page 1 is not.
+	_, err = r.ReadPages(buf[:PageBytes], 1)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt page read err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestSegmentRefusesTornFiles(t *testing.T) {
+	dir := t.TempDir()
+	payload := make([]byte, PageBytes/2)
+	rand.New(rand.NewSource(3)).Read(payload)
+
+	// Unfinished: CreateSegment + Write but no Finish.
+	torn := filepath.Join(dir, "torn.seg")
+	w, err := CreateSegment(torn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.f.Close()
+	if _, err := OpenSegment(torn); err == nil {
+		t.Fatal("opened a segment that was never finished")
+	}
+
+	// Truncated after Finish.
+	cut := filepath.Join(dir, "cut.seg")
+	writeSegment(t, cut, payload, nil)
+	raw, err := os.ReadFile(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cut, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegment(cut); err == nil {
+		t.Fatal("opened a truncated segment")
+	}
+
+	// Empty file.
+	empty := filepath.Join(dir, "empty.seg")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegment(empty); err == nil {
+		t.Fatal("opened an empty file as a segment")
+	}
+}
+
+func TestCopyFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	want := []byte("spill checkpoint payload")
+	if err := os.WriteFile(src, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyFile(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CopyFile content %q, want %q", got, want)
+	}
+}
+
+func TestAlignedBytes(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, PageBytes} {
+		b := AlignedBytes(n)
+		if len(b) != n {
+			t.Fatalf("AlignedBytes(%d) len %d", n, len(b))
+		}
+		for i, v := range b {
+			if v != 0 {
+				t.Fatalf("AlignedBytes(%d)[%d] = %d, want 0", n, i, v)
+			}
+		}
+	}
+}

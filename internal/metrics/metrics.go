@@ -36,6 +36,15 @@ type Record struct {
 	CPUNet   float64 `json:"cpu_net_sec"`
 	CPUIdle  float64 `json:"cpu_idle_sec"`
 	RepFact  float64 `json:"replication_factor,omitempty"`
+
+	// Memory-governor accounting (host-side, distinct from the modeled
+	// mem_* fields above); zero/omitted for ungoverned runs.
+	MemBudget  int64  `json:"mem_budget_bytes,omitempty"`
+	PeakHeap   int64  `json:"peak_heap_bytes,omitempty"`
+	SpillBytes int64  `json:"spill_bytes,omitempty"`
+	SoftEvents uint64 `json:"pressure_soft_events,omitempty"`
+	HardEvents uint64 `json:"pressure_hard_events,omitempty"`
+	Spilled    bool   `json:"spilled,omitempty"`
 }
 
 // FromResult converts an engine result into a Record.
@@ -60,6 +69,13 @@ func FromResult(r *engine.Result) Record {
 		CPUNet:   r.CPUNet,
 		CPUIdle:  r.CPUIdle,
 		RepFact:  r.ReplicationFactor,
+
+		MemBudget:  r.Govern.BudgetBytes,
+		PeakHeap:   r.Govern.PeakBytes,
+		SpillBytes: r.Govern.SpillBytes,
+		SoftEvents: r.Govern.SoftEvents,
+		HardEvents: r.Govern.HardEvents,
+		Spilled:    r.Govern.Spilled,
 	}
 }
 

@@ -105,12 +105,14 @@ func (g *Giraph) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 		RecordIterStats: true,
 		CheckpointEvery: opt.CheckpointInterval(),
 		Direction:       opt.Direction,
+		Governor:        opt.Governor,
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)
 	res.Exec = c.Clock() - mark
 	res.Iterations = dilatedIterations(out.Supersteps, cfg.TimeDilation)
 	res.Costs = out.Recovery
+	res.Govern = out.Govern
 	res.PerIteration = out.IterStats
 	fillOutputs(res, w, out)
 	if err != nil {

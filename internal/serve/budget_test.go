@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestServerBudget503 pins the serve-path semantics of an unreachable
+// memory budget: a budget below even the out-of-core floor answers
+// 503 + Retry-After (the request was fine, the moment was not), the
+// failure is never cached, and — unlike compute errors — it does not
+// count toward the circuit breaker, so the path stays closed and
+// recovers the instant capacity would return.
+func TestServerBudget503(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxInFlight:      1,
+		MaxQueue:         4,
+		BreakerThreshold: 2,
+		MemBudget:        4096, // below the smallest out-of-core floor
+	})
+	if got := s.runner.MemoryBudget; got != 4096 {
+		t.Fatalf("runner budget %d, want 4096", got)
+	}
+
+	const path = "/v1/pagerank?k=3"
+	// Well past BreakerThreshold: were budget rejections counted as
+	// compute errors, the breaker would open partway through.
+	for i := 0; i < 5; i++ {
+		code, hdr, body := get(t, ts.URL+path)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: status %d, want 503: %s", i, code, body)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatalf("attempt %d: 503 without Retry-After", i)
+		}
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("attempt %d: error body %s", i, body)
+		}
+	}
+
+	var m metricsBody
+	_, _, mb := get(t, ts.URL+"/metrics")
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	if state, ok := m.Breakers["twitter/pagerank"]; ok && state != "closed" {
+		t.Fatalf("breaker state %q after budget rejections, want closed (%v)", state, m.Breakers)
+	}
+	if m.Governor == nil {
+		t.Fatal("/metrics has no governor block on a budgeted server")
+	}
+	if m.Governor.BudgetBytes != 4096 || m.Governor.Rejections == 0 {
+		t.Fatalf("governor metrics %+v, want budget 4096 and rejections > 0", m.Governor)
+	}
+	if m.Governor.UsedBytes != 0 {
+		t.Fatalf("rejected runs left %d bytes charged", m.Governor.UsedBytes)
+	}
+
+	// The health endpoint still answers: budget exhaustion is load
+	// shedding, not a crash.
+	if code, _, body := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after rejections: %d %s", code, body)
+	}
+}
+
+// TestServerBudgetGenerous: a budget the workload fits under changes
+// nothing observable — queries answer 200 with the same body as an
+// unbudgeted server, and /metrics reports the ledger drained.
+func TestServerBudgetGenerous(t *testing.T) {
+	_, free := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 4})
+	_, capped := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 4, MemBudget: 1 << 30})
+
+	const path = "/v1/wcc?vertex=3"
+	codeF, _, bodyF := get(t, free.URL+path)
+	codeC, _, bodyC := get(t, capped.URL+path)
+	if codeF != http.StatusOK || codeC != http.StatusOK {
+		t.Fatalf("statuses %d/%d, want 200/200", codeF, codeC)
+	}
+	if string(bodyF) != string(bodyC) {
+		t.Fatalf("budgeted body differs:\nfree:   %s\ncapped: %s", bodyF, bodyC)
+	}
+
+	var m metricsBody
+	_, _, mb := get(t, capped.URL+"/metrics")
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Governor == nil || m.Governor.BudgetBytes != 1<<30 {
+		t.Fatalf("governor metrics %+v", m.Governor)
+	}
+	if m.Governor.UsedBytes != 0 || m.Governor.Rejections != 0 {
+		t.Fatalf("generous budget saw pressure: %+v", m.Governor)
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"graphbench/internal/core"
 	"graphbench/internal/datasets"
 	"graphbench/internal/engine"
+	"graphbench/internal/govern"
 	"graphbench/internal/graph"
 	"graphbench/internal/metrics"
 	"graphbench/internal/par"
@@ -71,6 +72,14 @@ type Config struct {
 	Shards int
 
 	SnapshotDir string // fixture snapshot cache directory ("" = generate)
+
+	// MemBudget, when positive, bounds the host-side working set of
+	// served runs (core.Runner.MemoryBudget): runs degrade — shed
+	// scratch, go out-of-core with spill-to-disk — under pressure, and
+	// a request whose floor cannot fit the budget is answered 503 +
+	// Retry-After instead of OOM-killing the server. Zero keeps the
+	// runner's default ($GRAPHBENCH_MEM_BUDGET).
+	MemBudget int64
 
 	MaxInFlight    int           // concurrent runs (0 = 2)
 	MaxQueue       int           // queued requests beyond that (0 = 8)
@@ -179,6 +188,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotDir != "" {
 		r.SnapshotDir = cfg.SnapshotDir
 	}
+	if cfg.MemBudget > 0 {
+		r.MemoryBudget = cfg.MemBudget
+	}
 	for _, name := range cfg.Datasets {
 		if _, err := r.TryDataset(name); err != nil {
 			return nil, fmt.Errorf("serve: warming fixtures: %w", err)
@@ -284,6 +296,10 @@ type metricsBody struct {
 	InFlight        int               `json:"in_flight"`
 	Faults          faultsBody        `json:"faults"`
 	Breakers        map[string]string `json:"breakers"`
+
+	// Governor reports the memory governor's ledger (peak tracked heap,
+	// spill volume, pressure events); omitted when no budget is set.
+	Governor *govern.Stats `json:"governor,omitempty"`
 }
 
 // faultsBody reports the resilience counters: chaos injection, engine
@@ -360,6 +376,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Panics:           s.panics.Load(),
 	}
 	body.Breakers = s.breakers.states()
+	if gov := s.runner.Governor(); gov.Enabled() {
+		st := gov.Stats()
+		body.Governor = &st
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -511,6 +531,10 @@ func (s *Server) handleQuery(kind engine.Kind) http.HandlerFunc {
 				w.Header().Set("Retry-After", s.breakerRetryAfter())
 				writeError(w, http.StatusServiceUnavailable,
 					"circuit breaker open for %s/%s, retry later", q.key.dataset, kind)
+			case errors.Is(err, govern.ErrBudget):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					"memory budget exhausted for %s/%s, retry later", q.key.dataset, kind)
 			case errors.Is(err, context.DeadlineExceeded):
 				writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
 			default:
@@ -555,6 +579,14 @@ func (s *Server) compute(ctx context.Context, q query, kind engine.Kind) (*engin
 	}
 	defer s.sched.release(pool)
 	res, err := s.runWithRetry(pool, q, kind)
+	if errors.Is(err, govern.ErrBudget) {
+		// A budget rejection is a condition of the server's memory
+		// budget, not of this (dataset, workload): don't count it
+		// against the breaker, and don't cache it — headroom may be
+		// back for the next request.
+		br.cancel()
+		return nil, err
+	}
 	br.record(err == nil)
 	return res, err
 }
@@ -589,6 +621,13 @@ func (s *Server) runWithRetry(pool *par.Pool, q query, kind engine.Kind) (*engin
 		}
 		if n := res.Costs.Failures; n > 0 {
 			s.faultsRecovered.Add(uint64(n))
+		}
+		if errors.Is(res.Err, govern.ErrBudget) {
+			// Budget floor unreachable: surfaced as a transport error
+			// (503 + Retry-After), never as a cached failed result —
+			// the rejection reflects this moment's memory pressure,
+			// not the run's deterministic outcome.
+			return nil, res.Err
 		}
 		if !sim.IsRecoverable(res.Err) {
 			return res, nil

@@ -13,8 +13,10 @@ import (
 // fixture share the page cache. The returned release func unmaps the
 // arena (hooked to the graph's lifetime by Load); it is nil when the
 // arena is ordinary heap memory. Mapping failures (pseudo-files, empty
-// files, exotic filesystems) fall back to os.ReadFile.
-func readArena(path string) ([]byte, func(), error) {
+// files, exotic filesystems) fall back to os.ReadFile. populate selects
+// MAP_POPULATE prefaulting; the governor's soft-pressure tier passes
+// false to keep the arena demand-paged.
+func readArena(path string, populate bool) ([]byte, func(), error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -31,9 +33,13 @@ func readArena(path string) ([]byte, func(), error) {
 	}
 	// MAP_POPULATE prefaults the whole file in the mmap call: the
 	// checksum and validation scans touch every page immediately
-	// anyway, so one readahead beats a page fault per 4 KiB.
-	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ,
-		syscall.MAP_PRIVATE|syscall.MAP_POPULATE)
+	// anyway, so one readahead beats a page fault per 4 KiB. Under
+	// memory pressure the caller disables it and pages fault on demand.
+	flags := syscall.MAP_PRIVATE
+	if populate {
+		flags |= syscall.MAP_POPULATE
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, flags)
 	if err != nil {
 		data, err := os.ReadFile(path)
 		return data, nil, err

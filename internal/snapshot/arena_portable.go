@@ -6,8 +6,9 @@ import "os"
 
 // readArena returns the file's bytes as one heap arena — the portable
 // fallback for platforms without the mmap fast path. The release func
-// is always nil: the arena is garbage-collected with the graph.
-func readArena(path string) ([]byte, func(), error) {
+// is always nil: the arena is garbage-collected with the graph. The
+// populate hint is meaningless for a heap arena.
+func readArena(path string, _ bool) ([]byte, func(), error) {
 	data, err := os.ReadFile(path)
 	return data, nil, err
 }

@@ -160,9 +160,12 @@ func Write(w io.Writer, g *graph.Graph, seed int64) error {
 	return err
 }
 
-// Save writes g's snapshot to path atomically (temp file + rename in
-// the same directory), creating parent directories as needed. Partial
-// writes are never visible to concurrent loaders.
+// Save writes g's snapshot to path atomically and durably: temp file +
+// fsync + rename in the same directory, then an fsync of the directory
+// so the rename itself survives a crash. Parent directories are created
+// as needed. Partial writes are never visible to concurrent loaders,
+// and the temp file is removed on every error path — a disk-full or
+// crashed writer leaves no .tmp* litter behind.
 func Save(path string, g *graph.Graph, seed int64) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -177,10 +180,33 @@ func Save(path string, g *graph.Graph, seed int64) error {
 		tmp.Close()
 		return err
 	}
+	// Data must be durable before the rename publishes the name: a
+	// rename that survives a crash while the bytes did not is exactly
+	// the torn snapshot the checksum exists to catch — don't write one.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory containing a just-renamed file, making
+// the rename durable. Filesystems that cannot fsync a directory (some
+// network and FUSE mounts) degrade to the old behaviour: the data is
+// synced, only the directory entry rides on the next journal flush.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	_ = d.Sync()
+	return d.Close()
 }
 
 // Load reads the snapshot at path and reconstructs the graph plus the
@@ -191,7 +217,20 @@ func Save(path string, g *graph.Graph, seed int64) error {
 // arrays are aliased in place on little-endian hosts — load cost is
 // the checksum plus validation scans, not per-element parsing.
 func Load(path string) (*graph.Graph, int64, error) {
-	data, release, err := readArena(path)
+	return load(path, true)
+}
+
+// LoadLazy is Load without readahead prefaulting: the mmap arena is
+// mapped demand-paged instead of MAP_POPULATE, so pages fault in as the
+// run touches them and cold regions never become resident. The memory
+// governor's soft-pressure tier loads fixtures this way — trading the
+// first traversal's page-fault latency for a smaller resident set.
+func LoadLazy(path string) (*graph.Graph, int64, error) {
+	return load(path, false)
+}
+
+func load(path string, populate bool) (*graph.Graph, int64, error) {
+	data, release, err := readArena(path, populate)
 	if err != nil {
 		return nil, 0, err
 	}
