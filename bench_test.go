@@ -1,7 +1,7 @@
 package graphbench_test
 
 // One benchmark per table and figure of the paper's evaluation section,
-// plus ablations for the design choices DESIGN.md calls out. Each
+// plus ablations for the design choices the package docs call out. Each
 // benchmark regenerates its artifact from fresh simulated runs and
 // prints it once, so `go test -bench=. -benchmem` reproduces the whole
 // evaluation.
@@ -26,6 +26,7 @@ import (
 	"graphbench/internal/haloop"
 	"graphbench/internal/harness"
 	"graphbench/internal/partition"
+	"graphbench/internal/plan"
 	"graphbench/internal/pregel"
 	"graphbench/internal/sim"
 	"graphbench/internal/snapshot"
@@ -648,6 +649,31 @@ func BenchmarkTextDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := graph.Decode(bytes.NewReader(data), graph.FormatAdj, g.NumVertices()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanner measures one adaptive planning decision end to end
+// at serve-path conditions: the dataset profile is already cached (as
+// core.Runner caches it), so the cost is candidate scoring and the
+// configuration heuristics. A fresh planner per iteration keeps the
+// sticky-decision cache from short-circuiting the work being measured.
+// Allocations here are per-request serve overhead, so the allocs gate
+// tracks them.
+func BenchmarkPlanner(b *testing.B) {
+	r := runner()
+	defer r.Close()
+	pr, err := r.TryProfile(datasets.Twitter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := plan.Request{Dataset: string(datasets.Twitter), Workload: "pagerank", Machines: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := plan.New().Decide(pr, req)
+		if d.System == "" {
+			b.Fatal("empty decision")
 		}
 	}
 }

@@ -50,6 +50,10 @@ func main() {
 		scale    = flag.Float64("scale", datasets.DefaultScale, "dataset reduction factor")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		runSys   = flag.String("run", "", "system key to run (see -list)")
+		planMode = flag.String("plan", "",
+			"'auto' lets the adaptive planner pick the system and run\n"+
+				"configuration for -run cells (ignore -run's system key) and\n"+
+				"prints the decision trace")
 		dataset  = flag.String("dataset", "twitter", "dataset: twitter, wrn, uk200705, clueweb")
 		workload = flag.String("workload", "pagerank", "workload: pagerank, wcc, sssp, khop, triangle, lpa")
 		machines = flag.Int("machines", 16, "cluster size")
@@ -92,6 +96,12 @@ func main() {
 	switch {
 	case *artifact != "":
 		printArtifacts(r, *artifact, *scale, *seed)
+	case *planMode != "":
+		if *planMode != "auto" {
+			fmt.Fprintf(os.Stderr, "graphbench: -plan must be 'auto', got %q\n", *planMode)
+			os.Exit(2)
+		}
+		runAuto(r, *dataset, *workload, *machines, *logPath)
 	case *runSys != "":
 		runOne(r, *runSys, *dataset, *workload, *machines, *logPath)
 	case *grid:
@@ -127,11 +137,12 @@ func printArtifacts(r *core.Runner, which string, scale float64, seed int64) {
 		"fig11":   func() string { return harness.Figure11Imbalance(seed) },
 		"fig12":   func() string { return harness.Figure12Vertica(r) },
 		"fig13":   func() string { return harness.Figure13VerticaResources(r) },
+		"planner": func() string { return harness.PlannerGrid(r) },
 	}
 	if which == "all" {
 		order := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 			"table8", "table9", "table10", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "planner"}
 		for _, k := range order {
 			fmt.Println(artifacts[k]())
 		}
@@ -181,6 +192,33 @@ func runOne(r *core.Runner, sysKey, dataset, workload string, machines int, logP
 		fmt.Printf("  iterations %d  network %s  memory total %s (max/machine %s)\n",
 			res.Iterations, metrics.FmtBytes(res.NetBytes),
 			metrics.FmtBytes(res.MemTotal), metrics.FmtBytes(res.MemMax))
+	} else if res.Err != nil {
+		fmt.Printf("  %v\n", res.Err)
+	}
+	writeLog(logPath, []*engine.Result{res})
+}
+
+// runAuto is the -plan auto entry point: ask the adaptive planner for
+// the cell's configuration, print the full decision trace, execute the
+// decision, and print the realized outcome next to the prediction.
+func runAuto(r *core.Runner, dataset, workload string, machines int, logPath string) {
+	kind, err := parseKind(workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbench:", err)
+		os.Exit(2)
+	}
+	res, dec, err := r.TryRunAuto(nil, core.FaultOpts{}, datasets.Name(dataset), kind, machines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbench:", err)
+		os.Exit(2)
+	}
+	fmt.Print(dec.Trace())
+	fmt.Printf("%s %s on %s, %d machines: %s\n", res.System, workload, dataset, machines, res.Status)
+	if res.Status == sim.OK {
+		fmt.Printf("  load %s  execute %s  save %s  overhead %s  total %s\n",
+			metrics.FmtSeconds(res.Load), metrics.FmtSeconds(res.Exec),
+			metrics.FmtSeconds(res.Save), metrics.FmtSeconds(res.Overhead),
+			metrics.FmtSeconds(res.TotalTime()))
 	} else if res.Err != nil {
 		fmt.Printf("  %v\n", res.Err)
 	}

@@ -26,9 +26,15 @@
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
 //
-// Responses carry X-Graphserve-Cache: miss | hit | coalesced; bodies
-// are byte-identical either way. When all -parallel slots are busy and
-// the wait queue is full, the server answers 429 with Retry-After.
+// Queries that do not pin system= are configured by the adaptive
+// planner (internal/plan): it profiles the dataset and picks the
+// engine, shard count, shard plan, direction mode, and memory tier
+// with the lowest predicted composite cost, and the decision summary
+// travels in the X-Graphserve-Plan response header. Responses carry
+// X-Graphserve-Cache: miss | hit | coalesced; bodies are byte-identical
+// either way. When all -parallel slots are busy and the wait queue is
+// full, the server answers 429 with Retry-After. See docs/operations.md
+// for the full operator guide.
 //
 // Resilience: runs killed by a recoverable injected fault are retried
 // (-retries) with backoff; persistent per-(dataset, workload) compute

@@ -5,9 +5,11 @@
 // synthetic analogues of the four datasets, and a harness that
 // regenerates every table and figure of the paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the architecture and
-// substitution rationale, and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate each artifact:
+// See ARCHITECTURE.md for the package map, request data flow, and
+// per-layer bit-identity contracts, docs/operations.md for operating
+// the query server, ROADMAP.md for the plan, and PAPER.md for the
+// source paper's abstract. The benchmarks in bench_test.go regenerate
+// each artifact:
 //
 //	go test -bench=Table9 -benchtime=1x .
 //	go test -bench=Figure6 -benchtime=1x .
@@ -71,10 +73,13 @@
 //     compute/send and merge phases, the GAS gather/apply sweeps, and
 //     Blogel's block-mode rounds — split the vertex (or block) range
 //     into contiguous shards over a par.Plan. Plans are edge-balanced
-//     (par.PlanPrefix over graph.WorkPrefix, the prefix-summed
-//     degrees): shard boundaries are drawn at weight quantiles, so a
-//     power-law hub does not serialize the pass behind one heavy
-//     shard. Each shard accumulates privately (message buffers,
+//     by default (par.PlanPrefix over graph.WorkPrefix, the
+//     prefix-summed degrees): shard boundaries are drawn at weight
+//     quantiles, so a power-law hub does not serialize the pass behind
+//     one heavy shard. engine.Options.ShardPlan can select uniform
+//     vertex-range cuts instead (the adaptive planner does, when
+//     degree skew is low); either plan moves only which worker
+//     computes which range, never the result. Each shard accumulates privately (message buffers,
 //     counters, max-delta), and shard results merge in shard order:
 //     messages replay per destination in the exact sequential order,
 //     counters are integer-valued sums, aggregators are maxima.
@@ -243,8 +248,11 @@
 // query service instead of a batch harness: dataset fixtures are
 // prepared once at startup and answered from memory, and workload
 // queries — PageRank top-k, WCC membership, SSSP distance, triangle
-// counts, LPA communities — are HTTP GET endpoints returning JSON.
-// Three pieces carry the load:
+// counts, LPA communities — are HTTP GET endpoints returning JSON. A
+// query that does not pin ?system= is configured by the adaptive
+// planner (see Adaptive planning below); the decision summary travels
+// in the X-Graphserve-Plan response header, never the body. Three
+// pieces carry the load:
 //
 //   - Admission control. A scheduler owns MaxInFlight run slots, each
 //     slot carrying its own persistent par.Pool, so every admitted run
@@ -267,8 +275,49 @@
 //   - Metrics. GET /metrics reports request counts by status code,
 //     latency quantiles from a log-bucketed histogram
 //     (metrics.Histogram), cache hit rate, queue depth, in-flight
-//     runs, fault/retry/recovery counters, and per-(dataset, workload)
-//     breaker states. GET /healthz is the readiness probe.
+//     runs, fault/retry/recovery counters, per-(dataset, workload)
+//     breaker states, and — once a query has been planned — the
+//     adaptive planner's decision log. GET /healthz is the readiness
+//     probe.
+//
+// # Adaptive planning
+//
+// internal/plan chooses run configurations instead of taking them.
+// Given a dataset profile — cheap, deterministic statistics of the
+// prepared snapshot: counts, degree skew, a fixed-seed sampled
+// diameter, dilation-adjusted traversal depths, an in-core
+// working-set estimate — and a request (workload, machine budget),
+// Planner.Decide scores every candidate system on a cost model
+// calibrated from the full experiment grid: the exact grid cell when
+// the request names a class reference dataset at an observed cluster
+// size (modeled costs are bit-deterministic, so cells are ground
+// truth), fitted a/m + b + c·m curves with work- and iteration-ratio
+// scaling elsewhere, and the paper's failure taxonomy (Blogel-B's MPI
+// overflow, HaLoop's shuffle failures, timeouts, OOM) as predictors.
+// The candidates collapse to one scalar,
+//
+//	Score = Time + 0.05·MemTotalGB + 0.05·NetGB + 0.01·machines·Time
+//
+// (flat 24 h penalty for predicted failures), and the argmin wins,
+// ties to the lexicographically first system key. Shard count, shard
+// plan (edge-balanced weighted vs uniform range cuts), direction
+// mode, and memory-governor tier are then set by documented profile
+// heuristics. All four knobs are host execution strategy: outputs and
+// modeled costs are bit-identical at any setting (enforced by
+// internal/enginetest), so a decision is configuration, not
+// computation.
+//
+// Every decision carries its full trace — the profile, every scored
+// candidate with its prediction source, the chosen configuration, and
+// after the run the realized cost, which core.Runner feeds back via
+// Planner.Observe so not-yet-decided cells prefer realized telemetry
+// over the model. Decisions are sticky per request cell and
+// bit-deterministic per snapshot. Entry points: core.Runner.TryRunAuto;
+// graphbench -plan auto (prints the trace); the planner artifact
+// (-artifact planner), a twitter+wrn grid on which the planner's total
+// composite cost beats every fixed (engine, machines) configuration;
+// and serve mode, where unpinned queries are planned per request cell.
+// examples/planner walks one decision end to end.
 //
 // # Fault tolerance & recovery
 //

@@ -99,6 +99,8 @@ func (e *VEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 		CheckpointEvery: opt.CheckpointInterval(),
 		Direction:       opt.Direction,
 		Governor:        opt.Governor,
+		ShardPlan:       opt.ShardPlan,
+		MemoryTier:      opt.MemoryTier,
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)

@@ -73,7 +73,7 @@ func (e *BEngine) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt 
 	pool, release := par.Use(opt.Pool, opt.Shards)
 	defer release()
 	bx := &bExec{cluster: c, prof: &prof, d: d, g: gr, vor: vor, w: w, res: res,
-		pool: pool}
+		pool: pool, sp: opt.ShardPlan}
 	execErr := bx.run()
 	res.Exec = c.Clock() - mark
 	if execErr != nil {
@@ -144,6 +144,7 @@ type bExec struct {
 	w       engine.Workload
 	res     *engine.Result
 	pool    *par.Pool
+	sp      engine.ShardPlan
 }
 
 func (bx *bExec) run() error {
@@ -645,7 +646,7 @@ func (bx *bExec) pageRank() error {
 	// vertex sweeps shard over the degree-balanced plan with phase
 	// bodies and a per-shard delta slab built once, so steady-state
 	// iterations dispatch with zero allocations.
-	pl := par.PlanPrefix(bx.g.WorkPrefix(), bx.pool.Workers())
+	pl := bx.sp.Cut(bx.g, bx.pool.Workers())
 	deltas := make([]float64, pl.Count())
 	local := make([]float64, n)
 	for i := range local {

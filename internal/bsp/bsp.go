@@ -54,7 +54,7 @@ type Config struct {
 
 	// TimeDilation multiplies every superstep's charged time and
 	// network volume: one synthetic superstep stands for TimeDilation
-	// paper-scale supersteps (see engine.Dataset.IterDilation). Values
+	// paper-scale supersteps (see engine.Dataset.DilationFor). Values
 	// below 1 are treated as 1. IterStat.Seconds is reported per
 	// paper-scale superstep (i.e. divided back by the dilation).
 	TimeDilation float64
@@ -116,6 +116,18 @@ type Config struct {
 	// mode; a budget below even the out-of-core floor fails the run
 	// with an error unwrapping to govern.ErrBudget.
 	Governor *govern.Governor
+
+	// ShardPlan selects the cut strategy of the primary vertex-sweep
+	// plan (weighted degree-work prefix vs uniform ranges). Outputs and
+	// modeled costs are bit-identical under either plan; only host wall
+	// time changes.
+	ShardPlan engine.ShardPlan
+
+	// MemoryTier, under a Governor, pre-picks the governed execution
+	// tier: TierSpill goes straight to out-of-core streaming without
+	// probing the in-core reservations first. Ignored without a
+	// Governor; never changes results.
+	MemoryTier engine.MemoryTier
 
 	// probe, when non-nil, counts direction-machinery events; used only
 	// by in-package tests to assert their scenarios are not vacuous.
@@ -427,7 +439,7 @@ func Run(cluster *sim.Cluster, cfg Config) (*Output, error) {
 		cfg:       cfg,
 		cluster:   cluster,
 		pool:      pool,
-		plan:      par.PlanPrefix(cfg.Graph.WorkPrefix(), pool.Workers()),
+		plan:      cfg.ShardPlan.Cut(cfg.Graph, pool.Workers()),
 		values:    make([]float64, n),
 		halted:    make([]bool, n),
 		inStart:   make([]int32, n),

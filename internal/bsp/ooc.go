@@ -154,17 +154,22 @@ func (rt *runtime) setupGovernor() error {
 		threshold = maxSpillThreshold
 	}
 	sizes := rt.governSizes(threshold)
-	if sizes.full <= int64(float64(avail)*govern.SoftFraction) {
-		if rt.lease.TryCharge(sizes.full) == nil {
+	// TierSpill (set by the planner when the in-core working set clearly
+	// exceeds the budget) skips the doomed in-core reservation probes
+	// and goes straight to the out-of-core tier below.
+	if rt.cfg.MemoryTier != engine.TierSpill {
+		if sizes.full <= int64(float64(avail)*govern.SoftFraction) {
+			if rt.lease.TryCharge(sizes.full) == nil {
+				return nil
+			}
+		}
+		if sizes.lean <= avail && rt.lease.TryCharge(sizes.lean) == nil {
+			// Soft pressure: shed the optional scratch, keep everything
+			// else resident.
+			rt.cfg.Direction = engine.DirectionPush
+			rt.lease.NoteSoft()
 			return nil
 		}
-	}
-	if sizes.lean <= avail && rt.lease.TryCharge(sizes.lean) == nil {
-		// Soft pressure: shed the optional scratch, keep everything
-		// else resident.
-		rt.cfg.Direction = engine.DirectionPush
-		rt.lease.NoteSoft()
-		return nil
 	}
 	// Hard pressure: go out-of-core, or reject if even that cannot fit.
 	if err := rt.lease.TryCharge(sizes.floor + sizes.fixed); err != nil {

@@ -23,7 +23,9 @@ import (
 	"graphbench/internal/haloop"
 	"graphbench/internal/hdfs"
 	"graphbench/internal/mapreduce"
+	"graphbench/internal/metrics"
 	"graphbench/internal/par"
+	"graphbench/internal/plan"
 	"graphbench/internal/pregel"
 	"graphbench/internal/relational"
 	"graphbench/internal/sim"
@@ -158,6 +160,9 @@ type Runner struct {
 
 	mu       sync.Mutex
 	fixtures map[datasets.Name]*engine.Dataset
+	graphs   map[datasets.Name]*graph.Graph // retained snapshots, for profiling
+	profiles map[datasets.Name]*plan.Profile
+	planner  *plan.Planner
 	pool     *par.Pool
 	governor *govern.Governor
 	governed bool // governor initialized (possibly to nil on error)
@@ -247,7 +252,61 @@ func (r *Runner) TryDataset(name datasets.Name) (*engine.Dataset, error) {
 	d.DilationSSSP = datasets.TraversalDilation(name, g, src)
 	d.DilationWCC = datasets.WCCDilation(name, g)
 	r.fixtures[name] = d
+	if r.graphs == nil {
+		r.graphs = make(map[datasets.Name]*graph.Graph)
+	}
+	r.graphs[name] = g
 	return d, nil
+}
+
+// Planner returns the runner's shared adaptive planner, created on
+// first use. All planned runs feed their realized telemetry back into
+// it (see plan.Planner.Observe).
+func (r *Runner) Planner() *plan.Planner {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.planner == nil {
+		r.planner = plan.New()
+	}
+	return r.planner
+}
+
+// TryProfile returns the planner profile of a dataset, built on first
+// use from the retained graph snapshot and cached — profiles cost a
+// few linear passes, decisions against them are table lookups.
+func (r *Runner) TryProfile(name datasets.Name) (*plan.Profile, error) {
+	d, err := r.TryDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.profiles[name]; ok {
+		return p, nil
+	}
+	p := plan.NewProfile(d, r.graphs[name])
+	if r.profiles == nil {
+		r.profiles = make(map[datasets.Name]*plan.Profile)
+	}
+	r.profiles[name] = p
+	return p, nil
+}
+
+// TryDecide asks the planner for the configuration of one request
+// cell. The runner's MemoryBudget rides along so the decision can
+// pre-pick the out-of-core tier.
+func (r *Runner) TryDecide(name datasets.Name, kind engine.Kind, machines int) (*plan.Decision, error) {
+	p, err := r.TryProfile(name)
+	if err != nil {
+		return nil, err
+	}
+	req := plan.Request{
+		Dataset:      string(name),
+		Workload:     kind.String(),
+		Machines:     machines,
+		MemoryBudget: r.MemoryBudget,
+	}
+	return r.Planner().Decide(p, req), nil
 }
 
 // Dataset is the panic-wrapping shim over TryDataset for CLI callers
@@ -363,6 +422,40 @@ type FaultOpts struct {
 	// CheckpointEvery overrides the recovery checkpoint cadence
 	// (engine.Options.CheckpointEvery); 0 keeps the engine default.
 	CheckpointEvery int
+
+	// Plan, when non-nil, applies the planner decision's configuration
+	// to the run (shards, shard plan, direction, memory tier) and feeds
+	// the realized telemetry back into the planner afterwards. The
+	// system is still chosen by the caller — TryRunPlanned resolves the
+	// decision's system key and sets this field.
+	Plan *plan.Decision
+}
+
+// TryRunPlanned executes a planner decision: the decision's system,
+// cluster size, and configuration knobs, with realized telemetry
+// observed back into the planner.
+func (r *Runner) TryRunPlanned(pool *par.Pool, f FaultOpts, d *plan.Decision, name datasets.Name, kind engine.Kind) (*engine.Result, error) {
+	s, err := SystemByKey(d.System)
+	if err != nil {
+		return nil, err
+	}
+	f.Plan = d
+	return r.tryRun(s, name, kind, d.Machines, r.Shards, pool, f)
+}
+
+// TryRunAuto is the planner-driven run path: decide, then execute the
+// decision. The decision (with realized cost) is returned alongside
+// the result so callers can expose the trace.
+func (r *Runner) TryRunAuto(pool *par.Pool, f FaultOpts, name datasets.Name, kind engine.Kind, machines int) (*engine.Result, *plan.Decision, error) {
+	d, err := r.TryDecide(name, kind, machines)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := r.TryRunPlanned(pool, f, d, name, kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, d, nil
 }
 
 // TryRunFault is TryRunOn with a fault-injection plan: the run's
@@ -394,6 +487,18 @@ func (r *Runner) tryRun(s System, name datasets.Name, kind engine.Kind, machines
 		w = s.Tweak(w)
 	}
 	opt := s.Opt
+	if f.Plan != nil {
+		// A planner decision overrides the run-shape knobs. None of
+		// them changes modeled results (the bit-identity contracts of
+		// shards/plan/direction/tier), so planned and fixed runs stay
+		// comparable.
+		if f.Plan.Shards > 0 {
+			opt.Shards = f.Plan.Shards
+		}
+		opt.ShardPlan = f.Plan.ShardPlan
+		opt.Direction = f.Plan.Direction
+		opt.MemoryTier = f.Plan.MemoryTier
+	}
 	if opt.Shards == 0 {
 		opt.Shards = shards
 	}
@@ -416,6 +521,9 @@ func (r *Runner) tryRun(s System, name datasets.Name, kind engine.Kind, machines
 	}
 	res := s.New().Run(c, d, w, opt)
 	res.System = s.Label
+	if f.Plan != nil {
+		r.Planner().Observe(f.Plan, metrics.ResourceOf(res))
+	}
 	return res, nil
 }
 

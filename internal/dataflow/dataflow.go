@@ -137,6 +137,8 @@ func (g *Gelly) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt en
 		CheckpointEvery: opt.CheckpointInterval(),
 		Direction:       opt.Direction,
 		Governor:        opt.Governor,
+		ShardPlan:       opt.ShardPlan,
+		MemoryTier:      opt.MemoryTier,
 	}
 	configureWorkload(&cfg, w, d)
 	out, err := bsp.Run(c, cfg)

@@ -67,7 +67,7 @@ type Spec struct {
 	// reports 116 SSSP iterations for UK (Fig. 12) and O(48K) for WRN.
 	// Down-scaled analogues necessarily have smaller diameters, so
 	// engines dilate per-iteration charges by TraversalDepth divided by
-	// the synthetic traversal depth (see engine.Dataset.IterDilation).
+	// the synthetic traversal depth (see engine.Dataset.DilationFor).
 	TraversalDepth float64
 
 	kind      kind

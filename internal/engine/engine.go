@@ -223,6 +223,81 @@ type Options struct {
 	// Governed and ungoverned runs produce bit-identical outputs,
 	// IterStats, and modeled costs.
 	Governor *govern.Governor
+
+	// ShardPlan selects how the engines' primary vertex sweeps are cut
+	// into Shards ranges: the default (ShardPlanWeighted) cuts on the
+	// degree-work prefix so power-law skew doesn't serialize behind one
+	// hot shard, ShardPlanUniform cuts uniform vertex ranges and skips
+	// the prefix pass — cheaper, and just as balanced when degrees are
+	// near-uniform (road networks). Like Shards, the plan changes host
+	// wall time only: outputs and modeled costs are bit-identical under
+	// either plan (the shard-merge contract).
+	ShardPlan ShardPlan
+
+	// MemoryTier, under a Governor, pre-picks the governed execution
+	// tier instead of letting the run probe from the top: TierSpill
+	// skips the in-core and lean reservation attempts and goes straight
+	// to out-of-core streaming. The adaptive planner sets it when the
+	// projected in-core working set clearly exceeds the budget, saving
+	// the doomed probe charges. Ignored without a Governor. Out-of-core
+	// execution is bit-identical, so the tier never changes results.
+	MemoryTier MemoryTier
+}
+
+// ShardPlan selects the cut strategy of the engines' shard plans; see
+// Options.ShardPlan.
+type ShardPlan int
+
+// Shard-plan strategies. ShardPlanWeighted is the zero value (the
+// engines' historical behaviour).
+const (
+	// ShardPlanWeighted cuts shards on the degree-work prefix
+	// (par.PlanPrefix over graph.WorkPrefix): edge-balanced, the right
+	// default for skewed graphs.
+	ShardPlanWeighted ShardPlan = iota
+	// ShardPlanUniform cuts uniform vertex ranges (par.PlanShards):
+	// skips the O(V) prefix consultation, equally balanced when the
+	// degree distribution is near-uniform.
+	ShardPlanUniform
+)
+
+// String names the plan for traces and logs.
+func (sp ShardPlan) String() string {
+	if sp == ShardPlanUniform {
+		return "uniform"
+	}
+	return "weighted"
+}
+
+// Cut builds the shard plan for g's vertex range with (at most) k
+// shards, honoring the strategy.
+func (sp ShardPlan) Cut(g *graph.Graph, k int) par.Plan {
+	if sp == ShardPlanUniform {
+		return par.PlanShards(g.NumVertices(), k)
+	}
+	return par.PlanPrefix(g.WorkPrefix(), k)
+}
+
+// MemoryTier pre-picks the governed execution tier; see
+// Options.MemoryTier.
+type MemoryTier int
+
+// Memory tiers. TierAuto is the zero value.
+const (
+	// TierAuto lets the governed run probe tiers from the top: full
+	// in-core, then lean (shed scratch), then out-of-core.
+	TierAuto MemoryTier = iota
+	// TierSpill goes straight to out-of-core streaming, skipping the
+	// in-core reservation attempts.
+	TierSpill
+)
+
+// String names the tier for traces and logs.
+func (t MemoryTier) String() string {
+	if t == TierSpill {
+		return "spill"
+	}
+	return "auto"
 }
 
 // Direction is a traversal direction policy; see Options.Direction.

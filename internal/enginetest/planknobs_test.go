@@ -1,0 +1,109 @@
+package enginetest
+
+import (
+	"testing"
+
+	"graphbench/internal/blogel"
+	"graphbench/internal/dataflow"
+	"graphbench/internal/datasets"
+	"graphbench/internal/engine"
+	"graphbench/internal/gas"
+	"graphbench/internal/govern"
+	"graphbench/internal/pregel"
+	"graphbench/internal/sim"
+)
+
+// TestShardPlanIdentity locks in the planner-knob contract for shard
+// plans: cutting the vertex ranges uniformly instead of by edge-
+// balanced prefix must produce bit-identical outputs, iteration stats,
+// and modeled costs on every engine family that consumes the knob —
+// the plan only moves which worker computes which range. The weighted
+// plan is the historical default (and the zero value), so the golden
+// run needs no option at all.
+func TestShardPlanIdentity(t *testing.T) {
+	f := Prepare(t, datasets.UK, 1_000_000)
+
+	makers := []func() engine.Engine{
+		func() engine.Engine { return pregel.New() },
+		func() engine.Engine { return blogel.NewV() },
+		func() engine.Engine { return dataflow.New() },
+		func() engine.Engine { return gas.New() },
+	}
+	workloads := []engine.Workload{
+		engine.NewPageRank(),
+		engine.NewWCC(),
+		engine.NewSSSP(f.Dataset.Source),
+	}
+
+	for _, mk := range makers {
+		name := mk().Name()
+		for _, w := range workloads {
+			t.Run(name+"/"+w.Kind.String(), func(t *testing.T) {
+				golden := RunOK(t, mk(), f, 64, w, engine.Options{Shards: 4})
+				for _, shards := range []int{1, 4, 8} {
+					got := RunOK(t, mk(), f, 64, w, engine.Options{
+						Shards: shards, ShardPlan: engine.ShardPlanUniform,
+					})
+					requireIdenticalRuns(t, shards, golden, got)
+				}
+			})
+		}
+	}
+}
+
+// TestMemoryTierIdentity: TierSpill (start out-of-core, skipping the
+// governor's reservation probes) must match the TierAuto run bit for
+// bit — outputs, iteration stats, modeled costs — and still respect
+// the budget. The tier is a planner hint about where the governor
+// search should start, never about what the engine computes.
+func TestMemoryTierIdentity(t *testing.T) {
+	f := Prepare(t, datasets.UK, datasets.ScaleUpScale)
+	w := engine.NewPageRank()
+	const machines, budget = 64, 24 << 20
+
+	plain := RunOK(t, pregel.New(), f, machines, w, engine.Options{Shards: 4})
+
+	for _, tier := range []engine.MemoryTier{engine.TierAuto, engine.TierSpill} {
+		gov, err := govern.New(budget, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := RunOK(t, pregel.New(), f, machines, w, engine.Options{
+			Shards: 4, Governor: gov, MemoryTier: tier,
+		})
+		requireSameComputation(t, "tier="+tier.String(), plain, got)
+		if got.TotalTime() != plain.TotalTime() ||
+			got.NetBytes != plain.NetBytes || got.MemMax != plain.MemMax {
+			t.Fatalf("tier=%s changed modeled costs", tier)
+		}
+		if got.Govern.PeakBytes > budget {
+			t.Fatalf("tier=%s peak %d exceeds budget %d", tier, got.Govern.PeakBytes, budget)
+		}
+		gov.Close()
+	}
+}
+
+// TestPlannedRunMatchesManual: applying a planner decision through the
+// engine options must be exactly equivalent to setting the same knobs
+// by hand — the decision is configuration, not computation.
+func TestPlannedRunMatchesManual(t *testing.T) {
+	f := Prepare(t, datasets.Twitter, 1_000_000)
+	w := engine.NewWCC()
+
+	manual := RunOK(t, pregel.New(), f, 32, w, engine.Options{
+		Shards:    6,
+		ShardPlan: engine.ShardPlanUniform,
+		Direction: engine.DirectionAuto,
+	})
+	again := RunOK(t, pregel.New(), f, 32, w, engine.Options{
+		Shards:    6,
+		ShardPlan: engine.ShardPlanUniform,
+		Direction: engine.DirectionAuto,
+	})
+	requireIdenticalRuns(t, 6, manual, again)
+
+	// And the knobs stay invisible to the simulated cluster.
+	if manual.Status != sim.OK {
+		t.Fatalf("run failed: %v", manual.Status)
+	}
+}

@@ -42,7 +42,7 @@ type replicaCounter interface {
 
 func (ex *execution) init() {
 	ex.pool, ex.release = par.Use(ex.opt.Pool, ex.opt.Shards)
-	ex.plan = par.PlanPrefix(ex.g.WorkPrefix(), ex.pool.Workers())
+	ex.plan = ex.opt.ShardPlan.Cut(ex.g, ex.pool.Workers())
 	n := ex.g.NumVertices()
 	ex.values = make([]float64, n)
 	ex.active = make([]bool, n)

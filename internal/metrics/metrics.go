@@ -45,6 +45,43 @@ type Record struct {
 	SoftEvents uint64 `json:"pressure_soft_events,omitempty"`
 	HardEvents uint64 `json:"pressure_hard_events,omitempty"`
 	Spilled    bool   `json:"spilled,omitempty"`
+
+	// Adaptive-planner provenance: the decision key that produced this
+	// run and its realized composite resource cost (see
+	// plan.Score). Omitted for runs with a fixed configuration.
+	PlanKey      string  `json:"plan_key,omitempty"`
+	ResourceCost float64 `json:"resource_cost,omitempty"`
+}
+
+// Resource is the per-run resource telemetry the adaptive planner's
+// cost model consumes: the axes of the resource-efficiency study
+// (wall time, CPU time, memory footprint, message volume) plus the
+// cluster size that produced them. Extracted from results by
+// ResourceOf and fed back via plan.Planner.Observe.
+type Resource struct {
+	TimeSec       float64 `json:"time_sec"`
+	CPUSec        float64 `json:"cpu_sec"`
+	MemTotalBytes int64   `json:"mem_total_bytes"`
+	MemMaxBytes   int64   `json:"mem_max_bytes"`
+	NetBytes      int64   `json:"net_bytes"`
+	Machines      int     `json:"machines"`
+	Status        string  `json:"status"`
+}
+
+// OK reports whether the run the telemetry came from succeeded.
+func (r Resource) OK() bool { return r.Status == "OK" }
+
+// ResourceOf extracts the planner-facing telemetry from a result.
+func ResourceOf(r *engine.Result) Resource {
+	return Resource{
+		TimeSec:       r.TotalTime(),
+		CPUSec:        r.CPUUser + r.CPUIO + r.CPUNet,
+		MemTotalBytes: r.MemTotal,
+		MemMaxBytes:   r.MemMax,
+		NetBytes:      r.NetBytes,
+		Machines:      r.Machines,
+		Status:        r.Status.String(),
+	}
 }
 
 // FromResult converts an engine result into a Record.

@@ -16,7 +16,7 @@ import (
 	"graphbench/internal/sim"
 )
 
-// Profile is Giraph's cost profile. Calibration (EXPERIMENTS.md):
+// Profile is Giraph's cost profile. Calibration (paper Tables 6-10):
 // per-vertex scan cost fitted to Table 6's WRN iteration times (6 s at
 // 16 machines, 3 s at 32, including the 1.3x straggler factor); the
 // memory model to Table 8's cluster totals (~192 GB for Twitter at 16
@@ -106,6 +106,8 @@ func (g *Giraph) Run(c *sim.Cluster, d *engine.Dataset, w engine.Workload, opt e
 		CheckpointEvery: opt.CheckpointInterval(),
 		Direction:       opt.Direction,
 		Governor:        opt.Governor,
+		ShardPlan:       opt.ShardPlan,
+		MemoryTier:      opt.MemoryTier,
 	}
 	configureWorkload(&cfg, w, d, opt)
 	out, err := bsp.Run(c, cfg)

@@ -166,7 +166,9 @@ func TestServerBreakerOpensAndRecovers(t *testing.T) {
 		BreakerCooldown:  150 * time.Millisecond,
 	})
 
-	const path = "/v1/pagerank?k=3"
+	// Pin a BSP engine: faults are drawn at superstep/job boundaries,
+	// and the adaptive default may pick a GAS engine, which has none.
+	const path = "/v1/pagerank?k=3&system=giraph"
 
 	// Two consecutive compute errors: 500s, each evicting its cache
 	// entry. Eviction is observable through the fault counter: every

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerAutoPlan covers the adaptive default: a query with no
+// system parameter is planned, the decision summary travels in the
+// X-Graphserve-Plan header (never the body), an identical repeat
+// reuses both the pinned decision and the result cache, and /metrics
+// exposes the planner block.
+func TestServerAutoPlan(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 4})
+
+	const path = "/v1/pagerank?k=3"
+	code, hdr, body := get(t, ts.URL+path)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	plan := hdr.Get("X-Graphserve-Plan")
+	if plan == "" {
+		t.Fatal("auto query answered without an X-Graphserve-Plan header")
+	}
+	for _, field := range []string{"system=", "shards=", "plan=", "dir=", "tier=", "score="} {
+		if !strings.Contains(plan, field) {
+			t.Errorf("plan summary %q missing %s", plan, field)
+		}
+	}
+	if strings.Contains(string(body), "\"plan\"") {
+		t.Fatalf("decision leaked into the response body: %s", body)
+	}
+
+	// A pinned system must not get a plan header: nothing was planned.
+	_, pinnedHdr, _ := get(t, ts.URL+path+"&system=giraph")
+	if got := pinnedHdr.Get("X-Graphserve-Plan"); got != "" {
+		t.Fatalf("pinned query carries a plan header: %q", got)
+	}
+
+	// The repeat is decision-stable (sticky planner) and cache-warm.
+	code, hdr2, body2 := get(t, ts.URL+path)
+	if code != http.StatusOK {
+		t.Fatalf("repeat status %d", code)
+	}
+	if got := hdr2.Get("X-Graphserve-Plan"); got != plan {
+		t.Fatalf("repeat re-planned: %q then %q", plan, got)
+	}
+	if got := hdr2.Get("X-Graphserve-Cache"); got != "hit" {
+		t.Fatalf("repeat cache %q, want hit", got)
+	}
+	if string(body2) != string(body) {
+		t.Fatal("repeat body differs")
+	}
+
+	var m metricsBody
+	_, _, mb := get(t, ts.URL+"/metrics")
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Planner == nil {
+		t.Fatal("/metrics has no planner block after auto queries")
+	}
+	if m.Planner.DecisionsTotal < 2 {
+		t.Fatalf("decisions_total = %d, want >= 2", m.Planner.DecisionsTotal)
+	}
+	if m.Planner.Observed == 0 {
+		t.Fatal("no realized telemetry observed after a planned run")
+	}
+	found := false
+	for _, summary := range m.Planner.Decisions {
+		if summary == plan {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("served decision %q not in /metrics decisions %v", plan, m.Planner.Decisions)
+	}
+	_ = s
+}

@@ -57,6 +57,7 @@ import (
 	"graphbench/internal/graph"
 	"graphbench/internal/metrics"
 	"graphbench/internal/par"
+	"graphbench/internal/plan"
 	"graphbench/internal/sim"
 )
 
@@ -174,6 +175,12 @@ type Server struct {
 	retriesExhausted atomic.Uint64 // requests failed after all retries
 	panics           atomic.Uint64 // handler panics converted to 500s
 
+	// Adaptive-planner state: decision count and the latest decision
+	// summary per request cell, surfaced on /metrics.
+	planTotal     atomic.Uint64
+	planMu        sync.Mutex
+	planDecisions map[string]string
+
 	closeOnce sync.Once
 }
 
@@ -204,6 +211,8 @@ func New(cfg Config) (*Server, error) {
 		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		byCode:   make(map[int]uint64),
 		latency:  metrics.NewHistogram(),
+
+		planDecisions: make(map[string]string),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -300,6 +309,18 @@ type metricsBody struct {
 	// Governor reports the memory governor's ledger (peak tracked heap,
 	// spill volume, pressure events); omitted when no budget is set.
 	Governor *govern.Stats `json:"governor,omitempty"`
+
+	// Planner reports the adaptive planner's activity (decision count,
+	// observed configurations, the latest decision summary per request
+	// cell); omitted until the first system=auto request.
+	Planner *plannerBody `json:"planner,omitempty"`
+}
+
+// plannerBody is the /metrics view of the adaptive planner.
+type plannerBody struct {
+	DecisionsTotal uint64            `json:"decisions_total"`
+	Observed       int               `json:"observed_configs"`
+	Decisions      map[string]string `json:"decisions"`
 }
 
 // faultsBody reports the resilience counters: chaos injection, engine
@@ -380,6 +401,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		st := gov.Stats()
 		body.Governor = &st
 	}
+	if total := s.planTotal.Load(); total > 0 {
+		s.planMu.Lock()
+		decisions := make(map[string]string, len(s.planDecisions))
+		for k, v := range s.planDecisions {
+			decisions[k] = v
+		}
+		s.planMu.Unlock()
+		body.Planner = &plannerBody{
+			DecisionsTotal: total,
+			Observed:       s.runner.Planner().Observed(),
+			Decisions:      decisions,
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -390,6 +424,13 @@ type query struct {
 	d      *engine.Dataset
 	vertex graph.VertexID // wcc/sssp/lpa/triangle target (triangle: -1 = global)
 	topK   int            // pagerank
+
+	// plan is the adaptive planner's decision when the request asked
+	// for system=auto (the default); nil for explicitly-pinned systems.
+	// Its summary travels in the X-Graphserve-Plan response header —
+	// like cache provenance, never in the body, so planned responses
+	// stay byte-identical to pinned ones.
+	plan *plan.Decision
 }
 
 // parseQuery validates the common parameters. It writes the error
@@ -407,26 +448,49 @@ func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, kind engine.
 		return q, false
 	}
 
-	sysKey := vals.Get("system")
-	if sysKey == "" {
-		sysKey = "giraph"
-	}
-	sys, err := core.SystemByKey(sysKey)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "unknown system %q", sysKey)
-		return q, false
-	}
-	if sys.PageRankOnly && kind != engine.PageRank {
-		writeError(w, http.StatusBadRequest,
-			"system %q is a PageRank-only variant and cannot run %s", sysKey, kind)
-		return q, false
-	}
-
 	machines := 16
 	if m := vals.Get("machines"); m != "" {
+		var err error
 		machines, err = strconv.Atoi(m)
 		if err != nil || machines < 1 || machines > 4096 {
 			writeError(w, http.StatusBadRequest, "machines must be a positive integer, got %q", m)
+			return q, false
+		}
+	}
+
+	// The adaptive planner picks the system (and run configuration)
+	// unless the request pins one explicitly.
+	sysKey := vals.Get("system")
+	if sysKey == "" {
+		sysKey = "auto"
+	}
+	var sys core.System
+	var dec *plan.Decision
+	if sysKey == "auto" {
+		var err error
+		dec, err = s.runner.TryDecide(name, kind, machines)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "planning: %v", err)
+			return q, false
+		}
+		if sys, err = core.SystemByKey(dec.System); err != nil {
+			writeError(w, http.StatusInternalServerError, "planning: %v", err)
+			return q, false
+		}
+		s.planTotal.Add(1)
+		s.planMu.Lock()
+		s.planDecisions[dec.Key()] = dec.Summary()
+		s.planMu.Unlock()
+	} else {
+		var err error
+		sys, err = core.SystemByKey(sysKey)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "unknown system %q", sysKey)
+			return q, false
+		}
+		if sys.PageRankOnly && kind != engine.PageRank {
+			writeError(w, http.StatusBadRequest,
+				"system %q is a PageRank-only variant and cannot run %s", sysKey, kind)
 			return q, false
 		}
 	}
@@ -439,11 +503,20 @@ func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, kind engine.
 		return q, false
 	}
 
+	shards := s.cfg.Shards
+	if dec != nil {
+		// The decision's shard count keys the cache: a planned run and
+		// a pinned run of the same system produce bit-identical results
+		// (the shard-merge contract), but distinct keys keep the
+		// provenance header truthful.
+		shards = dec.Shards
+	}
 	q = query{
 		key: runKey{dataset: name, kind: kind, system: sys.Key,
-			machines: machines, shards: s.cfg.Shards},
-		sys: sys,
-		d:   d,
+			machines: machines, shards: shards},
+		sys:  sys,
+		d:    d,
+		plan: dec,
 	}
 
 	switch kind {
@@ -544,8 +617,12 @@ func (s *Server) handleQuery(kind engine.Kind) http.HandlerFunc {
 		}
 
 		// Cache provenance goes in a header, never the body: cached
-		// bodies must be byte-identical to cold ones.
+		// bodies must be byte-identical to cold ones. The planner
+		// decision trace travels the same way.
 		w.Header().Set("X-Graphserve-Cache", cacheStatus)
+		if q.plan != nil {
+			w.Header().Set("X-Graphserve-Plan", q.plan.Summary())
+		}
 
 		meta := metaOf(q.key, res)
 		if res.Status != sim.OK {
@@ -605,7 +682,7 @@ func (s *Server) runWithRetry(pool *par.Pool, q query, kind engine.Kind) (*engin
 			s.retriesTotal.Add(1)
 			sleepBackoff(s.cfg.RetryBackoff, attempt)
 		}
-		f := core.FaultOpts{Recover: s.cfg.Recover}
+		f := core.FaultOpts{Recover: s.cfg.Recover, Plan: q.plan}
 		var inj *chaos.Injector
 		if p := s.cfg.Chaos.PlanFor(q.key.String(), attempt, q.key.machines); p != nil {
 			inj = p.Injector()

@@ -6,7 +6,7 @@ package sim
 // dataset ScaleFactor) to charge the cluster.
 //
 // The constants are calibrated against the paper's measurements (see
-// EXPERIMENTS.md §Calibration): e.g. Giraph's per-vertex scan cost is
+// the paper's Tables 6-10): e.g. Giraph's per-vertex scan cost is
 // fitted to Table 6's per-iteration times on WRN, and its memory model
 // to Table 8's totals.
 type Profile struct {
